@@ -1,0 +1,561 @@
+// Benchmarks regenerating every table and figure of the paper at testing.B
+// scale (cmd/simurghbench runs the full-size sweeps; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for measured results).
+//
+//	go test -bench=. -benchmem
+package simurgh_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"simurgh/internal/apps/gitbench"
+	"simurgh/internal/apps/tarbench"
+	"simurgh/internal/bench"
+	"simurgh/internal/core"
+	"simurgh/internal/corpus"
+	"simurgh/internal/filebench"
+	"simurgh/internal/fsapi"
+	"simurgh/internal/fxmark"
+	"simurgh/internal/isa"
+	"simurgh/internal/leveldb"
+	"simurgh/internal/pmem"
+	"simurgh/internal/ycsb"
+)
+
+// allFS is the comparison set used by per-figure sub-benchmarks.
+var allFS = bench.FSNames
+
+func mustFS(b *testing.B, name string, size uint64) fsapi.FileSystem {
+	b.Helper()
+	fs, err := bench.MakeFS(name, size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fs
+}
+
+func mustClient(b *testing.B, fs fsapi.FileSystem) fsapi.Client {
+	b.Helper()
+	c, err := fs.Attach(fsapi.Root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkISAProtectedCall regenerates the §3.3 gem5 cycle table as
+// benchmark metrics: cycles per mechanism.
+func BenchmarkISAProtectedCall(b *testing.B) {
+	mem := isa.NewMemory()
+	sup := isa.NewSupervisor(mem, 0x100000)
+	addrs, err := sup.LoadProtected([]isa.ProtectedFunc{func(*isa.CPU) error { return nil }}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu := isa.NewCPU(mem)
+	for i := 0; i < b.N; i++ {
+		if err := cpu.Jmpp(addrs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cpu.Cycles)/float64(b.N), "cycles/op")
+	b.ReportMetric(float64(isa.CyclesSyscallModern), "syscall-cycles")
+	b.ReportMetric(float64(isa.CyclesCallRet), "call-cycles")
+}
+
+// benchMeta runs a single-thread metadata op loop per file system.
+func benchMeta(b *testing.B, setup func(c fsapi.Client) error, op func(c fsapi.Client, i int) error) {
+	for _, name := range allFS {
+		b.Run(name, func(b *testing.B) {
+			fs := mustFS(b, name, 512<<20)
+			c := mustClient(b, fs)
+			if setup != nil {
+				if err := setup(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := op(c, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7aCreatePrivate: file creation in a private directory.
+func BenchmarkFig7aCreatePrivate(b *testing.B) {
+	benchMeta(b,
+		func(c fsapi.Client) error { return c.Mkdir("/t0", 0o755) },
+		func(c fsapi.Client, i int) error {
+			fd, err := c.Create(fmt.Sprintf("/t0/f%d", i), 0o644)
+			if err != nil {
+				return err
+			}
+			return c.Close(fd)
+		})
+}
+
+// BenchmarkFig7bCreateShared: file creation in a shared directory.
+func BenchmarkFig7bCreateShared(b *testing.B) {
+	benchMeta(b,
+		func(c fsapi.Client) error { return c.Mkdir("/shared", 0o777) },
+		func(c fsapi.Client, i int) error {
+			fd, err := c.Create(fmt.Sprintf("/shared/f%d", i), 0o644)
+			if err != nil {
+				return err
+			}
+			return c.Close(fd)
+		})
+}
+
+// BenchmarkFig7cUnlink: deleting empty files.
+func BenchmarkFig7cUnlink(b *testing.B) {
+	for _, name := range allFS {
+		b.Run(name, func(b *testing.B) {
+			fs := mustFS(b, name, 512<<20)
+			c := mustClient(b, fs)
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Create(fmt.Sprintf("/f%d", i), 0o644); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Unlink(fmt.Sprintf("/f%d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7dRenameShared: renames within one shared directory.
+func BenchmarkFig7dRenameShared(b *testing.B) {
+	benchMeta(b,
+		func(c fsapi.Client) error {
+			if err := c.Mkdir("/s", 0o777); err != nil {
+				return err
+			}
+			_, err := c.Create("/s/gen0", 0o644)
+			return err
+		},
+		func(c fsapi.Client, i int) error {
+			return c.Rename(fmt.Sprintf("/s/gen%d", i), fmt.Sprintf("/s/gen%d", i+1))
+		})
+}
+
+// BenchmarkFig7eResolvePrivate: opening a file five directories deep.
+func BenchmarkFig7eResolvePrivate(b *testing.B) {
+	benchMeta(b,
+		func(c fsapi.Client) error {
+			path := "/p"
+			if err := c.Mkdir(path, 0o755); err != nil {
+				return err
+			}
+			for d := 0; d < 4; d++ {
+				path += "/d"
+				if err := c.Mkdir(path, 0o755); err != nil {
+					return err
+				}
+			}
+			_, err := c.Create(path+"/target", 0o644)
+			return err
+		},
+		func(c fsapi.Client, i int) error {
+			fd, err := c.Open("/p/d/d/d/d/target", fsapi.ORdonly, 0)
+			if err != nil {
+				return err
+			}
+			return c.Close(fd)
+		})
+}
+
+// BenchmarkFig7fResolveShared is the shared-path variant (single-threaded
+// here; the contention effect needs the multi-thread harness).
+func BenchmarkFig7fResolveShared(b *testing.B) {
+	BenchmarkFig7eResolvePrivate(b)
+}
+
+// BenchmarkFig7gAppend: 4 kB appends.
+func BenchmarkFig7gAppend(b *testing.B) {
+	buf := make([]byte, 4096)
+	for _, name := range allFS {
+		b.Run(name, func(b *testing.B) {
+			fs := mustFS(b, name, 512<<20)
+			c := mustClient(b, fs)
+			fd, err := c.Open("/app", fsapi.OCreate|fsapi.OWronly|fsapi.OAppend, 0o644)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if (uint64(i)+1)*4096 > 256<<20 {
+					b.StopTimer()
+					c.Ftruncate(fd, 0)
+					b.StartTimer()
+				}
+				if _, err := c.Write(fd, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7hFallocate: 4 MB preallocations.
+func BenchmarkFig7hFallocate(b *testing.B) {
+	for _, name := range allFS {
+		b.Run(name, func(b *testing.B) {
+			fs := mustFS(b, name, 512<<20)
+			c := mustClient(b, fs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name := fmt.Sprintf("/fa%d", i)
+				fd, err := c.Create(name, 0o644)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Fallocate(fd, 4<<20); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Fsync(fd); err != nil {
+					b.Fatal(err)
+				}
+				c.Close(fd)
+				if err := c.Unlink(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchRead measures random 4 kB reads of a prepared file.
+func benchRead(b *testing.B, fileSize uint64) {
+	for _, name := range allFS {
+		b.Run(name, func(b *testing.B) {
+			fs := mustFS(b, name, 512<<20)
+			c := mustClient(b, fs)
+			fd, err := c.Open("/big", fsapi.OCreate|fsapi.ORdwr, 0o644)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chunk := make([]byte, 1<<20)
+			for off := uint64(0); off < fileSize; off += uint64(len(chunk)) {
+				if _, err := c.Pwrite(fd, chunk, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rng := rand.New(rand.NewSource(1))
+			buf := make([]byte, 4096)
+			b.SetBytes(4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := uint64(rng.Int63n(int64(fileSize - 4096)))
+				if _, err := c.Pread(fd, buf, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7iReadShared: random reads of a shared file.
+func BenchmarkFig7iReadShared(b *testing.B) { benchRead(b, 32<<20) }
+
+// BenchmarkFig7jReadPrivate: random reads of a private file.
+func BenchmarkFig7jReadPrivate(b *testing.B) { benchRead(b, 16<<20) }
+
+// BenchmarkFig6CacheHotVsRandom contrasts the original FxMark read pattern
+// (same block, cache-hot) with the adapted random pattern on Simurgh.
+func BenchmarkFig6CacheHotVsRandom(b *testing.B) {
+	run := func(b *testing.B, random bool) {
+		fs := mustFS(b, "simurgh", 512<<20)
+		c := mustClient(b, fs)
+		fd, _ := c.Open("/big", fsapi.OCreate|fsapi.ORdwr, 0o644)
+		chunk := make([]byte, 1<<20)
+		for off := uint64(0); off < 32<<20; off += 1 << 20 {
+			c.Pwrite(fd, chunk, off)
+		}
+		rng := rand.New(rand.NewSource(2))
+		buf := make([]byte, 4096)
+		b.SetBytes(4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var off uint64
+			if random {
+				off = uint64(rng.Int63n(32<<20 - 4096))
+			}
+			if _, err := c.Pread(fd, buf, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("original-cachehot", func(b *testing.B) { run(b, false) })
+	b.Run("adapted-random", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkFig7kOverwriteShared: random 4 kB overwrites, including the
+// relaxed (no write lock) Simurgh variant.
+func BenchmarkFig7kOverwriteShared(b *testing.B) {
+	names := append(append([]string{}, allFS...), "simurgh-relaxed")
+	for _, name := range names {
+		b.Run(name, func(b *testing.B) {
+			fs := mustFS(b, name, 512<<20)
+			c := mustClient(b, fs)
+			fd, err := c.Open("/big", fsapi.OCreate|fsapi.ORdwr, 0o644)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chunk := make([]byte, 1<<20)
+			for off := uint64(0); off < 32<<20; off += 1 << 20 {
+				c.Pwrite(fd, chunk, off)
+			}
+			rng := rand.New(rand.NewSource(3))
+			buf := make([]byte, 4096)
+			b.SetBytes(4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := uint64(rng.Int63n(32<<20-4096)) &^ 4095
+				if _, err := c.Pwrite(fd, buf, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7lWritePrivate: random 4 kB writes to a preallocated file.
+func BenchmarkFig7lWritePrivate(b *testing.B) {
+	for _, name := range allFS {
+		b.Run(name, func(b *testing.B) {
+			fs := mustFS(b, name, 512<<20)
+			c := mustClient(b, fs)
+			fd, err := c.Open("/w", fsapi.OCreate|fsapi.ORdwr, 0o644)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Fallocate(fd, 16<<20); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(4))
+			buf := make([]byte, 4096)
+			b.SetBytes(4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := uint64(rng.Int63n(16<<20-4096)) &^ 4095
+				if _, err := c.Pwrite(fd, buf, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Filebench runs each personality on Simurgh; ops/s is the
+// figure's metric (one iteration = one personality loop).
+func BenchmarkFig8Filebench(b *testing.B) {
+	for _, p := range filebench.Personalities() {
+		b.Run(p.Name, func(b *testing.B) {
+			fs := mustFS(b, "simurgh", 512<<20)
+			res, err := filebench.Run(fs, p, filebench.Config{
+				Files: 100, Threads: 4, Duration: 300 * 1e6, // 300ms
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Throughput(), "flowops/s")
+		})
+	}
+}
+
+// BenchmarkFig9YCSB runs each YCSB workload on Simurgh.
+func BenchmarkFig9YCSB(b *testing.B) {
+	for _, spec := range ycsb.Workloads {
+		b.Run(spec.Name, func(b *testing.B) {
+			fs := mustFS(b, "simurgh", 512<<20)
+			res, err := ycsb.Run(fs, spec, ycsb.Config{Records: 1000, Ops: 3000, Threads: 2, ValueSize: 500})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.RunThroughput(), "ops/s")
+		})
+	}
+}
+
+// BenchmarkTable1Breakdown reports the execution-time split of YCSB LoadA
+// (application / data copy / file system) for NOVA and Simurgh.
+func BenchmarkTable1Breakdown(b *testing.B) {
+	for _, name := range []string{"nova", "simurgh"} {
+		b.Run(name, func(b *testing.B) {
+			fs := mustFS(b, name, 512<<20)
+			res, err := ycsb.RunLoadOnly(fs, ycsb.Config{Records: 3000, ValueSize: 500})
+			if err != nil {
+				b.Fatal(err)
+			}
+			total := res.App + res.Copy + res.FSTime
+			if total > 0 {
+				b.ReportMetric(100*float64(res.App)/float64(total), "app-%")
+				b.ReportMetric(100*float64(res.Copy)/float64(total), "copy-%")
+				b.ReportMetric(100*float64(res.FSTime)/float64(total), "fs-%")
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Tar packs and unpacks a source tree on Simurgh.
+func BenchmarkFig11Tar(b *testing.B) {
+	b.Run("pack", func(b *testing.B) {
+		fs := mustFS(b, "simurgh", 512<<20)
+		if _, err := tarbench.Prepare(fs, corpus.LinuxLike(1)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var bytes uint64
+		for i := 0; i < b.N; i++ {
+			res, err := tarbench.Pack(fs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytes = res.Bytes
+		}
+		b.SetBytes(int64(bytes))
+	})
+	b.Run("unpack", func(b *testing.B) {
+		fs := mustFS(b, "simurgh", 512<<20)
+		if _, err := tarbench.Prepare(fs, corpus.LinuxLike(1)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tarbench.Pack(fs); err != nil {
+			b.Fatal(err)
+		}
+		c := mustClient(b, fs)
+		b.ResetTimer()
+		var bytes uint64
+		for i := 0; i < b.N; i++ {
+			res, err := tarbench.Unpack(fs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytes = res.Bytes
+			b.StopTimer()
+			// Remove the unpacked tree for the next iteration.
+			removeTree(c, "/unpacked")
+			b.StartTimer()
+		}
+		b.SetBytes(int64(bytes))
+	})
+}
+
+func removeTree(c fsapi.Client, root string) {
+	ents, err := c.ReadDir(root)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		p := root + "/" + e.Name
+		if fsapi.IsDir(e.Mode) {
+			removeTree(c, p)
+			c.Rmdir(p)
+		} else {
+			c.Unlink(p)
+		}
+	}
+}
+
+// BenchmarkFig12Git measures the git cycle on Simurgh.
+func BenchmarkFig12Git(b *testing.B) {
+	fs := mustFS(b, "simurgh", 512<<20)
+	c := mustClient(b, fs)
+	if err := c.Mkdir("/src", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := corpus.Generate(c, "/src", corpus.LinuxLike(1)); err != nil {
+		b.Fatal(err)
+	}
+	repo, err := gitbench.Init(fs, "/repo", "/src")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("add", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := repo.Add(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("commit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := repo.Commit("bench"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			repo.DeleteWorkTree()
+			b.StartTimer()
+			if _, err := repo.Reset(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRecovery measures §5.5: full-crash recovery time of a populated
+// volume (reported per recovered object).
+func BenchmarkRecovery(b *testing.B) {
+	dev := pmem.New(1 << 30)
+	fs, err := core.Format(dev, fsapi.Root, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, _ := fs.Attach(fsapi.Root)
+	c.Mkdir("/tree", 0o755)
+	st, err := corpus.Generate(c, "/tree", corpus.LinuxLike(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Mount without unmounting first: full recovery each time.
+		if _, _, err := core.Mount(dev, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(st.Files), "files")
+}
+
+// BenchmarkLevelDBPut is the KV substrate in isolation on Simurgh.
+func BenchmarkLevelDBPut(b *testing.B) {
+	fs := mustFS(b, "simurgh", 512<<20)
+	c := mustClient(b, fs)
+	db, err := leveldb.Open(c, "/db", leveldb.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := string(make([]byte, 500))
+	b.SetBytes(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put(fmt.Sprintf("key%09d", i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFXMarkHarness smoke-runs the sweep harness itself.
+func BenchmarkFXMarkHarness(b *testing.B) {
+	w := fxmark.CreatePrivate()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunPoint(w, "simurgh", 256<<20, 1, 10*1e6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,594 @@
+// Command simurghbench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index):
+//
+//	simurghbench isa                  gem5 cycle table (§3.3)
+//	simurghbench micro [flags]        FxMark microbenchmarks (Fig 7a-l)
+//	simurghbench fig6                 original vs adapted FxMark read (Fig 6)
+//	simurghbench filebench [flags]    varmail/webserver/webproxy/fileserver (Fig 8)
+//	simurghbench ycsb [flags]         YCSB A-F on LevelDB (Fig 9)
+//	simurghbench breakdown [flags]    execution-time breakdown (Table 1 / Fig 10)
+//	simurghbench tar [flags]          tar pack/unpack (Fig 11)
+//	simurghbench git [flags]          git add/commit/reset (Fig 12)
+//	simurghbench recovery [flags]     full-crash recovery time (§5.5)
+//	simurghbench all                  everything at default scale
+//
+// Results are throughput series/tables in the paper's shape; absolute
+// numbers reflect this host (emulated NVMM in DRAM), so compare trends, not
+// magnitudes. See EXPERIMENTS.md for a paper-vs-measured discussion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"simurgh/internal/apps/gitbench"
+	"simurgh/internal/apps/tarbench"
+	"simurgh/internal/bench"
+	"simurgh/internal/core"
+	"simurgh/internal/corpus"
+	"simurgh/internal/cost"
+	"simurgh/internal/filebench"
+	"simurgh/internal/fsapi"
+	"simurgh/internal/fxmark"
+	"simurgh/internal/isa"
+	"simurgh/internal/pmem"
+	"simurgh/internal/ycsb"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "isa":
+		err = runISA()
+	case "micro":
+		err = runMicro(args)
+	case "fig6":
+		err = runFig6(args)
+	case "filebench":
+		err = runFilebench(args)
+	case "ycsb":
+		err = runYCSB(args)
+	case "breakdown":
+		err = runBreakdown(args)
+	case "tar":
+		err = runTar(args)
+	case "git":
+		err = runGit(args)
+	case "recovery":
+		err = runRecovery(args)
+	case "ablation":
+		err = runAblation(args)
+	case "all":
+		err = runAll(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simurghbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: simurghbench <isa|micro|fig6|filebench|ycsb|breakdown|tar|git|recovery|all> [flags]`)
+}
+
+func parseThreads(s string) []int {
+	if s == "" {
+		return bench.DefaultThreads()
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err == nil && n > 0 {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return bench.DefaultThreads()
+	}
+	return out
+}
+
+func parseFS(s string) []string {
+	if s == "" || s == "all" {
+		return bench.FSNames
+	}
+	return strings.Split(s, ",")
+}
+
+// runISA regenerates the §3.3 cycle comparison.
+func runISA() error {
+	fmt.Println("## Protected-function cycle model (gem5, §3.3)")
+	fmt.Printf("%-32s %8s  %s\n", "mechanism", "cycles", "detail")
+	for _, row := range isa.CycleTable() {
+		fmt.Printf("%-32s %8d  %s\n", row.Mechanism, row.Cycles, row.Detail)
+	}
+	fmt.Printf("\nprotected call vs geteuid syscall: %.1fx cheaper\n",
+		float64(isa.CyclesSyscallModern)/float64(isa.CyclesJmppPret))
+	fmt.Printf("per-operation delta charged to Simurgh in all benchmarks: %d cycles (%.0f ns @ %.1f GHz)\n",
+		cost.JmppExtraCycles, float64(cost.JmppExtraCycles)/cost.ClockGHz, cost.ClockGHz)
+	return nil
+}
+
+func runMicro(args []string) error {
+	fs := flag.NewFlagSet("micro", flag.ExitOnError)
+	benchName := fs.String("bench", "all", "workload name or 'all' (see DESIGN.md Fig 7 index)")
+	threads := fs.String("threads", "", "comma-separated thread counts (default 1..min(10,cores))")
+	dur := fs.Duration("duration", 500*time.Millisecond, "measurement time per point")
+	reps := fs.Int("reps", 1, "repetitions per point (best kept; raises noise immunity)")
+	fsList := fs.String("fs", "all", "file systems (comma separated)")
+	fs.Parse(args)
+
+	ws := fxmark.All()
+	names := []string{
+		"create-private", "create-shared", "unlink-private", "rename-shared",
+		"resolve-private", "resolve-shared", "append-private", "fallocate",
+		"read-shared", "read-private", "overwrite-shared", "write-private",
+	}
+	if *benchName != "all" {
+		if _, ok := ws[*benchName]; !ok {
+			return fmt.Errorf("unknown bench %q", *benchName)
+		}
+		names = []string{*benchName}
+	}
+	figs := map[string]string{
+		"create-private": "Fig 7a createfile, private dirs", "create-shared": "Fig 7b createfile, shared dir",
+		"unlink-private": "Fig 7c deletefile, private dirs", "rename-shared": "Fig 7d renamefile, shared dir",
+		"resolve-private": "Fig 7e resolvepath, private", "resolve-shared": "Fig 7f resolvepath, shared paths",
+		"append-private": "Fig 7g appendfile 4KB", "fallocate": "Fig 7h fallocate 4MB",
+		"read-shared": "Fig 7i random read, shared file", "read-private": "Fig 7j random read, private files",
+		"overwrite-shared": "Fig 7k overwrite, shared file", "write-private": "Fig 7l write, private files",
+	}
+	ths := parseThreads(*threads)
+	for _, name := range names {
+		w := ws[name]
+		fsNames := parseFS(*fsList)
+		if name == "overwrite-shared" {
+			fsNames = append(append([]string{}, fsNames...), "simurgh-relaxed")
+		}
+		var results []bench.Result
+		for _, fsName := range fsNames {
+			for _, th := range ths {
+				var best bench.Result
+				for r := 0; r < *reps; r++ {
+					res, err := bench.RunPoint(w, fsName, 512<<20, th, *dur)
+					if err != nil {
+						return err
+					}
+					if res.Ops > best.Ops || best.Elapsed == 0 {
+						best = res
+					}
+				}
+				results = append(results, best)
+			}
+		}
+		if name == "read-shared" {
+			for _, t := range ths {
+				results = append(results, bench.RawReadBandwidth(1<<30, t, *dur))
+			}
+		}
+		inMB := strings.HasPrefix(name, "read") || strings.HasPrefix(name, "write") ||
+			strings.HasPrefix(name, "overwrite") || strings.HasPrefix(name, "append")
+		bench.PrintSeries(os.Stdout, figs[name], results, inMB)
+	}
+	return nil
+}
+
+// runFig6 compares the original (cache-hot) FxMark read with the adapted
+// (random-offset) variant and the raw device bandwidth.
+func runFig6(args []string) error {
+	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
+	threads := fs.String("threads", "", "thread counts")
+	dur := fs.Duration("duration", 500*time.Millisecond, "per point")
+	fs.Parse(args)
+	ths := parseThreads(*threads)
+	ws := fxmark.All()
+	var results []bench.Result
+	for _, variant := range []struct{ wl, label string }{
+		{"read-shared-cachehot", "original-fxmark"},
+		{"read-shared", "adapted-fxmark"},
+	} {
+		for _, fsName := range []string{"simurgh", "nova"} {
+			for _, t := range ths {
+				r, err := bench.RunPoint(ws[variant.wl], fsName, 512<<20, t, *dur)
+				if err != nil {
+					return err
+				}
+				r.FS = fsName + "/" + variant.label
+				results = append(results, r)
+			}
+		}
+	}
+	for _, t := range ths {
+		results = append(results, bench.RawReadBandwidth(1<<30, t, *dur))
+	}
+	bench.PrintSeries(os.Stdout, "Fig 6: FxMark DRBL original vs adapted (MiB/s)", results, true)
+	return nil
+}
+
+func runFilebench(args []string) error {
+	fs := flag.NewFlagSet("filebench", flag.ExitOnError)
+	files := fs.Int("files", 300, "fileset size (paper: 1k/10k)")
+	threads := fs.Int("threads", 8, "worker threads (paper: 16-100)")
+	dur := fs.Duration("duration", time.Second, "measured time")
+	fsList := fs.String("fs", "all", "file systems")
+	fs.Parse(args)
+
+	fmt.Println("## Fig 8: Filebench throughput (flowops/s)")
+	fmt.Printf("%-12s", "workload")
+	names := parseFS(*fsList)
+	for _, n := range names {
+		fmt.Printf("%12s", n)
+	}
+	fmt.Println()
+	for _, p := range filebench.Personalities() {
+		fmt.Printf("%-12s", p.Name)
+		for _, fsName := range names {
+			fsi, err := bench.MakeFS(fsName, 1<<30)
+			if err != nil {
+				return err
+			}
+			res, err := filebench.Run(fsi, p, filebench.Config{
+				Files: *files, Threads: *threads, Duration: *dur,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%12.0f", res.Throughput())
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runYCSB(args []string) error {
+	fs := flag.NewFlagSet("ycsb", flag.ExitOnError)
+	records := fs.Int("records", 5000, "rows loaded")
+	ops := fs.Int("ops", 10000, "run-phase operations")
+	threads := fs.Int("threads", 2, "client threads")
+	fsList := fs.String("fs", "all", "file systems")
+	fs.Parse(args)
+
+	names := parseFS(*fsList)
+	fmt.Println("## Fig 9: YCSB throughput on LevelDB (ops/s; last row normalizes to SplitFS)")
+	fmt.Printf("%-10s", "workload")
+	for _, n := range names {
+		fmt.Printf("%12s", n)
+	}
+	fmt.Println()
+	results := map[string]map[string]ycsb.Result{}
+	for _, spec := range ycsb.Workloads {
+		fmt.Printf("Run%-7s", spec.Name)
+		results[spec.Name] = map[string]ycsb.Result{}
+		for _, fsName := range names {
+			fsi, err := bench.MakeFS(fsName, 1<<30)
+			if err != nil {
+				return err
+			}
+			res, err := ycsb.Run(fsi, spec, ycsb.Config{Records: *records, Ops: *ops, Threads: *threads})
+			if err != nil {
+				return err
+			}
+			results[spec.Name][fsName] = res
+			fmt.Printf("%12.0f", res.RunThroughput())
+		}
+		fmt.Println()
+	}
+	if base, ok := results["A"]["splitfs"]; ok && base.RunThroughput() > 0 {
+		fmt.Println("\nnormalized to splitfs:")
+		for _, spec := range ycsb.Workloads {
+			fmt.Printf("Run%-7s", spec.Name)
+			sf := results[spec.Name]["splitfs"].RunThroughput()
+			for _, fsName := range names {
+				if sf > 0 {
+					fmt.Printf("%12.2f", results[spec.Name][fsName].RunThroughput()/sf)
+				} else {
+					fmt.Printf("%12s", "-")
+				}
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func runBreakdown(args []string) error {
+	fs := flag.NewFlagSet("breakdown", flag.ExitOnError)
+	fsName := fs.String("fs", "nova", "file system to break down (Table 1: nova; Fig 10: simurgh)")
+	records := fs.Int("records", 5000, "YCSB rows")
+	scale := fs.Int("scale", 1, "corpus scale for tar/git rows")
+	fs.Parse(args)
+
+	fmt.Printf("## Execution-time breakdown for %s (Table 1 / Fig 10)\n", *fsName)
+	fmt.Printf("%-12s %14s %14s %14s\n", "workload", "application", "data copy", "file system")
+	row := func(name string, app, cp, fst time.Duration) {
+		total := app + cp + fst
+		if total <= 0 {
+			total = 1
+		}
+		fmt.Printf("%-12s %13.2f%% %13.2f%% %13.2f%%\n", name,
+			100*float64(app)/float64(total), 100*float64(cp)/float64(total),
+			100*float64(fst)/float64(total))
+	}
+
+	// YCSB LoadA.
+	fsi, err := bench.MakeFS(*fsName, 1<<30)
+	if err != nil {
+		return err
+	}
+	res, err := ycsb.RunLoadOnly(fsi, ycsb.Config{Records: *records})
+	if err != nil {
+		return err
+	}
+	row("YCSB LoadA", res.App, res.Copy, res.FSTime)
+
+	// Tar pack.
+	fsi, err = bench.MakeFS(*fsName, 1<<30)
+	if err != nil {
+		return err
+	}
+	if _, err := tarbench.Prepare(fsi, corpus.LinuxLike(*scale)); err != nil {
+		return err
+	}
+	c, _ := fsi.Attach(fsapi.Root)
+	tc := bench.NewTimedClient(c)
+	packStart := time.Now()
+	if _, err := tarPackTimed(tc); err != nil {
+		return err
+	}
+	app, cp, fst := tc.Breakdown(time.Since(packStart))
+	row("Tar Pack", app, cp, fst)
+
+	// Git commit.
+	fsi, err = bench.MakeFS(*fsName, 1<<30)
+	if err != nil {
+		return err
+	}
+	c2, _ := fsi.Attach(fsapi.Root)
+	if err := c2.Mkdir("/src", 0o755); err != nil {
+		return err
+	}
+	if _, err := corpus.Generate(c2, "/src", corpus.LinuxLike(*scale)); err != nil {
+		return err
+	}
+	repo, err := gitbench.Init(fsi, "/repo", "/src")
+	if err != nil {
+		return err
+	}
+	if _, err := repo.Add(); err != nil {
+		return err
+	}
+	tc2 := bench.NewTimedClient(c2)
+	repo2 := repo.WithClient(tc2)
+	commitStart := time.Now()
+	if _, err := repo2.Commit("bench"); err != nil {
+		return err
+	}
+	app, cp, fst = tc2.Breakdown(time.Since(commitStart))
+	row("Git Commit", app, cp, fst)
+	return nil
+}
+
+// tarPackTimed is tarbench.Pack but against an existing (timed) client.
+func tarPackTimed(c fsapi.Client) (tarbench.Result, error) {
+	return tarbench.PackWithClient(c)
+}
+
+func runTar(args []string) error {
+	fs := flag.NewFlagSet("tar", flag.ExitOnError)
+	scale := fs.Int("scale", 2, "corpus scale factor")
+	reps := fs.Int("reps", 1, "repetitions (best kept)")
+	fsList := fs.String("fs", "all", "file systems")
+	fs.Parse(args)
+	fmt.Println("## Fig 11: tar throughput (MiB/s)")
+	fmt.Printf("%-12s %12s %12s\n", "fs", "pack", "unpack")
+	for _, fsName := range parseFS(*fsList) {
+		var bestPack, bestUnpack float64
+		for r := 0; r < *reps; r++ {
+			fsi, err := bench.MakeFS(fsName, 2<<30)
+			if err != nil {
+				return err
+			}
+			if _, err := tarbench.Prepare(fsi, corpus.LinuxLike(*scale)); err != nil {
+				return err
+			}
+			runtime.GC()
+			pack, err := tarbench.Pack(fsi)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			unpack, err := tarbench.Unpack(fsi)
+			if err != nil {
+				return err
+			}
+			if pack.MBPerSec() > bestPack {
+				bestPack = pack.MBPerSec()
+			}
+			if unpack.MBPerSec() > bestUnpack {
+				bestUnpack = unpack.MBPerSec()
+			}
+		}
+		fmt.Printf("%-12s %12.1f %12.1f\n", fsName, bestPack, bestUnpack)
+	}
+	return nil
+}
+
+func runGit(args []string) error {
+	fs := flag.NewFlagSet("git", flag.ExitOnError)
+	scale := fs.Int("scale", 2, "corpus scale factor")
+	reps := fs.Int("reps", 1, "repetitions (best kept)")
+	fsList := fs.String("fs", "all", "file systems")
+	fs.Parse(args)
+	fmt.Println("## Fig 12: git throughput (files/s)")
+	fmt.Printf("%-12s %12s %12s %12s\n", "fs", "add", "commit", "reset")
+	for _, fsName := range parseFS(*fsList) {
+		var bestAdd, bestCommit, bestReset float64
+		for r := 0; r < *reps; r++ {
+			fsi, err := bench.MakeFS(fsName, 2<<30)
+			if err != nil {
+				return err
+			}
+			c, _ := fsi.Attach(fsapi.Root)
+			if err := c.Mkdir("/src", 0o755); err != nil {
+				return err
+			}
+			if _, err := corpus.Generate(c, "/src", corpus.LinuxLike(*scale)); err != nil {
+				return err
+			}
+			repo, err := gitbench.Init(fsi, "/repo", "/src")
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			add, err := repo.Add()
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			commit, err := repo.Commit("bench")
+			if err != nil {
+				return err
+			}
+			if err := repo.DeleteWorkTree(); err != nil {
+				return err
+			}
+			runtime.GC()
+			reset, err := repo.Reset()
+			if err != nil {
+				return err
+			}
+			if v := add.FilesPerSec(); v > bestAdd {
+				bestAdd = v
+			}
+			if v := commit.FilesPerSec(); v > bestCommit {
+				bestCommit = v
+			}
+			if v := reset.FilesPerSec(); v > bestReset {
+				bestReset = v
+			}
+		}
+		fmt.Printf("%-12s %12.0f %12.0f %12.0f\n", fsName, bestAdd, bestCommit, bestReset)
+	}
+	return nil
+}
+
+func runRecovery(args []string) error {
+	fs := flag.NewFlagSet("recovery", flag.ExitOnError)
+	trees := fs.Int("trees", 10, "number of source trees (paper: 10)")
+	scale := fs.Int("scale", 2, "corpus scale per tree")
+	fs.Parse(args)
+
+	dev := pmem.New(4 << 30)
+	cfs, err := core.Format(dev, fsapi.Root, core.Options{})
+	if err != nil {
+		return err
+	}
+	c, _ := cfs.Attach(fsapi.Root)
+	var total corpus.Stats
+	for i := 0; i < *trees; i++ {
+		root := fmt.Sprintf("/tree%d", i)
+		if err := c.Mkdir(root, 0o755); err != nil {
+			return err
+		}
+		st, err := corpus.Generate(c, root, corpus.LinuxLike(*scale))
+		if err != nil {
+			return err
+		}
+		total.Dirs += st.Dirs + 1
+		total.Files += st.Files
+		total.Bytes += st.Bytes
+	}
+	// Simulate an unclean shutdown: mount again without Unmount.
+	_, stats, err := core.Mount(dev, core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("## §5.5 recovery test")
+	fmt.Printf("populated: %d files, %d dirs, %.1f MiB\n", total.Files, total.Dirs,
+		float64(total.Bytes)/(1<<20))
+	fmt.Printf("recovery:  %v (files=%d dirs=%d reclaimed=%d fixed-slots=%d)\n",
+		stats.Elapsed, stats.Files, stats.Dirs, stats.Reclaimed, stats.FixedSlots)
+	fmt.Printf("rate:      %.0f objects/s\n",
+		float64(stats.Files+stats.Dirs)/stats.Elapsed.Seconds())
+	return nil
+}
+
+// runAblation isolates the protected-function contribution: the same
+// Simurgh design charged with the jmpp delta (46 cycles) versus a full
+// syscall (400 cycles) per operation. The paper argues the ~330 saved
+// cycles halve the latency of very fast operations like resolvepath while
+// slower operations gain mostly from the library design itself.
+func runAblation(args []string) error {
+	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
+	threads := fs.String("threads", "1", "thread counts")
+	dur := fs.Duration("duration", 2*time.Second, "per point")
+	reps := fs.Int("reps", 3, "repetitions per point (best is kept)")
+	fs.Parse(args)
+	ths := parseThreads(*threads)
+	ws := fxmark.All()
+	fmt.Println("## Ablation: jmpp vs syscall entry on the same file system design")
+	for _, wl := range []string{"resolve-private", "create-shared", "unlink-private"} {
+		var results []bench.Result
+		for _, fsName := range []string{"simurgh", "simurgh-syscall"} {
+			for _, t := range ths {
+				var best bench.Result
+				for r := 0; r < *reps; r++ {
+					res, err := bench.RunPoint(ws[wl], fsName, 512<<20, t, *dur)
+					if err != nil {
+						return err
+					}
+					if res.OpsPerSec() > best.OpsPerSec() {
+						best = res
+					}
+				}
+				results = append(results, best)
+			}
+		}
+		bench.PrintSeries(os.Stdout, wl, results, false)
+	}
+	return nil
+}
+
+func runAll(args []string) error {
+	if err := runISA(); err != nil {
+		return err
+	}
+	if err := runMicro([]string{"-duration", "300ms"}); err != nil {
+		return err
+	}
+	if err := runFig6([]string{"-duration", "300ms"}); err != nil {
+		return err
+	}
+	if err := runFilebench([]string{"-duration", "500ms", "-files", "200", "-threads", "4"}); err != nil {
+		return err
+	}
+	if err := runYCSB([]string{"-records", "3000", "-ops", "6000"}); err != nil {
+		return err
+	}
+	if err := runBreakdown([]string{"-fs", "nova"}); err != nil {
+		return err
+	}
+	if err := runBreakdown([]string{"-fs", "simurgh"}); err != nil {
+		return err
+	}
+	if err := runTar([]string{"-scale", "1"}); err != nil {
+		return err
+	}
+	if err := runGit([]string{"-scale", "1"}); err != nil {
+		return err
+	}
+	return runRecovery([]string{"-trees", "5", "-scale", "1"})
+}

@@ -1,0 +1,294 @@
+// Command simurghsh is an interactive shell over a Simurgh volume — handy
+// for poking at the file system, inspecting recovery behaviour, and demos.
+//
+//	simurghsh                      fresh in-memory volume
+//	simurghsh -image vol.img       open (and on exit save) an image file
+//
+// Commands: ls [path], cat <file>, write <file> <text...>, append <file>
+// <text...>, mkdir <dir>, rm <file>, rmdir <dir>, mv <old> <new>,
+// ln -s <target> <link>, ln <old> <new>, stat <path>, chmod <perm> <path>,
+// tree [path], df, crashdemo, su <uid> <gid>, help, exit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"simurgh/internal/core"
+	"simurgh/internal/fsapi"
+	"simurgh/internal/pmem"
+)
+
+func main() {
+	image := flag.String("image", "", "volume image to open and save on exit")
+	size := flag.Uint64("size", 256<<20, "volume size for fresh volumes")
+	flag.Parse()
+
+	var dev *pmem.Device
+	var fs *core.FS
+	if *image != "" {
+		if f, err := os.Open(*image); err == nil {
+			d, err := pmem.ReadImage(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			mounted, stats, err := core.Mount(d, core.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			if !stats.WasClean {
+				fmt.Printf("recovered unclean volume in %v (%d repairs)\n",
+					stats.Elapsed, stats.FixedSlots+stats.FixedCreates+stats.FixedRenames+stats.FixedLogs)
+			}
+			dev, fs = d, mounted
+		}
+	}
+	if fs == nil {
+		dev = pmem.New(*size)
+		formatted, err := core.Format(dev, fsapi.Root, core.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fs = formatted
+	}
+
+	cred := fsapi.Root
+	client, _ := fs.Attach(cred)
+	sh := &shell{fs: fs, dev: dev, c: client, cred: cred}
+
+	fmt.Println("simurghsh — type 'help' for commands, 'exit' to quit")
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Printf("simurgh[uid=%d]> ", sh.cred.UID)
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "exit" || line == "quit" {
+			break
+		}
+		sh.exec(line)
+	}
+	fs.Unmount()
+	if *image != "" {
+		f, err := os.Create(*image)
+		if err != nil {
+			fatal(err)
+		}
+		dev.WriteTo(f)
+		f.Close()
+		fmt.Printf("saved volume to %s\n", *image)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simurghsh:", err)
+	os.Exit(1)
+}
+
+type shell struct {
+	fs   *core.FS
+	dev  *pmem.Device
+	c    fsapi.Client
+	cred fsapi.Cred
+}
+
+func (s *shell) exec(line string) {
+	args := strings.Fields(line)
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "help":
+		fmt.Println("ls cat write append mkdir rm rmdir mv ln stat chmod tree df maintain crashdemo su exit")
+	case "ls":
+		path := "/"
+		if len(rest) > 0 {
+			path = rest[0]
+		}
+		var ents []fsapi.DirEntry
+		ents, err = s.c.ReadDir(path)
+		for _, e := range ents {
+			kind := "-"
+			if fsapi.IsDir(e.Mode) {
+				kind = "d"
+			} else if fsapi.IsSymlink(e.Mode) {
+				kind = "l"
+			}
+			fmt.Printf("%s %04o  %s\n", kind, e.Mode&fsapi.ModePermMask, e.Name)
+		}
+	case "cat":
+		if len(rest) < 1 {
+			err = errUsage("cat <file>")
+			break
+		}
+		var fd fsapi.FD
+		fd, err = s.c.Open(rest[0], fsapi.ORdonly, 0)
+		if err != nil {
+			break
+		}
+		buf := make([]byte, 64<<10)
+		for {
+			n, rerr := s.c.Read(fd, buf)
+			if n > 0 {
+				os.Stdout.Write(buf[:n])
+			}
+			if rerr != nil || n == 0 {
+				break
+			}
+		}
+		fmt.Println()
+		s.c.Close(fd)
+	case "write", "append":
+		if len(rest) < 2 {
+			err = errUsage(cmd + " <file> <text...>")
+			break
+		}
+		flags := fsapi.OCreate | fsapi.OWronly
+		if cmd == "append" {
+			flags |= fsapi.OAppend
+		} else {
+			flags |= fsapi.OTrunc
+		}
+		var fd fsapi.FD
+		fd, err = s.c.Open(rest[0], flags, 0o644)
+		if err != nil {
+			break
+		}
+		_, err = s.c.Write(fd, []byte(strings.Join(rest[1:], " ")+"\n"))
+		s.c.Close(fd)
+	case "mkdir":
+		if len(rest) < 1 {
+			err = errUsage("mkdir <dir>")
+			break
+		}
+		err = s.c.Mkdir(rest[0], 0o755)
+	case "rm":
+		if len(rest) < 1 {
+			err = errUsage("rm <file>")
+			break
+		}
+		err = s.c.Unlink(rest[0])
+	case "rmdir":
+		if len(rest) < 1 {
+			err = errUsage("rmdir <dir>")
+			break
+		}
+		err = s.c.Rmdir(rest[0])
+	case "mv":
+		if len(rest) < 2 {
+			err = errUsage("mv <old> <new>")
+			break
+		}
+		err = s.c.Rename(rest[0], rest[1])
+	case "ln":
+		switch {
+		case len(rest) == 3 && rest[0] == "-s":
+			err = s.c.Symlink(rest[1], rest[2])
+		case len(rest) == 2:
+			err = s.c.Link(rest[0], rest[1])
+		default:
+			err = errUsage("ln [-s] <target> <link>")
+		}
+	case "stat":
+		if len(rest) < 1 {
+			err = errUsage("stat <path>")
+			break
+		}
+		var st fsapi.Stat
+		st, err = s.c.Stat(rest[0])
+		if err == nil {
+			fmt.Printf("inode %#x  mode %o  uid/gid %d/%d  nlink %d  size %d\n",
+				st.Ino, st.Mode, st.UID, st.GID, st.Nlink, st.Size)
+		}
+	case "chmod":
+		if len(rest) < 2 {
+			err = errUsage("chmod <octal-perm> <path>")
+			break
+		}
+		var perm uint64
+		perm, err = strconv.ParseUint(rest[0], 8, 32)
+		if err == nil {
+			err = s.c.Chmod(rest[1], uint32(perm))
+		}
+	case "tree":
+		path := "/"
+		if len(rest) > 0 {
+			path = rest[0]
+		}
+		s.tree(path, 0)
+	case "df":
+		free := s.fs.FreeBlocks()
+		total := s.dev.Size() / core.BlockSize
+		fmt.Printf("%d / %d blocks free (%.1f%%)\n", free, total, 100*float64(free)/float64(total))
+	case "maintain":
+		st := s.fs.Maintain()
+		fmt.Printf("visited %d dirs, freed %d hash blocks\n", st.DirsVisited, st.BlocksFreed)
+	case "crashdemo":
+		// Abandon a create mid-flight, then show recovery-on-access.
+		s.fs.SetHooks(core.Hooks{CrashPoint: func(p string) bool { return p == "create.after-slot" }})
+		_, cerr := s.c.Create("/crashdemo-file", 0o644)
+		s.fs.SetHooks(core.Hooks{})
+		fmt.Printf("create aborted mid-operation: %v\n", cerr)
+		fmt.Println("the next access completes it (recovery-on-access):")
+		if st, serr := s.c.Stat("/crashdemo-file"); serr == nil {
+			fmt.Printf("  /crashdemo-file exists, inode %#x\n", st.Ino)
+		} else {
+			fmt.Printf("  stat: %v\n", serr)
+		}
+	case "su":
+		if len(rest) < 2 {
+			err = errUsage("su <uid> <gid>")
+			break
+		}
+		uid, e1 := strconv.Atoi(rest[0])
+		gid, e2 := strconv.Atoi(rest[1])
+		if e1 != nil || e2 != nil {
+			err = errUsage("su <uid> <gid>")
+			break
+		}
+		s.cred = fsapi.Cred{UID: uint32(uid), GID: uint32(gid)}
+		s.c, err = s.fs.Attach(s.cred)
+	default:
+		err = fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+}
+
+func (s *shell) tree(path string, depth int) {
+	ents, err := s.c.ReadDir(path)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, e := range ents {
+		fmt.Printf("%s%s", strings.Repeat("  ", depth), e.Name)
+		child := path + "/" + e.Name
+		if path == "/" {
+			child = "/" + e.Name
+		}
+		if fsapi.IsDir(e.Mode) {
+			fmt.Println("/")
+			if depth < 10 {
+				s.tree(child, depth+1)
+			}
+		} else if fsapi.IsSymlink(e.Mode) {
+			target, _ := s.c.Readlink(child)
+			fmt.Printf(" -> %s\n", target)
+		} else {
+			st, _ := s.c.Stat(child)
+			fmt.Printf(" (%d)\n", st.Size)
+		}
+	}
+}
+
+func errUsage(u string) error { return fmt.Errorf("usage: %s", u) }

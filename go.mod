@@ -1,0 +1,3 @@
+module simurgh
+
+go 1.22

@@ -1,0 +1,300 @@
+// Package alloc implements Simurgh's two allocators (§4.2):
+//
+//   - a block allocator for NVMM data blocks, kept in (shared) volatile
+//     memory and rebuilt from a scan on recovery: the space is divided into
+//     segments (twice the number of cores, as in Hoard) each owning a
+//     contiguous block range with a first-fit free-range list; segments are
+//     guarded by an atomic busy flag plus a last-accessed timestamp so a
+//     waiter can detect that the lock holder crashed and take over;
+//
+//   - a slab-style allocator for fixed-size persistent metadata objects
+//     (inodes, directory blocks, file entries). Objects live in NVMM
+//     segments obtained from the block allocator, carry an atomic
+//     valid+dirty flag word, and are claimed/released with the exact
+//     valid/dirty protocol of the paper so no object can be lost across a
+//     crash.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"simurgh/internal/pmem"
+)
+
+// ErrNoSpace is returned when an allocation cannot be satisfied.
+var ErrNoSpace = errors.New("alloc: out of space")
+
+// DefaultMaxHold is how long a process may hold a segment lock before
+// waiters assume it crashed and recover the lock.
+const DefaultMaxHold = 200 * time.Millisecond
+
+// segLock is a crash-detectable spinlock: an atomic busy flag plus the
+// acquisition timestamp. A waiter observing the flag held longer than
+// maxHold performs recovery by re-stamping the lock for itself.
+type segLock struct {
+	flag atomic.Int32
+	last atomic.Int64 // unix nanoseconds of acquisition
+}
+
+func (l *segLock) tryLock() bool {
+	if l.flag.CompareAndSwap(0, 1) {
+		l.last.Store(time.Now().UnixNano())
+		return true
+	}
+	return false
+}
+
+// stealIfStale takes over a lock whose holder exceeded maxHold (presumed
+// crashed). Returns true if the caller now owns the lock.
+func (l *segLock) stealIfStale(maxHold time.Duration) bool {
+	stamp := l.last.Load()
+	if time.Now().UnixNano()-stamp <= int64(maxHold) {
+		return false
+	}
+	// Re-stamp: whoever wins the CAS owns the lock.
+	return l.last.CompareAndSwap(stamp, time.Now().UnixNano())
+}
+
+func (l *segLock) unlock() { l.flag.Store(0) }
+
+// blkRange is a free range of whole blocks [start, start+n).
+type blkRange struct{ start, n uint64 }
+
+// segment owns a contiguous block range with a first-fit free list.
+type segment struct {
+	lock  segLock
+	lo    uint64 // first block owned
+	hi    uint64 // one past last block owned
+	free  []blkRange
+	freeN uint64 // total free blocks (for stats)
+}
+
+// BlockAlloc allocates contiguous runs of fixed-size blocks from a device
+// region. Its state is volatile ("shared DRAM" in the paper) and is rebuilt
+// by the recovery scan after a crash.
+type BlockAlloc struct {
+	dev        *pmem.Device
+	blockSize  uint64
+	firstBlock uint64
+	nBlocks    uint64
+	segs       []*segment
+	maxHold    time.Duration
+	steals     atomic.Uint64
+}
+
+// NewBlockAlloc creates an allocator over blocks
+// [firstBlock, firstBlock+nBlocks) of dev, split across nSegs segments.
+// All blocks start free.
+func NewBlockAlloc(dev *pmem.Device, blockSize, firstBlock, nBlocks uint64, nSegs int) *BlockAlloc {
+	if nSegs < 1 {
+		nSegs = 1
+	}
+	if uint64(nSegs) > nBlocks {
+		nSegs = int(nBlocks)
+	}
+	a := &BlockAlloc{
+		dev:        dev,
+		blockSize:  blockSize,
+		firstBlock: firstBlock,
+		nBlocks:    nBlocks,
+		maxHold:    DefaultMaxHold,
+	}
+	per := nBlocks / uint64(nSegs)
+	for i := 0; i < nSegs; i++ {
+		lo := firstBlock + uint64(i)*per
+		hi := lo + per
+		if i == nSegs-1 {
+			hi = firstBlock + nBlocks
+		}
+		a.segs = append(a.segs, &segment{
+			lo: lo, hi: hi,
+			free:  []blkRange{{start: lo, n: hi - lo}},
+			freeN: hi - lo,
+		})
+	}
+	return a
+}
+
+// RebuildFromUsed reconstructs the free lists from a used-block predicate,
+// as the mark-and-sweep recovery does. used is indexed by block number
+// relative to firstBlock.
+func (a *BlockAlloc) RebuildFromUsed(used []bool) {
+	for _, s := range a.segs {
+		s.free = s.free[:0]
+		s.freeN = 0
+		var run uint64
+		var runStart uint64
+		flush := func() {
+			if run > 0 {
+				s.free = append(s.free, blkRange{start: runStart, n: run})
+				s.freeN += run
+				run = 0
+			}
+		}
+		for b := s.lo; b < s.hi; b++ {
+			if used[b-a.firstBlock] {
+				flush()
+				continue
+			}
+			if run == 0 {
+				runStart = b
+			}
+			run++
+		}
+		flush()
+	}
+}
+
+// BlockSize returns the block size in bytes.
+func (a *BlockAlloc) BlockSize() uint64 { return a.blockSize }
+
+// Off converts a block number to a device byte offset.
+func (a *BlockAlloc) Off(block uint64) uint64 { return block * a.blockSize }
+
+// Block converts a device byte offset to a block number.
+func (a *BlockAlloc) Block(off uint64) uint64 { return off / a.blockSize }
+
+// Range returns the managed block range [first, first+n).
+func (a *BlockAlloc) Range() (first, n uint64) { return a.firstBlock, a.nBlocks }
+
+// FreeBlocks returns the total number of free blocks.
+func (a *BlockAlloc) FreeBlocks() uint64 {
+	var total uint64
+	for _, s := range a.segs {
+		s.lockSeg(a)
+		total += s.freeN
+		s.lock.unlock()
+	}
+	return total
+}
+
+// Steals reports how many stale segment locks were recovered from presumed-
+// crashed holders.
+func (a *BlockAlloc) Steals() uint64 { return a.steals.Load() }
+
+// SetMaxHold adjusts the crash-detection threshold (tests use short values).
+func (a *BlockAlloc) SetMaxHold(d time.Duration) { a.maxHold = d }
+
+// lockSeg acquires the segment's lock, recovering it if the holder appears
+// to have crashed.
+func (s *segment) lockSeg(a *BlockAlloc) {
+	for spins := 0; ; spins++ {
+		if s.lock.tryLock() {
+			return
+		}
+		if spins > 64 && s.lock.stealIfStale(a.maxHold) {
+			a.steals.Add(1)
+			return
+		}
+		if spins&0xff == 0xff {
+			time.Sleep(time.Microsecond)
+		}
+	}
+}
+
+// Alloc allocates n contiguous blocks. hint spreads callers across segments
+// (the paper uses a modulo of the inode's persistent pointer so a file's
+// blocks cluster in one segment); a busy segment is skipped for the next.
+// Returns the first block number.
+func (a *BlockAlloc) Alloc(n uint64, hint uint64) (uint64, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("alloc: zero-length block allocation")
+	}
+	start := int(hint % uint64(len(a.segs)))
+	// First pass: try-lock segments so concurrent callers don't pile up.
+	for i := 0; i < len(a.segs); i++ {
+		s := a.segs[(start+i)%len(a.segs)]
+		if !s.lock.tryLock() {
+			continue
+		}
+		if b, ok := s.allocLocked(n); ok {
+			s.lock.unlock()
+			return b, nil
+		}
+		s.lock.unlock()
+	}
+	// Second pass: wait on each segment in turn (also performs crash
+	// recovery of stale locks).
+	for i := 0; i < len(a.segs); i++ {
+		s := a.segs[(start+i)%len(a.segs)]
+		s.lockSeg(a)
+		if b, ok := s.allocLocked(n); ok {
+			s.lock.unlock()
+			return b, nil
+		}
+		s.lock.unlock()
+	}
+	return 0, ErrNoSpace
+}
+
+// allocLocked performs first-fit within the segment.
+func (s *segment) allocLocked(n uint64) (uint64, bool) {
+	for i := range s.free {
+		r := &s.free[i]
+		if r.n >= n {
+			b := r.start
+			r.start += n
+			r.n -= n
+			s.freeN -= n
+			if r.n == 0 {
+				s.free = append(s.free[:i], s.free[i+1:]...)
+			}
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// Free returns n contiguous blocks starting at block to their owning
+// segment, coalescing adjacent ranges.
+func (a *BlockAlloc) Free(block, n uint64) {
+	if n == 0 {
+		return
+	}
+	s := a.segFor(block)
+	end := block + n
+	if end > s.hi {
+		// A contiguous run can span segment boundaries only if it was
+		// allocated before a rebuild changed segment geometry; split it.
+		a.Free(block, s.hi-block)
+		a.Free(s.hi, end-s.hi)
+		return
+	}
+	s.lockSeg(a)
+	defer s.lock.unlock()
+	i := sort.Search(len(s.free), func(i int) bool { return s.free[i].start >= block })
+	// Coalesce with predecessor and/or successor.
+	mergedPrev := i > 0 && s.free[i-1].start+s.free[i-1].n == block
+	mergedNext := i < len(s.free) && block+n == s.free[i].start
+	switch {
+	case mergedPrev && mergedNext:
+		s.free[i-1].n += n + s.free[i].n
+		s.free = append(s.free[:i], s.free[i+1:]...)
+	case mergedPrev:
+		s.free[i-1].n += n
+	case mergedNext:
+		s.free[i].start = block
+		s.free[i].n += n
+	default:
+		s.free = append(s.free, blkRange{})
+		copy(s.free[i+1:], s.free[i:])
+		s.free[i] = blkRange{start: block, n: n}
+	}
+	s.freeN += n
+}
+
+func (a *BlockAlloc) segFor(block uint64) *segment {
+	per := a.nBlocks / uint64(len(a.segs))
+	if per == 0 {
+		return a.segs[0]
+	}
+	idx := (block - a.firstBlock) / per
+	if idx >= uint64(len(a.segs)) {
+		idx = uint64(len(a.segs)) - 1
+	}
+	return a.segs[idx]
+}

@@ -1,0 +1,214 @@
+package alloc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"simurgh/internal/pmem"
+)
+
+func newBA(t *testing.T, nBlocks uint64, nSegs int) *BlockAlloc {
+	t.Helper()
+	dev := pmem.New((1 + nBlocks) * 4096)
+	return NewBlockAlloc(dev, 4096, 1, nBlocks, nSegs)
+}
+
+func TestBlockAllocBasic(t *testing.T) {
+	a := newBA(t, 64, 4)
+	b1, err := a.Alloc(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := a.Alloc(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 == b2 {
+		t.Fatal("double allocation of the same block")
+	}
+	if a.FreeBlocks() != 62 {
+		t.Fatalf("free = %d, want 62", a.FreeBlocks())
+	}
+	a.Free(b1, 1)
+	a.Free(b2, 1)
+	if a.FreeBlocks() != 64 {
+		t.Fatalf("free after release = %d, want 64", a.FreeBlocks())
+	}
+}
+
+func TestBlockAllocContiguous(t *testing.T) {
+	a := newBA(t, 128, 2)
+	b, err := a.Alloc(32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run must be contiguous by construction; verify bounds.
+	if b < 1 || b+32 > 129 {
+		t.Fatalf("run [%d,%d) outside managed range", b, b+32)
+	}
+}
+
+func TestBlockAllocExhaustion(t *testing.T) {
+	a := newBA(t, 8, 2)
+	if _, err := a.Alloc(8, 0); err != ErrNoSpace {
+		// 8 blocks split across 2 segments: no segment can hold 8.
+		t.Fatalf("cross-segment allocation err = %v, want ErrNoSpace", err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := a.Alloc(1, uint64(i)); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := a.Alloc(1, 0); err != ErrNoSpace {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestBlockFreeCoalesces(t *testing.T) {
+	a := newBA(t, 16, 1)
+	b, err := a.Alloc(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Free out of order in three chunks; they must coalesce back into one
+	// range able to satisfy a full-size allocation.
+	a.Free(b+5, 6)
+	a.Free(b, 5)
+	a.Free(b+11, 5)
+	got, err := a.Alloc(16, 0)
+	if err != nil {
+		t.Fatalf("re-alloc after coalesce: %v", err)
+	}
+	if got != b {
+		t.Fatalf("re-alloc at %d, want %d", got, b)
+	}
+}
+
+func TestBlockAllocHintSpreadsSegments(t *testing.T) {
+	a := newBA(t, 64, 4)
+	b0, _ := a.Alloc(1, 0)
+	b1, _ := a.Alloc(1, 1)
+	s0 := a.segFor(b0)
+	s1 := a.segFor(b1)
+	if s0 == s1 {
+		t.Fatal("different hints mapped to the same segment")
+	}
+}
+
+func TestBlockAllocConcurrent(t *testing.T) {
+	a := newBA(t, 4096, 8)
+	const workers = 8
+	var wg sync.WaitGroup
+	seen := make([]map[uint64]bool, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		seen[w] = map[uint64]bool{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var held []uint64
+			for i := 0; i < 200; i++ {
+				b, err := a.Alloc(1, uint64(w))
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				seen[w][b] = true
+				held = append(held, b)
+				if len(held) > 10 {
+					a.Free(held[0], 1)
+					delete(seen[w], held[0])
+					held = held[1:]
+				}
+			}
+			for _, b := range held {
+				a.Free(b, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if a.FreeBlocks() != 4096 {
+		t.Fatalf("leaked blocks: free = %d", a.FreeBlocks())
+	}
+}
+
+func TestBlockAllocNoDoubleHandout(t *testing.T) {
+	a := newBA(t, 512, 4)
+	const workers = 6
+	results := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 80; i++ {
+				b, err := a.Alloc(1, uint64(w*7+i))
+				if err != nil {
+					return
+				}
+				results[w] = append(results[w], b)
+			}
+		}()
+	}
+	wg.Wait()
+	all := map[uint64]int{}
+	for w, bs := range results {
+		for _, b := range bs {
+			if prev, dup := all[b]; dup {
+				t.Fatalf("block %d handed to both worker %d and %d", b, prev, w)
+			}
+			all[b] = w
+		}
+	}
+}
+
+func TestSegmentLockStealAfterCrash(t *testing.T) {
+	a := newBA(t, 64, 1)
+	a.SetMaxHold(5 * time.Millisecond)
+	// Simulate a process that locked the segment and died.
+	if !a.segs[0].lock.tryLock() {
+		t.Fatal("could not take lock")
+	}
+	time.Sleep(10 * time.Millisecond)
+	done := make(chan uint64, 1)
+	go func() {
+		b, err := a.Alloc(1, 0)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- b
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never recovered the stale segment lock")
+	}
+	if a.Steals() == 0 {
+		t.Fatal("steal not recorded")
+	}
+}
+
+func TestRebuildFromUsed(t *testing.T) {
+	a := newBA(t, 16, 2)
+	used := make([]bool, 16)
+	used[0], used[3], used[4], used[5], used[15] = true, true, true, true, true
+	a.RebuildFromUsed(used)
+	if a.FreeBlocks() != 11 {
+		t.Fatalf("free after rebuild = %d, want 11", a.FreeBlocks())
+	}
+	// All handed-out blocks must come from the free set.
+	for i := 0; i < 11; i++ {
+		b, err := a.Alloc(1, uint64(i))
+		if err != nil {
+			t.Fatalf("alloc %d after rebuild: %v", i, err)
+		}
+		if used[b-1] {
+			t.Fatalf("rebuilt allocator handed out used block %d", b)
+		}
+	}
+	if _, err := a.Alloc(1, 0); err != ErrNoSpace {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+}

@@ -1,0 +1,122 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"simurgh/internal/pmem"
+)
+
+// Property: any interleaving of allocations and frees conserves blocks —
+// free + held always equals the managed total, no run overlaps another, and
+// every handed-out run stays within bounds.
+func TestQuickBlockAllocConservation(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nBlocks = 256
+		dev := pmem.New((1 + nBlocks) * 4096)
+		a := NewBlockAlloc(dev, 4096, 1, nBlocks, 1+rng.Intn(4))
+		type run struct{ start, n uint64 }
+		var held []run
+		heldBlocks := uint64(0)
+		ops := int(opsRaw)
+		for i := 0; i < ops; i++ {
+			if rng.Intn(2) == 0 || len(held) == 0 {
+				n := uint64(1 + rng.Intn(8))
+				b, err := a.Alloc(n, uint64(rng.Intn(64)))
+				if err != nil {
+					continue // legitimately full/fragmented
+				}
+				if b < 1 || b+n > 1+nBlocks {
+					t.Logf("out-of-range run [%d,%d)", b, b+n)
+					return false
+				}
+				for _, h := range held {
+					if b < h.start+h.n && h.start < b+n {
+						t.Logf("overlap: [%d,%d) vs [%d,%d)", b, b+n, h.start, h.start+h.n)
+						return false
+					}
+				}
+				held = append(held, run{b, n})
+				heldBlocks += n
+			} else {
+				i := rng.Intn(len(held))
+				a.Free(held[i].start, held[i].n)
+				heldBlocks -= held[i].n
+				held = append(held[:i], held[i+1:]...)
+			}
+			if a.FreeBlocks()+heldBlocks != nBlocks {
+				t.Logf("conservation broken: free=%d held=%d total=%d",
+					a.FreeBlocks(), heldBlocks, nBlocks)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the slab allocator's persistent flag words and volatile free
+// lists stay consistent through arbitrary alloc/free interleavings — a
+// freshly loaded allocator over the same device hands out exactly the
+// objects the first one had free.
+func TestQuickSlabStateSurvivesReload(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := pmem.New(2 << 20)
+		ba := NewBlockAlloc(dev, 4096, 1, dev.Size()/4096-1, 2)
+		cfg := []ClassConfig{{ObjSize: 64, SegBlocks: 2, HeadOff: 64}}
+		oa, err := NewObjAlloc(dev, ba, cfg, 2)
+		if err != nil {
+			return false
+		}
+		live := map[pmem.Ptr]bool{}
+		for i := 0; i < int(opsRaw); i++ {
+			if rng.Intn(3) != 0 || len(live) == 0 {
+				p, err := oa.Alloc(0, uint64(i))
+				if err != nil {
+					continue
+				}
+				oa.ClearDirty(p)
+				live[p] = true
+			} else {
+				for p := range live {
+					oa.Free(0, p)
+					delete(live, p)
+					break
+				}
+			}
+		}
+		// Reload from persistent state only.
+		oa2, err := NewObjAlloc(dev, ba, cfg, 2)
+		if err != nil {
+			return false
+		}
+		oa2.Load()
+		// Allocate everything allocatable: none may collide with live set.
+		for i := 0; i < 1000; i++ {
+			p, err := oa2.Alloc(0, uint64(i))
+			if err != nil {
+				break
+			}
+			if live[p] {
+				t.Logf("reloaded allocator handed out live object %#x", p)
+				return false
+			}
+		}
+		// Every live object still carries valid flags.
+		for p := range live {
+			if oa2.Flags(p) != FlagValid {
+				t.Logf("live object %#x flags=%b after reload", p, oa2.Flags(p))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,309 @@
+// Package gitbench reproduces the paper's git benchmark (Fig 12): add,
+// commit, and reset --hard over a Linux-source-like tree, implemented as a
+// minimal content-addressable object store with the same file-system access
+// pattern as git: blob objects written under objects/xx/..., an index file,
+// tree and commit objects, and a working-tree restore on reset. Commit is
+// metadata heavy (it stats every tracked file), which is where the paper
+// sees the largest file-system differences.
+package gitbench
+
+import (
+	"bytes"
+	"compress/zlib"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"simurgh/internal/corpus"
+	"simurgh/internal/fsapi"
+)
+
+// Repo is an open repository inside a file system under test.
+type Repo struct {
+	c    fsapi.Client
+	dir  string            // repo root, e.g. "/repo"
+	work string            // working tree root, e.g. "/src"
+	idx  map[string]string // path -> blob hash
+}
+
+// Result measures one git operation.
+type Result struct {
+	Op      string
+	FS      string
+	Files   uint64
+	Bytes   uint64
+	Elapsed time.Duration
+}
+
+// FilesPerSec is the reported throughput.
+func (r Result) FilesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Files) / r.Elapsed.Seconds()
+}
+
+// Init creates the repository layout.
+func Init(fs fsapi.FileSystem, repoDir, workDir string) (*Repo, error) {
+	c, err := fs.Attach(fsapi.Root)
+	if err != nil {
+		return nil, err
+	}
+	r := &Repo{c: c, dir: repoDir, work: workDir, idx: map[string]string{}}
+	for _, d := range []string{repoDir, repoDir + "/objects", repoDir + "/refs", repoDir + "/refs/heads"} {
+		if err := c.Mkdir(d, 0o755); err != nil && err != fsapi.ErrExist {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// WithClient returns a view of the repository that performs its file-system
+// calls through c (sharing the index); used to wrap a timing client.
+func (r *Repo) WithClient(c fsapi.Client) *Repo {
+	return &Repo{c: c, dir: r.dir, work: r.work, idx: r.idx}
+}
+
+func hashOf(data []byte) string {
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:20])
+}
+
+// writeObject stores data under objects/xx/rest (compressed), like git.
+func (r *Repo) writeObject(hash string, data []byte) error {
+	dir := r.dir + "/objects/" + hash[:2]
+	path := dir + "/" + hash[2:]
+	if _, err := r.c.Stat(path); err == nil {
+		return nil // object already present
+	}
+	if err := r.c.Mkdir(dir, 0o755); err != nil && err != fsapi.ErrExist {
+		return err
+	}
+	var buf bytes.Buffer
+	zw := zlib.NewWriter(&buf)
+	zw.Write(data)
+	zw.Close()
+	fd, err := r.c.Create(path, 0o444)
+	if err != nil {
+		return err
+	}
+	defer r.c.Close(fd)
+	_, err = r.c.Write(fd, buf.Bytes())
+	return err
+}
+
+// readObject loads and decompresses an object.
+func (r *Repo) readObject(hash string) ([]byte, error) {
+	path := r.dir + "/objects/" + hash[:2] + "/" + hash[2:]
+	fd, err := r.c.Open(path, fsapi.ORdonly, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer r.c.Close(fd)
+	var raw bytes.Buffer
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := r.c.Read(fd, buf)
+		if n > 0 {
+			raw.Write(buf[:n])
+		}
+		if err != nil {
+			break
+		}
+	}
+	zr, err := zlib.NewReader(&raw)
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return io.ReadAll(zr)
+}
+
+// Add hashes every file in the working tree, stores missing blobs, and
+// rewrites the index.
+func (r *Repo) Add() (Result, error) {
+	res := Result{Op: "add"}
+	start := time.Now()
+	err := corpus.Walk(r.c, r.work, func(path string, st fsapi.Stat) error {
+		fd, err := r.c.Open(path, fsapi.ORdonly, 0)
+		if err != nil {
+			return err
+		}
+		data := make([]byte, st.Size)
+		n, _ := r.c.Pread(fd, data, 0)
+		r.c.Close(fd)
+		data = data[:n]
+		h := hashOf(data)
+		if err := r.writeObject(h, data); err != nil {
+			return err
+		}
+		r.idx[path] = h
+		res.Files++
+		res.Bytes += uint64(n)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if err := r.writeIndex(); err != nil {
+		return res, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func (r *Repo) writeIndex() error {
+	paths := make([]string, 0, len(r.idx))
+	for p := range r.idx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var sb strings.Builder
+	for _, p := range paths {
+		fmt.Fprintf(&sb, "%s %s\n", r.idx[p], p)
+	}
+	tmp := r.dir + "/index.tmp"
+	fd, err := r.c.Create(tmp, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := r.c.Write(fd, []byte(sb.String())); err != nil {
+		r.c.Close(fd)
+		return err
+	}
+	r.c.Close(fd)
+	return r.c.Rename(tmp, r.dir+"/index")
+}
+
+// Commit stats every tracked file (the metadata-heavy phase the paper
+// highlights), builds tree objects bottom-up, writes the commit object, and
+// updates the branch ref.
+func (r *Repo) Commit(msg string) (Result, error) {
+	res := Result{Op: "commit"}
+	start := time.Now()
+	// git retrieves the metadata of all files on commit.
+	trees := map[string][]string{} // dir -> entry lines
+	for path, h := range r.idx {
+		st, err := r.c.Stat(path)
+		if err != nil {
+			return res, err
+		}
+		dir := parentOf(path)
+		trees[dir] = append(trees[dir],
+			fmt.Sprintf("blob %o %s %s %d", st.Mode&fsapi.ModePermMask, h, baseOf(path), st.Size))
+		res.Files++
+	}
+	// Build tree objects strictly bottom-up by depth, so every directory's
+	// entry list is complete (all child trees hashed) before it is hashed.
+	all := map[string]bool{r.work: true}
+	maxDepth := 0
+	for d := range trees {
+		for cur := d; ; cur = parentOf(cur) {
+			all[cur] = true
+			if dd := depth(cur); dd > maxDepth {
+				maxDepth = dd
+			}
+			if cur == r.work || cur == "/" {
+				break
+			}
+		}
+	}
+	treeHash := map[string]string{}
+	for dd := maxDepth; dd >= 0; dd-- {
+		var level []string
+		for d := range all {
+			if depth(d) == dd {
+				level = append(level, d)
+			}
+		}
+		sort.Strings(level)
+		for _, d := range level {
+			lines := trees[d]
+			sort.Strings(lines)
+			content := []byte(strings.Join(lines, "\n"))
+			h := hashOf(content)
+			if err := r.writeObject(h, content); err != nil {
+				return res, err
+			}
+			treeHash[d] = h
+			if d != r.work && d != "/" {
+				trees[parentOf(d)] = append(trees[parentOf(d)],
+					fmt.Sprintf("tree %s %s", h, baseOf(d)))
+			}
+		}
+	}
+	root := treeHash[r.work]
+	commit := fmt.Sprintf("tree %s\nmessage %s\ntime %d\n", root, msg, time.Now().UnixNano())
+	ch := hashOf([]byte(commit))
+	if err := r.writeObject(ch, []byte(commit)); err != nil {
+		return res, err
+	}
+	// Update the ref via write + rename, like git's lockfile protocol.
+	tmp := r.dir + "/refs/heads/main.lock"
+	fd, err := r.c.Create(tmp, 0o644)
+	if err != nil {
+		return res, err
+	}
+	r.c.Write(fd, []byte(ch+"\n"))
+	r.c.Close(fd)
+	if err := r.c.Rename(tmp, r.dir+"/refs/heads/main"); err != nil {
+		return res, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// DeleteWorkTree removes all tracked files (the paper deletes all files
+// between commit and reset).
+func (r *Repo) DeleteWorkTree() error {
+	for path := range r.idx {
+		if err := r.c.Unlink(path); err != nil && err != fsapi.ErrNotExist {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset restores the working tree from the index (reset --hard).
+func (r *Repo) Reset() (Result, error) {
+	res := Result{Op: "reset"}
+	start := time.Now()
+	for path, h := range r.idx {
+		data, err := r.readObject(h)
+		if err != nil {
+			return res, err
+		}
+		fd, err := r.c.Create(path, 0o644)
+		if err != nil {
+			return res, err
+		}
+		if _, err := r.c.Write(fd, data); err != nil {
+			r.c.Close(fd)
+			return res, err
+		}
+		r.c.Close(fd)
+		res.Files++
+		res.Bytes += uint64(len(data))
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func parentOf(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+func baseOf(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	return p[i+1:]
+}
+
+func depth(p string) int { return strings.Count(p, "/") }

@@ -1,0 +1,115 @@
+package gitbench
+
+import (
+	"testing"
+
+	"simurgh/internal/bench"
+	"simurgh/internal/corpus"
+	"simurgh/internal/fsapi"
+)
+
+func setupRepo(t *testing.T, fsName string) (*Repo, corpus.Stats) {
+	t.Helper()
+	fs, err := bench.MakeFS(fsName, 512<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := fs.Attach(fsapi.Root)
+	if err := c.Mkdir("/src", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	st, err := corpus.Generate(c, "/src", corpus.Spec{Depth: 2, Fanout: 2, FilesPerDir: 4, MeanFileSize: 2048, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := Init(fs, "/repo", "/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo, st
+}
+
+func TestAddCommitResetCycle(t *testing.T) {
+	repo, st := setupRepo(t, "simurgh")
+	add, err := repo.Add()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if add.Files != st.Files {
+		t.Fatalf("added %d files, corpus has %d", add.Files, st.Files)
+	}
+	commit, err := repo.Commit("initial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commit.Files != st.Files {
+		t.Fatalf("commit stated %d files, want %d", commit.Files, st.Files)
+	}
+	if err := repo.DeleteWorkTree(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything tracked must be gone.
+	for path := range repo.idx {
+		if _, err := repo.c.Stat(path); err == nil {
+			t.Fatalf("%s survives DeleteWorkTree", path)
+		}
+	}
+	reset, err := repo.Reset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reset.Files != st.Files {
+		t.Fatalf("reset restored %d files, want %d", reset.Files, st.Files)
+	}
+	// Contents must round-trip through the object store.
+	for path, h := range repo.idx {
+		fst, err := repo.c.Stat(path)
+		if err != nil {
+			t.Fatalf("restored %s: %v", path, err)
+		}
+		data := make([]byte, fst.Size)
+		fd, _ := repo.c.Open(path, fsapi.ORdonly, 0)
+		n, _ := repo.c.Pread(fd, data, 0)
+		repo.c.Close(fd)
+		if hashOf(data[:n]) != h {
+			t.Fatalf("%s content hash mismatch after reset", path)
+		}
+	}
+}
+
+func TestAddIsIdempotentOnObjects(t *testing.T) {
+	repo, _ := setupRepo(t, "simurgh")
+	a1, err := repo.Add()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := repo.Add()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Files != a2.Files {
+		t.Fatalf("add counts differ: %d vs %d", a1.Files, a2.Files)
+	}
+}
+
+func TestGitCycleOnAllFS(t *testing.T) {
+	for _, name := range bench.FSNames {
+		repo, st := setupRepo(t, name)
+		if _, err := repo.Add(); err != nil {
+			t.Fatalf("%s add: %v", name, err)
+		}
+		if _, err := repo.Commit("c"); err != nil {
+			t.Fatalf("%s commit: %v", name, err)
+		}
+		if err := repo.DeleteWorkTree(); err != nil {
+			t.Fatalf("%s delete: %v", name, err)
+		}
+		reset, err := repo.Reset()
+		if err != nil {
+			t.Fatalf("%s reset: %v", name, err)
+		}
+		if reset.Files != st.Files {
+			t.Fatalf("%s: reset %d files, want %d", name, reset.Files, st.Files)
+		}
+	}
+}

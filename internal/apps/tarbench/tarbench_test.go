@@ -1,0 +1,68 @@
+package tarbench
+
+import (
+	"testing"
+
+	"simurgh/internal/bench"
+	"simurgh/internal/corpus"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	fs, err := bench.MakeFS("simurgh", 512<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := corpus.Spec{Depth: 2, Fanout: 3, FilesPerDir: 4, MeanFileSize: 4096, Seed: 1}
+	st, err := Prepare(fs, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files == 0 || st.Dirs == 0 {
+		t.Fatalf("empty corpus: %+v", st)
+	}
+	pack, err := Pack(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pack.Files != st.Files {
+		t.Fatalf("packed %d files, corpus has %d", pack.Files, st.Files)
+	}
+	if pack.MBPerSec() <= 0 {
+		t.Fatal("no pack throughput")
+	}
+	unpack, err := Unpack(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unpack.Files != st.Files {
+		t.Fatalf("unpacked %d files, want %d", unpack.Files, st.Files)
+	}
+	if unpack.Bytes != pack.Bytes {
+		t.Fatalf("unpacked %d bytes, packed %d", unpack.Bytes, pack.Bytes)
+	}
+	if err := Verify(fs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackOnAllFS(t *testing.T) {
+	spec := corpus.Spec{Depth: 1, Fanout: 2, FilesPerDir: 3, MeanFileSize: 2048, Seed: 2}
+	for _, name := range bench.FSNames {
+		fs, err := bench.MakeFS(name, 256<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Prepare(fs, spec); err != nil {
+			t.Fatalf("%s prepare: %v", name, err)
+		}
+		if _, err := Pack(fs); err != nil {
+			t.Fatalf("%s pack: %v", name, err)
+		}
+		if _, err := Unpack(fs); err != nil {
+			t.Fatalf("%s unpack: %v", name, err)
+		}
+		if err := Verify(fs); err != nil {
+			t.Fatalf("%s verify: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"sync/atomic"
+	"time"
+
+	"simurgh/internal/fsapi"
+)
+
+// TimedClient wraps an fsapi.Client and accumulates the wall time spent
+// inside file-system calls plus the bytes copied across the FS boundary.
+// The paper's Table 1 and Fig 10 split application run time into
+// application / data copy / file system; with this wrapper the split is
+// reconstructed as:
+//
+//	fsTotal   = measured time inside FS calls
+//	dataCopy  = bytesMoved / memcpy bandwidth (calibrated once)
+//	fs        = fsTotal - dataCopy
+//	app       = wall - fsTotal
+type TimedClient struct {
+	C     fsapi.Client
+	Nanos atomic.Int64
+	Bytes atomic.Uint64
+	Calls atomic.Uint64
+}
+
+// NewTimedClient wraps c.
+func NewTimedClient(c fsapi.Client) *TimedClient { return &TimedClient{C: c} }
+
+func (t *TimedClient) track(start time.Time, bytes int) {
+	t.Nanos.Add(time.Since(start).Nanoseconds())
+	t.Bytes.Add(uint64(bytes))
+	t.Calls.Add(1)
+}
+
+// Breakdown computes the three-way split for a run of the given wall time.
+func (t *TimedClient) Breakdown(wall time.Duration) (app, copyT, fs time.Duration) {
+	fsTotal := time.Duration(t.Nanos.Load())
+	copyT = time.Duration(float64(t.Bytes.Load()) / MemcpyBandwidth() * float64(time.Second))
+	if copyT > fsTotal {
+		copyT = fsTotal
+	}
+	fs = fsTotal - copyT
+	app = wall - fsTotal
+	if app < 0 {
+		app = 0
+	}
+	return app, copyT, fs
+}
+
+var memcpyBW atomic.Uint64 // bytes/sec
+
+// MemcpyBandwidth returns the host's measured single-thread memcpy
+// bandwidth in bytes/second (calibrated lazily, cached).
+func MemcpyBandwidth() float64 {
+	if v := memcpyBW.Load(); v != 0 {
+		return float64(v)
+	}
+	src := make([]byte, 16<<20)
+	dst := make([]byte, 16<<20)
+	start := time.Now()
+	total := 0
+	for time.Since(start) < 50*time.Millisecond {
+		copy(dst, src)
+		total += len(src)
+	}
+	bw := float64(total) / time.Since(start).Seconds()
+	if bw < 1 {
+		bw = 1
+	}
+	memcpyBW.Store(uint64(bw))
+	return bw
+}
+
+// Create implements fsapi.Client.
+func (t *TimedClient) Create(path string, perm uint32) (fsapi.FD, error) {
+	defer t.track(time.Now(), 0)
+	return t.C.Create(path, perm)
+}
+
+// Open implements fsapi.Client.
+func (t *TimedClient) Open(path string, flags fsapi.OpenFlag, perm uint32) (fsapi.FD, error) {
+	defer t.track(time.Now(), 0)
+	return t.C.Open(path, flags, perm)
+}
+
+// Close implements fsapi.Client.
+func (t *TimedClient) Close(fd fsapi.FD) error {
+	defer t.track(time.Now(), 0)
+	return t.C.Close(fd)
+}
+
+// Read implements fsapi.Client.
+func (t *TimedClient) Read(fd fsapi.FD, p []byte) (int, error) {
+	start := time.Now()
+	n, err := t.C.Read(fd, p)
+	t.track(start, n)
+	return n, err
+}
+
+// Pread implements fsapi.Client.
+func (t *TimedClient) Pread(fd fsapi.FD, p []byte, off uint64) (int, error) {
+	start := time.Now()
+	n, err := t.C.Pread(fd, p, off)
+	t.track(start, n)
+	return n, err
+}
+
+// Write implements fsapi.Client.
+func (t *TimedClient) Write(fd fsapi.FD, p []byte) (int, error) {
+	start := time.Now()
+	n, err := t.C.Write(fd, p)
+	t.track(start, n)
+	return n, err
+}
+
+// Pwrite implements fsapi.Client.
+func (t *TimedClient) Pwrite(fd fsapi.FD, p []byte, off uint64) (int, error) {
+	start := time.Now()
+	n, err := t.C.Pwrite(fd, p, off)
+	t.track(start, n)
+	return n, err
+}
+
+// Seek implements fsapi.Client.
+func (t *TimedClient) Seek(fd fsapi.FD, off int64, whence int) (int64, error) {
+	defer t.track(time.Now(), 0)
+	return t.C.Seek(fd, off, whence)
+}
+
+// Fsync implements fsapi.Client.
+func (t *TimedClient) Fsync(fd fsapi.FD) error {
+	defer t.track(time.Now(), 0)
+	return t.C.Fsync(fd)
+}
+
+// Ftruncate implements fsapi.Client.
+func (t *TimedClient) Ftruncate(fd fsapi.FD, size uint64) error {
+	defer t.track(time.Now(), 0)
+	return t.C.Ftruncate(fd, size)
+}
+
+// Fallocate implements fsapi.Client.
+func (t *TimedClient) Fallocate(fd fsapi.FD, size uint64) error {
+	defer t.track(time.Now(), 0)
+	return t.C.Fallocate(fd, size)
+}
+
+// Fstat implements fsapi.Client.
+func (t *TimedClient) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
+	defer t.track(time.Now(), 0)
+	return t.C.Fstat(fd)
+}
+
+// Stat implements fsapi.Client.
+func (t *TimedClient) Stat(path string) (fsapi.Stat, error) {
+	defer t.track(time.Now(), 0)
+	return t.C.Stat(path)
+}
+
+// Lstat implements fsapi.Client.
+func (t *TimedClient) Lstat(path string) (fsapi.Stat, error) {
+	defer t.track(time.Now(), 0)
+	return t.C.Lstat(path)
+}
+
+// Mkdir implements fsapi.Client.
+func (t *TimedClient) Mkdir(path string, perm uint32) error {
+	defer t.track(time.Now(), 0)
+	return t.C.Mkdir(path, perm)
+}
+
+// Rmdir implements fsapi.Client.
+func (t *TimedClient) Rmdir(path string) error {
+	defer t.track(time.Now(), 0)
+	return t.C.Rmdir(path)
+}
+
+// Unlink implements fsapi.Client.
+func (t *TimedClient) Unlink(path string) error {
+	defer t.track(time.Now(), 0)
+	return t.C.Unlink(path)
+}
+
+// Rename implements fsapi.Client.
+func (t *TimedClient) Rename(oldPath, newPath string) error {
+	defer t.track(time.Now(), 0)
+	return t.C.Rename(oldPath, newPath)
+}
+
+// Symlink implements fsapi.Client.
+func (t *TimedClient) Symlink(target, linkPath string) error {
+	defer t.track(time.Now(), 0)
+	return t.C.Symlink(target, linkPath)
+}
+
+// Link implements fsapi.Client.
+func (t *TimedClient) Link(oldPath, newPath string) error {
+	defer t.track(time.Now(), 0)
+	return t.C.Link(oldPath, newPath)
+}
+
+// Readlink implements fsapi.Client.
+func (t *TimedClient) Readlink(path string) (string, error) {
+	defer t.track(time.Now(), 0)
+	return t.C.Readlink(path)
+}
+
+// ReadDir implements fsapi.Client.
+func (t *TimedClient) ReadDir(path string) ([]fsapi.DirEntry, error) {
+	defer t.track(time.Now(), 0)
+	return t.C.ReadDir(path)
+}
+
+// Chmod implements fsapi.Client.
+func (t *TimedClient) Chmod(path string, perm uint32) error {
+	defer t.track(time.Now(), 0)
+	return t.C.Chmod(path, perm)
+}
+
+// Utimes implements fsapi.Client.
+func (t *TimedClient) Utimes(path string, atime, mtime int64) error {
+	defer t.track(time.Now(), 0)
+	return t.C.Utimes(path, atime, mtime)
+}
+
+// Detach implements fsapi.Client.
+func (t *TimedClient) Detach() error { return t.C.Detach() }

@@ -1,0 +1,660 @@
+package core
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"simurgh/internal/fsapi"
+	"simurgh/internal/pmem"
+)
+
+// Client is one attached process: its credentials (fixed at preload time
+// and held in the protected pages, §3.2) plus its private open-file map
+// (§4.3). Everything else is shared NVMM. Each public operation models one
+// protected-function call and charges the jmpp/pret delta.
+type Client struct {
+	fs     *FS
+	cred   fsapi.Cred
+	nextFD atomic.Int32
+	files  sync.Map // fsapi.FD -> *openFile
+}
+
+// openFile is one open-file-map entry: open mode, current position, and the
+// persistent pointer to the inode (no inode numbers exist).
+type openFile struct {
+	ino    pmem.Ptr
+	flags  fsapi.OpenFlag
+	pos    atomic.Uint64
+	append bool
+}
+
+const maxSymlinkDepth = 10
+
+// Attach registers a process with the volume.
+func (fs *FS) Attach(cred fsapi.Cred) (fsapi.Client, error) {
+	c := &Client{fs: fs, cred: cred}
+	c.nextFD.Store(2) // 0/1/2 conventionally reserved
+	fs.attached.Store(c, struct{}{})
+	return c, nil
+}
+
+// Name implements fsapi.FileSystem.
+func (fs *FS) Name() string { return "simurgh" }
+
+func (c *Client) enter() { c.fs.costM.ProtectedCall() }
+
+// resolve walks path from the root, enforcing execute permission on every
+// traversed directory and following symlinks (up to maxSymlinkDepth). If
+// followLast is false a final symlink is returned as-is.
+func (c *Client) resolve(path string, followLast bool) (pmem.Ptr, error) {
+	comps, err := fsapi.SplitPath(path)
+	if err != nil {
+		return 0, err
+	}
+	return c.walk(comps, followLast, 0)
+}
+
+func (c *Client) walk(comps []string, followLast bool, depth int) (pmem.Ptr, error) {
+	return c.walkFrom(c.fs.rootInode, comps, followLast, depth)
+}
+
+// walkFrom resolves components starting at an arbitrary directory inode.
+func (c *Client) walkFrom(start pmem.Ptr, comps []string, followLast bool, depth int) (pmem.Ptr, error) {
+	fs := c.fs
+	cur := start
+	for i := 0; i < len(comps); i++ {
+		mode := fs.inoMode(cur)
+		if !fsapi.IsDir(mode) {
+			return 0, fsapi.ErrNotDir
+		}
+		if err := fsapi.CheckPerm(c.cred, fs.inoUID(cur), fs.inoGID(cur), mode, fsapi.AccessExec); err != nil {
+			return 0, err
+		}
+		ref, err := fs.lookupEntry(fs.inoData(cur), comps[i])
+		if err != nil {
+			return 0, err
+		}
+		ino := ref.inode
+		if fsapi.IsSymlink(fs.inoMode(ino)) && (i < len(comps)-1 || followLast) {
+			if depth >= maxSymlinkDepth {
+				return 0, fsapi.ErrLoop
+			}
+			target, err := fs.readSymlink(ino)
+			if err != nil {
+				return 0, err
+			}
+			tcomps, err := fsapi.SplitPath(target)
+			if err != nil {
+				return 0, err
+			}
+			rest := comps[i+1:]
+			if target != "" && target[0] == '/' {
+				return c.walk(append(tcomps, rest...), followLast, depth+1)
+			}
+			return c.walkFrom(cur, append(append([]string{}, tcomps...), rest...), followLast, depth+1)
+		}
+		cur = ino
+	}
+	return cur, nil
+}
+
+// resolveParent returns the parent directory inode of path and the final
+// component name, checking write+exec permission on the parent when
+// forWrite is set.
+func (c *Client) resolveParent(path string, forWrite bool) (pmem.Ptr, string, error) {
+	dir, name, err := fsapi.BaseDir(path)
+	if err != nil {
+		return 0, "", err
+	}
+	parent, err := c.walk(dir, true, 0)
+	if err != nil {
+		return 0, "", err
+	}
+	if !fsapi.IsDir(c.fs.inoMode(parent)) {
+		return 0, "", fsapi.ErrNotDir
+	}
+	want := fsapi.AccessExec
+	if forWrite {
+		want |= fsapi.AccessWrite
+	}
+	if err := fsapi.CheckPerm(c.cred, c.fs.inoUID(parent), c.fs.inoGID(parent), c.fs.inoMode(parent), want); err != nil {
+		return 0, "", err
+	}
+	return parent, name, nil
+}
+
+func (c *Client) install(ino pmem.Ptr, flags fsapi.OpenFlag) (fsapi.FD, error) {
+	if err := c.fs.incRef(ino); err != nil {
+		return -1, err
+	}
+	fd := fsapi.FD(c.nextFD.Add(1))
+	of := &openFile{ino: ino, flags: flags, append: flags&fsapi.OAppend != 0}
+	c.files.Store(fd, of)
+	return fd, nil
+}
+
+func (c *Client) file(fd fsapi.FD) (*openFile, error) {
+	v, ok := c.files.Load(fd)
+	if !ok {
+		return nil, fsapi.ErrBadFD
+	}
+	return v.(*openFile), nil
+}
+
+// Create implements fsapi.Client.
+func (c *Client) Create(path string, perm uint32) (fsapi.FD, error) {
+	return c.Open(path, fsapi.OCreate|fsapi.OWronly|fsapi.OTrunc, perm)
+}
+
+// Open implements fsapi.Client.
+func (c *Client) Open(path string, flags fsapi.OpenFlag, perm uint32) (fsapi.FD, error) {
+	c.enter()
+	fs := c.fs
+	ino, err := c.resolve(path, true)
+	switch {
+	case err == nil:
+		if flags&(fsapi.OCreate|fsapi.OExcl) == fsapi.OCreate|fsapi.OExcl {
+			return -1, fsapi.ErrExist
+		}
+	case err == fsapi.ErrNotExist && flags&fsapi.OCreate != 0:
+		parent, name, perr := c.resolveParent(path, true)
+		if perr != nil {
+			return -1, perr
+		}
+		ino, err = c.createFile(parent, name, perm)
+		if err == fsapi.ErrExist && flags&fsapi.OExcl == 0 {
+			// Raced with a concurrent creator; use the winner's file.
+			ino, err = c.resolve(path, true)
+		}
+		if err != nil {
+			return -1, err
+		}
+	default:
+		return -1, err
+	}
+	mode := fs.inoMode(ino)
+	if fsapi.IsDir(mode) && flags&(fsapi.OWronly|fsapi.ORdwr) != 0 {
+		return -1, fsapi.ErrIsDir
+	}
+	var want uint32
+	if flags&(fsapi.OWronly|fsapi.ORdwr) != 0 {
+		want |= fsapi.AccessWrite
+	}
+	if flags&fsapi.OWronly == 0 {
+		want |= fsapi.AccessRead
+	}
+	if err := fsapi.CheckPerm(c.cred, fs.inoUID(ino), fs.inoGID(ino), mode, want); err != nil {
+		return -1, err
+	}
+	if flags&fsapi.OTrunc != 0 && fsapi.IsRegular(mode) && flags&(fsapi.OWronly|fsapi.ORdwr) != 0 {
+		l := fs.fileLock(ino)
+		l.Lock()
+		err := fs.truncate(ino, 0)
+		l.Unlock()
+		if err != nil {
+			return -1, err
+		}
+	}
+	return c.install(ino, flags)
+}
+
+// createFile allocates the inode and inserts the directory entry (Fig 5a).
+func (c *Client) createFile(parent pmem.Ptr, name string, perm uint32) (pmem.Ptr, error) {
+	fs := c.fs
+	ino, err := fs.newInode(c.cred, fsapi.ModeRegular|perm&fsapi.ModePermMask, uint64(parent))
+	if err != nil {
+		return 0, err
+	}
+	if fs.crash("create.after-inode") {
+		return 0, ErrCrashed
+	}
+	if err := fs.createEntry(fs.inoData(parent), name, ino, false); err != nil {
+		if err != ErrCrashed {
+			fs.oa.Free(ClassInode, ino)
+		}
+		return 0, err
+	}
+	return ino, nil
+}
+
+// Close implements fsapi.Client.
+func (c *Client) Close(fd fsapi.FD) error {
+	c.enter()
+	v, ok := c.files.LoadAndDelete(fd)
+	if !ok {
+		return fsapi.ErrBadFD
+	}
+	c.fs.decRef(v.(*openFile).ino)
+	return nil
+}
+
+// Read implements fsapi.Client.
+func (c *Client) Read(fd fsapi.FD, p []byte) (int, error) {
+	c.enter()
+	of, err := c.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	if of.flags&fsapi.OWronly != 0 {
+		return 0, fsapi.ErrWriteOnly
+	}
+	pos := of.pos.Load()
+	n := c.readLocked(of.ino, p, pos)
+	of.pos.Store(pos + uint64(n))
+	if n == 0 && len(p) > 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// Pread implements fsapi.Client.
+func (c *Client) Pread(fd fsapi.FD, p []byte, off uint64) (int, error) {
+	c.enter()
+	of, err := c.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	if of.flags&fsapi.OWronly != 0 {
+		return 0, fsapi.ErrWriteOnly
+	}
+	n := c.readLocked(of.ino, p, off)
+	if n == 0 && len(p) > 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+func (c *Client) readLocked(ino pmem.Ptr, p []byte, off uint64) int {
+	l := c.fs.fileLock(ino)
+	l.RLock()
+	n := c.fs.readAt(ino, p, off)
+	l.RUnlock()
+	return n
+}
+
+// Write implements fsapi.Client.
+func (c *Client) Write(fd fsapi.FD, p []byte) (int, error) {
+	c.enter()
+	of, err := c.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	if of.flags&(fsapi.OWronly|fsapi.ORdwr) == 0 {
+		return 0, fsapi.ErrReadOnly
+	}
+	fs := c.fs
+	if of.append {
+		// Appends are exclusive regardless of the relaxed-write setting:
+		// the position is defined by the current size.
+		l := fs.fileLock(of.ino)
+		l.Lock()
+		pos := fs.inoSize(of.ino)
+		n, err := fs.writeAt(of.ino, p, pos)
+		l.Unlock()
+		of.pos.Store(pos + uint64(n))
+		return n, err
+	}
+	pos := of.pos.Load()
+	n, err := c.writeLocked(of.ino, p, pos)
+	of.pos.Store(pos + uint64(n))
+	return n, err
+}
+
+// Pwrite implements fsapi.Client.
+func (c *Client) Pwrite(fd fsapi.FD, p []byte, off uint64) (int, error) {
+	c.enter()
+	of, err := c.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	if of.flags&(fsapi.OWronly|fsapi.ORdwr) == 0 {
+		return 0, fsapi.ErrReadOnly
+	}
+	return c.writeLocked(of.ino, p, off)
+}
+
+// writeLocked applies the file-granular exclusive write lock unless the
+// volume runs in relaxed mode (Fig 7k).
+func (c *Client) writeLocked(ino pmem.Ptr, p []byte, off uint64) (int, error) {
+	fs := c.fs
+	if fs.relaxedWrites {
+		return fs.writeAt(ino, p, off)
+	}
+	l := fs.fileLock(ino)
+	l.Lock()
+	n, err := fs.writeAt(ino, p, off)
+	l.Unlock()
+	return n, err
+}
+
+// Seek implements fsapi.Client.
+func (c *Client) Seek(fd fsapi.FD, off int64, whence int) (int64, error) {
+	c.enter()
+	of, err := c.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	var base int64
+	switch whence {
+	case fsapi.SeekSet:
+		base = 0
+	case fsapi.SeekCur:
+		base = int64(of.pos.Load())
+	case fsapi.SeekEnd:
+		base = int64(c.fs.inoSize(of.ino))
+	default:
+		return 0, fsapi.ErrInval
+	}
+	np := base + off
+	if np < 0 {
+		return 0, fsapi.ErrInval
+	}
+	of.pos.Store(uint64(np))
+	return np, nil
+}
+
+// Fsync implements fsapi.Client. Simurgh persists data and metadata inline
+// (non-temporal stores + fences), so fsync only issues a fence.
+func (c *Client) Fsync(fd fsapi.FD) error {
+	c.enter()
+	if _, err := c.file(fd); err != nil {
+		return err
+	}
+	c.fs.dev.Fence()
+	return nil
+}
+
+// Ftruncate implements fsapi.Client.
+func (c *Client) Ftruncate(fd fsapi.FD, size uint64) error {
+	c.enter()
+	of, err := c.file(fd)
+	if err != nil {
+		return err
+	}
+	l := c.fs.fileLock(of.ino)
+	l.Lock()
+	defer l.Unlock()
+	return c.fs.truncate(of.ino, size)
+}
+
+// Fallocate implements fsapi.Client: preallocates blocks for [0, size)
+// without zeroing them (the configuration the paper benchmarks).
+func (c *Client) Fallocate(fd fsapi.FD, size uint64) error {
+	c.enter()
+	of, err := c.file(fd)
+	if err != nil {
+		return err
+	}
+	// Extent growth must be exclusive with writers (the write path also
+	// extends the mapping under this lock).
+	l := c.fs.fileLock(of.ino)
+	l.Lock()
+	defer l.Unlock()
+	if err := c.fs.ensureCapacity(of.ino, size); err != nil {
+		return err
+	}
+	// fallocate extends the visible size (FALLOC_FL_KEEP_SIZE unset).
+	for {
+		old := c.fs.inoSize(of.ino)
+		if size <= old {
+			return nil
+		}
+		if c.fs.dev.CompareAndSwap64(uint64(of.ino)+inoSizeOff, old, size) {
+			c.fs.dev.Persist(uint64(of.ino)+inoSizeOff, 8)
+			return nil
+		}
+	}
+}
+
+// Fstat implements fsapi.Client.
+func (c *Client) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
+	c.enter()
+	of, err := c.file(fd)
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	return c.fs.statOf(of.ino), nil
+}
+
+// Stat implements fsapi.Client.
+func (c *Client) Stat(path string) (fsapi.Stat, error) {
+	c.enter()
+	ino, err := c.resolve(path, true)
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	return c.fs.statOf(ino), nil
+}
+
+// Lstat implements fsapi.Client.
+func (c *Client) Lstat(path string) (fsapi.Stat, error) {
+	c.enter()
+	ino, err := c.resolve(path, false)
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	return c.fs.statOf(ino), nil
+}
+
+// Mkdir implements fsapi.Client.
+func (c *Client) Mkdir(path string, perm uint32) error {
+	c.enter()
+	fs := c.fs
+	parent, name, err := c.resolveParent(path, true)
+	if err != nil {
+		return err
+	}
+	ino, err := fs.newInode(c.cred, fsapi.ModeDir|perm&fsapi.ModePermMask, uint64(parent))
+	if err != nil {
+		return err
+	}
+	first, err := fs.oa.Alloc(ClassDirBlock, uint64(ino))
+	if err != nil {
+		fs.oa.Free(ClassInode, ino)
+		return err
+	}
+	fs.oa.ClearDirty(first)
+	fs.dev.Store64(uint64(ino)+inoDataOff, uint64(first))
+	fs.dev.Store32(uint64(ino)+inoNlinkOff, 2)
+	fs.dev.Persist(uint64(ino), InodeSize)
+	if err := fs.createEntry(fs.inoData(parent), name, ino, false); err != nil {
+		if err != ErrCrashed {
+			fs.freeInode(ino)
+		}
+		return err
+	}
+	return nil
+}
+
+// Rmdir implements fsapi.Client.
+func (c *Client) Rmdir(path string) error {
+	c.enter()
+	fs := c.fs
+	parent, name, err := c.resolveParent(path, true)
+	if err != nil {
+		return err
+	}
+	ref, err := fs.lookupEntry(fs.inoData(parent), name)
+	if err != nil {
+		return err
+	}
+	if !fsapi.IsDir(fs.inoMode(ref.inode)) {
+		return fsapi.ErrNotDir
+	}
+	if !fs.dirEmpty(fs.inoData(ref.inode)) {
+		return fsapi.ErrNotEmpty
+	}
+	wantDir := true
+	ino, err := fs.removeEntry(fs.inoData(parent), name, &wantDir)
+	if err != nil {
+		return err
+	}
+	fs.freeInode(ino)
+	return nil
+}
+
+// Unlink implements fsapi.Client.
+func (c *Client) Unlink(path string) error {
+	c.enter()
+	fs := c.fs
+	parent, name, err := c.resolveParent(path, true)
+	if err != nil {
+		return err
+	}
+	wantDir := false
+	ino, err := fs.removeEntry(fs.inoData(parent), name, &wantDir)
+	if err != nil {
+		return err
+	}
+	if fs.crash("unlink.after-remove") {
+		return ErrCrashed
+	}
+	fs.unlinkInode(ino)
+	return nil
+}
+
+// Rename implements fsapi.Client.
+func (c *Client) Rename(oldPath, newPath string) error {
+	c.enter()
+	fs := c.fs
+	oldParent, oldName, err := c.resolveParent(oldPath, true)
+	if err != nil {
+		return err
+	}
+	newParent, newName, err := c.resolveParent(newPath, true)
+	if err != nil {
+		return err
+	}
+	if oldParent == newParent {
+		if oldName == newName {
+			return nil
+		}
+		return fs.renameSameDir(fs.inoData(oldParent), oldName, newName)
+	}
+	return fs.renameCrossDir(fs.inoData(oldParent), fs.inoData(newParent), oldName, newName)
+}
+
+// Symlink implements fsapi.Client.
+func (c *Client) Symlink(target, linkPath string) error {
+	c.enter()
+	fs := c.fs
+	parent, name, err := c.resolveParent(linkPath, true)
+	if err != nil {
+		return err
+	}
+	ino, err := fs.newSymlinkInode(c.cred, target, uint64(parent))
+	if err != nil {
+		return err
+	}
+	if err := fs.createEntry(fs.inoData(parent), name, ino, true); err != nil {
+		if err != ErrCrashed {
+			fs.freeInode(ino)
+		}
+		return err
+	}
+	return nil
+}
+
+// Link implements fsapi.Client: hard links are distinct file entries
+// pointing at the same inode, with a reference count in the inode (§4.3).
+func (c *Client) Link(oldPath, newPath string) error {
+	c.enter()
+	fs := c.fs
+	ino, err := c.resolve(oldPath, true)
+	if err != nil {
+		return err
+	}
+	if fsapi.IsDir(fs.inoMode(ino)) {
+		return fsapi.ErrIsDir
+	}
+	parent, name, err := c.resolveParent(newPath, true)
+	if err != nil {
+		return err
+	}
+	fs.setNlink(ino, fs.inoNlink(ino)+1)
+	if err := fs.createEntry(fs.inoData(parent), name, ino, false); err != nil {
+		if err != ErrCrashed {
+			fs.setNlink(ino, fs.inoNlink(ino)-1)
+		}
+		return err
+	}
+	return nil
+}
+
+// Readlink implements fsapi.Client.
+func (c *Client) Readlink(path string) (string, error) {
+	c.enter()
+	ino, err := c.resolve(path, false)
+	if err != nil {
+		return "", err
+	}
+	if !fsapi.IsSymlink(c.fs.inoMode(ino)) {
+		return "", fsapi.ErrInval
+	}
+	return c.fs.readSymlink(ino)
+}
+
+// ReadDir implements fsapi.Client.
+func (c *Client) ReadDir(path string) ([]fsapi.DirEntry, error) {
+	c.enter()
+	fs := c.fs
+	ino, err := c.resolve(path, true)
+	if err != nil {
+		return nil, err
+	}
+	if !fsapi.IsDir(fs.inoMode(ino)) {
+		return nil, fsapi.ErrNotDir
+	}
+	if err := fsapi.CheckPerm(c.cred, fs.inoUID(ino), fs.inoGID(ino), fs.inoMode(ino), fsapi.AccessRead); err != nil {
+		return nil, err
+	}
+	return fs.listDir(fs.inoData(ino)), nil
+}
+
+// Chmod implements fsapi.Client.
+func (c *Client) Chmod(path string, perm uint32) error {
+	c.enter()
+	fs := c.fs
+	ino, err := c.resolve(path, true)
+	if err != nil {
+		return err
+	}
+	if c.cred.UID != 0 && c.cred.UID != fs.inoUID(ino) {
+		return fsapi.ErrPerm
+	}
+	mode := fs.inoMode(ino)&fsapi.ModeTypeMask | perm&fsapi.ModePermMask
+	fs.dev.Store32(uint64(ino)+inoModeOff, mode)
+	fs.dev.Persist(uint64(ino)+inoModeOff, 4)
+	fs.touchMtime(ino)
+	return nil
+}
+
+// Utimes implements fsapi.Client.
+func (c *Client) Utimes(path string, atime, mtime int64) error {
+	c.enter()
+	fs := c.fs
+	ino, err := c.resolve(path, true)
+	if err != nil {
+		return err
+	}
+	if c.cred.UID != 0 && c.cred.UID != fs.inoUID(ino) {
+		return fsapi.ErrPerm
+	}
+	fs.dev.Store64(uint64(ino)+inoAtimeOff, uint64(atime))
+	fs.dev.Store64(uint64(ino)+inoMtimeOff, uint64(mtime))
+	fs.dev.Persist(uint64(ino)+inoAtimeOff, 16)
+	return nil
+}
+
+// Detach implements fsapi.Client.
+func (c *Client) Detach() error {
+	c.files.Range(func(k, v any) bool {
+		if _, ok := c.files.LoadAndDelete(k); ok {
+			c.fs.decRef(v.(*openFile).ino)
+		}
+		return true
+	})
+	c.fs.attached.Delete(c)
+	return nil
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"simurgh/internal/fsapi"
+)
+
+// These tests exercise the decentralized coordination paths: many clients
+// ("processes") mutating shared NVMM structures simultaneously.
+
+func TestConcurrentCreatesSharedDirectory(t *testing.T) {
+	_, fs := newFSForTest(t, 64<<20)
+	const workers, perWorker = 8, 150
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, _ := fs.Attach(fsapi.Root)
+			for i := 0; i < perWorker; i++ {
+				if _, err := c.Create(fmt.Sprintf("/w%d-f%d", w, i), 0o644); err != nil {
+					errs <- fmt.Errorf("worker %d create %d: %w", w, i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	c, _ := fs.Attach(fsapi.Root)
+	ents, _ := c.ReadDir("/")
+	if len(ents) != workers*perWorker {
+		t.Fatalf("directory has %d entries, want %d", len(ents), workers*perWorker)
+	}
+}
+
+func TestConcurrentCreateSameNameExactlyOneWins(t *testing.T) {
+	_, fs := newFSForTest(t, 32<<20)
+	const workers = 8
+	for round := 0; round < 20; round++ {
+		name := fmt.Sprintf("/contested-%d", round)
+		var wins int32
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c, _ := fs.Attach(fsapi.Root)
+				_, err := c.Open(name, fsapi.OCreate|fsapi.OExcl|fsapi.OWronly, 0o644)
+				if err == nil {
+					mu.Lock()
+					wins++
+					mu.Unlock()
+				} else if !errors.Is(err, fsapi.ErrExist) {
+					t.Errorf("unexpected error: %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+		if wins != 1 {
+			t.Fatalf("round %d: %d winners for exclusive create, want 1", round, wins)
+		}
+	}
+}
+
+func TestConcurrentCreateDeleteChurn(t *testing.T) {
+	_, fs := newFSForTest(t, 64<<20)
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, _ := fs.Attach(fsapi.Root)
+			for i := 0; i < 200; i++ {
+				p := fmt.Sprintf("/churn-%d-%d", w, i)
+				if _, err := c.Create(p, 0o644); err != nil {
+					t.Errorf("create: %v", err)
+					return
+				}
+				if err := c.Unlink(p); err != nil {
+					t.Errorf("unlink: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c, _ := fs.Attach(fsapi.Root)
+	ents, _ := c.ReadDir("/")
+	if len(ents) != 0 {
+		t.Fatalf("%d entries survive the churn", len(ents))
+	}
+}
+
+func TestConcurrentRenamesInSharedDirectory(t *testing.T) {
+	_, fs := newFSForTest(t, 64<<20)
+	c, _ := fs.Attach(fsapi.Root)
+	const workers = 6
+	for w := 0; w < workers; w++ {
+		if _, err := c.Create(fmt.Sprintf("/r%d-gen0", w), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cw, _ := fs.Attach(fsapi.Root)
+			for g := 0; g < 100; g++ {
+				old := fmt.Sprintf("/r%d-gen%d", w, g)
+				new := fmt.Sprintf("/r%d-gen%d", w, g+1)
+				if err := cw.Rename(old, new); err != nil {
+					t.Errorf("worker %d rename %d: %v", w, g, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ents, _ := c.ReadDir("/")
+	if len(ents) != workers {
+		t.Fatalf("%d entries after rename chains, want %d", len(ents), workers)
+	}
+	for w := 0; w < workers; w++ {
+		if _, err := c.Stat(fmt.Sprintf("/r%d-gen100", w)); err != nil {
+			t.Fatalf("final name of worker %d missing: %v", w, err)
+		}
+	}
+}
+
+func TestConcurrentCrossDirRenames(t *testing.T) {
+	_, fs := newFSForTest(t, 64<<20)
+	c, _ := fs.Attach(fsapi.Root)
+	c.Mkdir("/left", 0o755)
+	c.Mkdir("/right", 0o755)
+	const workers = 4
+	for w := 0; w < workers; w++ {
+		c.Create(fmt.Sprintf("/left/ball%d", w), 0o644)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cw, _ := fs.Attach(fsapi.Root)
+			from, to := "/left", "/right"
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("ball%d", w)
+				if err := cw.Rename(from+"/"+name, to+"/"+name); err != nil {
+					t.Errorf("worker %d bounce %d: %v", w, i, err)
+					return
+				}
+				from, to = to, from
+			}
+		}()
+	}
+	wg.Wait()
+	l, _ := c.ReadDir("/left")
+	r, _ := c.ReadDir("/right")
+	if len(l)+len(r) != workers {
+		t.Fatalf("balls lost or duplicated: left=%d right=%d", len(l), len(r))
+	}
+	// 50 bounces = even, all balls back on the left.
+	if len(l) != workers {
+		t.Fatalf("after even bounces %d balls on the left, want %d", len(l), workers)
+	}
+}
+
+func TestConcurrentReadersOneWriterSharedFile(t *testing.T) {
+	_, fs := newFSForTest(t, 64<<20)
+	c, _ := fs.Attach(fsapi.Root)
+	fd, _ := c.Open("/shared", fsapi.OCreate|fsapi.ORdwr, 0o644)
+	block := make([]byte, BlockSize)
+	for i := range block {
+		block[i] = 0xAB
+	}
+	for i := 0; i < 16; i++ {
+		c.Write(fd, block)
+	}
+	var readers, writer sync.WaitGroup
+	stop := make(chan struct{})
+	// Writer keeps overwriting whole blocks with a consistent pattern.
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		cw, _ := fs.Attach(fsapi.Root)
+		wfd, _ := cw.Open("/shared", fsapi.ORdwr, 0)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			patt := make([]byte, BlockSize)
+			for j := range patt {
+				patt[j] = byte(i)
+			}
+			cw.Pwrite(wfd, patt, uint64(i%16)*BlockSize)
+		}
+	}()
+	// Readers verify each block read is internally consistent (one value).
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			cr, _ := fs.Attach(fsapi.Root)
+			rfd, _ := cr.Open("/shared", fsapi.ORdonly, 0)
+			buf := make([]byte, BlockSize)
+			for i := 0; i < 300; i++ {
+				n, err := cr.Pread(rfd, buf, uint64(i%16)*BlockSize)
+				if err != nil || n != BlockSize {
+					t.Errorf("pread = (%d, %v)", n, err)
+					return
+				}
+				first := buf[0]
+				for j := 1; j < n; j++ {
+					if buf[j] != first {
+						t.Errorf("torn block read: byte 0 = %d, byte %d = %d", first, j, buf[j])
+						return
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+}
+
+func TestConcurrentAppendsPrivateFiles(t *testing.T) {
+	_, fs := newFSForTest(t, 128<<20)
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, _ := fs.Attach(fsapi.Root)
+			fd, err := c.Open(fmt.Sprintf("/app%d", w), fsapi.OCreate|fsapi.OWronly|fsapi.OAppend, 0o644)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			chunk := make([]byte, 4096)
+			for i := 0; i < 500; i++ {
+				if _, err := c.Write(fd, chunk); err != nil {
+					t.Errorf("append %d: %v", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c, _ := fs.Attach(fsapi.Root)
+	for w := 0; w < workers; w++ {
+		st, err := c.Stat(fmt.Sprintf("/app%d", w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size != 500*4096 {
+			t.Fatalf("file %d size = %d, want %d", w, st.Size, 500*4096)
+		}
+	}
+}
+
+func TestConcurrentAppendsSharedFile(t *testing.T) {
+	// Appends are exclusive even in relaxed mode: total size must equal the
+	// sum of all appended bytes (no lost updates).
+	_, fs := newFSForTest(t, 64<<20)
+	c, _ := fs.Attach(fsapi.Root)
+	c.Create("/applog", 0o644)
+	const workers, per = 6, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cw, _ := fs.Attach(fsapi.Root)
+			fd, _ := cw.Open("/applog", fsapi.OWronly|fsapi.OAppend, 0)
+			chunk := make([]byte, 128)
+			for i := 0; i < per; i++ {
+				if _, err := cw.Write(fd, chunk); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st, _ := c.Stat("/applog")
+	if st.Size != workers*per*128 {
+		t.Fatalf("size = %d, want %d (lost appends)", st.Size, workers*per*128)
+	}
+}
+
+func TestManySubdirectoriesConcurrently(t *testing.T) {
+	_, fs := newFSForTest(t, 64<<20)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, _ := fs.Attach(fsapi.Root)
+			base := fmt.Sprintf("/p%d", w)
+			if err := c.Mkdir(base, 0o755); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 50; i++ {
+				if _, err := c.Create(fmt.Sprintf("%s/f%d", base, i), 0o644); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c, _ := fs.Attach(fsapi.Root)
+	for w := 0; w < workers; w++ {
+		ents, err := c.ReadDir(fmt.Sprintf("/p%d", w))
+		if err != nil || len(ents) != 50 {
+			t.Fatalf("dir p%d has %d entries (%v)", w, len(ents), err)
+		}
+	}
+}

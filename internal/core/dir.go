@@ -1,0 +1,643 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"simurgh/internal/alloc"
+	"simurgh/internal/fsapi"
+	"simurgh/internal/pmem"
+)
+
+// Directory operations (§4.3). A directory is a chain of hash blocks; a
+// name hashes to one of NLines lines, and line i of the whole directory is
+// the row of SlotsPerLine slots at index i in every block of the chain.
+// Mutations lock only the line they touch — a busy bit in the first block —
+// so independent names proceed fully in parallel, which is what lets
+// Simurgh scale in shared directories where VFS-based file systems
+// serialize on the directory inode. Location lookups go through the
+// volatile per-line index (dirindex.go); the persistent protocol steps are
+// exactly Figure 5.
+
+// entryRef locates a live directory entry.
+type entryRef struct {
+	entry   pmem.Ptr // the file entry object
+	slot    uint64   // device offset of the slot pointing at it
+	inode   pmem.Ptr
+	symlink bool
+}
+
+// lockLine acquires the busy bit of a line, performing waiter-side crash
+// recovery if the holder exceeds the timeout (§4.3 crash recovery: "the
+// waiting process performs the recovery corresponding to this lock").
+func (fs *FS) lockLine(first pmem.Ptr, line int) {
+	bit := uint64(1) << uint(line)
+	off := uint64(first) + dirBusyOff
+	deadline := time.Now().Add(fs.lineTimeout)
+	for spins := 0; ; spins++ {
+		old := fs.dev.AtomicLoad64(off)
+		if old&bit == 0 {
+			if fs.dev.CompareAndSwap64(off, old, old|bit) {
+				return
+			}
+			continue
+		}
+		if spins&0x3f == 0x3f {
+			runtime.Gosched()
+			if time.Now().After(deadline) {
+				fs.recoverStuckLine(first, line)
+				deadline = time.Now().Add(fs.lineTimeout)
+			}
+		}
+	}
+}
+
+func (fs *FS) unlockLine(first pmem.Ptr, line int) {
+	fs.dev.AtomicAnd64(uint64(first)+dirBusyOff, ^(uint64(1) << uint(line)))
+}
+
+// nextBlock follows a chain link.
+func (fs *FS) nextBlock(b pmem.Ptr) pmem.Ptr {
+	return pmem.Ptr(fs.dev.AtomicLoad64(uint64(b) + dirNextOff))
+}
+
+// entryName reads an entry's name (inline or blob).
+func (fs *FS) entryName(e pmem.Ptr) string {
+	d := fs.dev
+	nlen := uint64(d.Load32(uint64(e)+feHashOff+4) & 0xffff)
+	bits := d.Load32(uint64(e)+feHashOff+4) >> 16
+	if bits&feBitLongName != 0 {
+		blob := pmem.Ptr(d.Load64(uint64(e) + feNameOff))
+		if blob.IsNull() {
+			return ""
+		}
+		n := d.Load64(uint64(blob) + blobLenOff)
+		if n > blobCap {
+			return ""
+		}
+		buf := make([]byte, n)
+		d.ReadAt(uint64(blob)+blobDataOff, buf)
+		return string(buf)
+	}
+	if nlen > shortNameLen {
+		return ""
+	}
+	buf := make([]byte, nlen)
+	d.ReadAt(uint64(e)+feNameOff, buf)
+	return string(buf)
+}
+
+// entryMatches reports whether entry e carries the given hash and name.
+// It compares in place (no allocation: this is the path-walk hot path).
+func (fs *FS) entryMatches(e pmem.Ptr, hash uint32, name string) bool {
+	d := fs.dev
+	if d.Load32(uint64(e)+feHashOff) != hash {
+		return false
+	}
+	meta := d.Load32(uint64(e) + feHashOff + 4)
+	if int(meta&0xffff) != len(name) {
+		return false
+	}
+	if (meta>>16)&feBitLongName != 0 {
+		blob := pmem.Ptr(d.Load64(uint64(e) + feNameOff))
+		if blob.IsNull() || d.Load64(uint64(blob)+blobLenOff) != uint64(len(name)) {
+			return false
+		}
+		return memeq(d.Bytes(uint64(blob)+blobDataOff, uint64(len(name))), name)
+	}
+	return memeq(d.Bytes(uint64(e)+feNameOff, uint64(len(name))), name)
+}
+
+func memeq(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if b[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// newEntry allocates and fills a file entry (valid|dirty until committed).
+func (fs *FS) newEntry(name string, ino pmem.Ptr, symlink bool, hint uint64) (pmem.Ptr, error) {
+	e, err := fs.oa.Alloc(ClassFileEntry, hint)
+	if err != nil {
+		return 0, err
+	}
+	d := fs.dev
+	var bits uint32
+	if symlink {
+		bits |= feBitSymlink
+	}
+	if len(name) > shortNameLen {
+		blob, err := fs.oa.Alloc(ClassBlob, hint)
+		if err != nil {
+			fs.oa.Free(ClassFileEntry, e)
+			return 0, err
+		}
+		d.Store64(uint64(blob)+blobLenOff, uint64(len(name)))
+		d.WriteAt(uint64(blob)+blobDataOff, []byte(name))
+		d.Persist(uint64(blob), BlobSize)
+		fs.oa.ClearDirtyLazy(blob)
+		d.Store64(uint64(e)+feNameOff, uint64(blob))
+		bits |= feBitLongName
+	} else {
+		d.WriteAt(uint64(e)+feNameOff, []byte(name))
+	}
+	d.Store64(uint64(e)+feInodeOff, uint64(ino))
+	d.Store32(uint64(e)+feHashOff, fnv32(name))
+	d.Store32(uint64(e)+feHashOff+4, uint32(len(name))|bits<<16)
+	d.Persist(uint64(e), FileEntrySize)
+	return e, nil
+}
+
+// freeEntry releases a file entry and its name blob, if any.
+func (fs *FS) freeEntry(e pmem.Ptr) {
+	meta := fs.dev.Load32(uint64(e) + feHashOff + 4)
+	if (meta>>16)&feBitLongName != 0 {
+		blob := pmem.Ptr(fs.dev.Load64(uint64(e) + feNameOff))
+		if !blob.IsNull() {
+			fs.oa.Free(ClassBlob, blob)
+		}
+	}
+	fs.oa.Free(ClassFileEntry, e)
+}
+
+// freeEntryBody completes an entry deallocation whose valid bit is already
+// clear: free the name blob, zero the body, clear dirty.
+func (fs *FS) freeEntryBody(e pmem.Ptr) {
+	meta := fs.dev.Load32(uint64(e) + feHashOff + 4)
+	if (meta>>16)&feBitLongName != 0 {
+		blob := pmem.Ptr(fs.dev.Load64(uint64(e) + feNameOff))
+		if !blob.IsNull() {
+			fs.oa.Free(ClassBlob, blob)
+		}
+	}
+	fs.dev.Zero(uint64(e)+alloc.BodyOff, FileEntrySize-alloc.BodyOff)
+	fs.dev.Persist(uint64(e)+alloc.BodyOff, FileEntrySize-alloc.BodyOff)
+	fs.dev.AtomicStore64(uint64(e), 0)
+	fs.dev.Persist(uint64(e), 8)
+	fs.oa.Recycle(ClassFileEntry, e)
+}
+
+// lookupEntry finds name in the directory whose first hash block is first.
+// Reads are lock-free (index consult + NVMM verification); entries whose
+// create never cleared the dirty bit are committed lazily (idempotent
+// recovery-on-access, Fig 5a).
+func (fs *FS) lookupEntry(first pmem.Ptr, name string) (entryRef, error) {
+	ds := fs.ensureIndex(first)
+	hash := fnv32(name)
+	line := lineOf(hash)
+	var cbuf [4]uint64
+	for _, so := range ds.lines[line].candidates(fnv64(name), cbuf[:0]) {
+		e := pmem.Ptr(fs.dev.AtomicLoad64(so))
+		if e.IsNull() {
+			continue
+		}
+		flags := fs.oa.Flags(e)
+		if flags&alloc.FlagValid == 0 {
+			continue
+		}
+		if !fs.entryMatches(e, hash, name) {
+			continue
+		}
+		if flags&alloc.FlagDirty != 0 {
+			// Create reached the slot store but crashed before clearing
+			// dirty bits: complete the creation (Fig 5a recovery).
+			ino := pmem.Ptr(fs.dev.Load64(uint64(e) + feInodeOff))
+			if !ino.IsNull() && fs.oa.Flags(ino)&alloc.FlagValid != 0 {
+				fs.oa.ClearDirty(ino)
+			}
+			fs.oa.ClearDirty(e)
+		}
+		meta := fs.dev.Load32(uint64(e) + feHashOff + 4)
+		return entryRef{
+			entry:   e,
+			slot:    so,
+			inode:   pmem.Ptr(fs.dev.Load64(uint64(e) + feInodeOff)),
+			symlink: (meta>>16)&feBitSymlink != 0,
+		}, nil
+	}
+	// Index miss. If the line is mid-mutation (possibly by a crashed
+	// process that committed the slot store but died before the index
+	// update), fall back to reading the persistent line directly — lookups
+	// in the paper always read NVMM and never block on the busy bit.
+	if fs.dev.AtomicLoad64(uint64(first)+dirBusyOff)&(1<<uint(line)) != 0 {
+		return fs.lookupLineSlow(first, line, hash, name)
+	}
+	return entryRef{}, fsapi.ErrNotExist
+}
+
+// lookupLineSlow scans the persistent line (used only while the line's busy
+// bit is set and the index may lag the NVMM state).
+func (fs *FS) lookupLineSlow(first pmem.Ptr, line int, hash uint32, name string) (entryRef, error) {
+	for b := first; fs.plausible(b, DirBlockSize); b = fs.nextBlock(b) {
+		for s := 0; s < SlotsPerLine; s++ {
+			so := slotOff(b, line, s)
+			e := pmem.Ptr(fs.dev.AtomicLoad64(so))
+			if !fs.plausible(e, FileEntrySize) {
+				continue
+			}
+			flags := fs.oa.Flags(e)
+			if flags&alloc.FlagValid == 0 || !fs.entryMatches(e, hash, name) {
+				continue
+			}
+			if flags&alloc.FlagDirty != 0 {
+				ino := pmem.Ptr(fs.dev.Load64(uint64(e) + feInodeOff))
+				if !ino.IsNull() && fs.oa.Flags(ino)&alloc.FlagValid != 0 {
+					fs.oa.ClearDirty(ino)
+				}
+				fs.oa.ClearDirty(e)
+			}
+			meta := fs.dev.Load32(uint64(e) + feHashOff + 4)
+			return entryRef{
+				entry:   e,
+				slot:    so,
+				inode:   pmem.Ptr(fs.dev.Load64(uint64(e) + feInodeOff)),
+				symlink: (meta>>16)&feBitSymlink != 0,
+			}, nil
+		}
+	}
+	return entryRef{}, fsapi.ErrNotExist
+}
+
+// nameExists checks for a duplicate under the line lock.
+func (fs *FS) nameExists(ds *dirState, line int, hash uint32, name string) bool {
+	var cbuf [4]uint64
+	for _, so := range ds.lines[line].candidates(fnv64(name), cbuf[:0]) {
+		e := pmem.Ptr(fs.dev.AtomicLoad64(so))
+		if e.IsNull() {
+			continue
+		}
+		if fs.oa.Flags(e)&alloc.FlagValid != 0 && fs.entryMatches(e, hash, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// takeSlot obtains a free slot in the line, extending the chain when the
+// line is full (Fig 5a steps 3-4). Caller holds the line lock.
+func (fs *FS) takeSlot(first pmem.Ptr, ds *dirState, line int) (uint64, error) {
+	if so, ok := ds.lines[line].popFree(); ok {
+		return so, nil
+	}
+	return fs.extendChain(first, ds, line)
+}
+
+// createEntry inserts a new entry into the directory (Fig 5a). The inode
+// must already be persisted (valid|dirty). On success both objects are
+// committed (dirty cleared).
+func (fs *FS) createEntry(dirFirst pmem.Ptr, name string, ino pmem.Ptr, symlink bool) error {
+	hash := fnv32(name)
+	line := lineOf(hash)
+	ds := fs.ensureIndex(dirFirst)
+
+	entry, err := fs.newEntry(name, ino, symlink, uint64(ino))
+	if err != nil {
+		return err
+	}
+	if fs.crash("create.after-entry") {
+		return ErrCrashed
+	}
+	fs.lockLine(dirFirst, line)
+	ds = fs.ensureIndex(dirFirst) // recovery may have replaced the index
+	if fs.nameExists(ds, line, hash, name) {
+		fs.unlockLine(dirFirst, line)
+		fs.freeEntry(entry)
+		return fsapi.ErrExist
+	}
+	slot, err := fs.takeSlot(dirFirst, ds, line)
+	if err == ErrCrashed {
+		return err // the "process" died: no cleanup, lock stays held
+	}
+	if err != nil {
+		fs.unlockLine(dirFirst, line)
+		fs.freeEntry(entry)
+		return err
+	}
+	if fs.crash("create.before-slot") {
+		return ErrCrashed // dies holding the line lock
+	}
+	fs.dev.AtomicStore64(slot, uint64(entry))
+	fs.dev.Persist(slot, 8)
+	if fs.crash("create.after-slot") {
+		return ErrCrashed
+	}
+	// One fence commits both dirty-bit clears (Fig 5a step 6).
+	fs.oa.ClearDirtyLazy(ino)
+	fs.oa.ClearDirtyLazy(entry)
+	fs.dev.Fence()
+	ds.lines[line].add(fnv64(name), slot)
+	fs.unlockLine(dirFirst, line)
+	return nil
+}
+
+// removeEntry removes name from the directory (Fig 5b) and returns its
+// inode. The caller handles inode link-count bookkeeping.
+func (fs *FS) removeEntry(dirFirst pmem.Ptr, name string, wantDir *bool) (pmem.Ptr, error) {
+	hash := fnv32(name)
+	line := lineOf(hash)
+	fs.lockLine(dirFirst, line)
+	ds := fs.ensureIndex(dirFirst)
+	ref, err := fs.lookupEntry(dirFirst, name)
+	if err != nil {
+		fs.unlockLine(dirFirst, line)
+		return 0, err
+	}
+	if wantDir != nil {
+		isDir := fsapi.IsDir(fs.inoMode(ref.inode))
+		if *wantDir && !isDir {
+			fs.unlockLine(dirFirst, line)
+			return 0, fsapi.ErrNotDir
+		}
+		if !*wantDir && isDir {
+			fs.unlockLine(dirFirst, line)
+			return 0, fsapi.ErrIsDir
+		}
+	}
+	// Step 2: mark the entry's operation in progress (valid off, dirty on).
+	fs.dev.AtomicStore64(uint64(ref.entry), alloc.FlagDirty)
+	fs.dev.Persist(uint64(ref.entry), 8)
+	if fs.crash("delete.after-invalidate") {
+		return 0, ErrCrashed
+	}
+	// Steps 4-5: zero the entry, then the slot pointer.
+	fs.freeEntryBody(ref.entry)
+	if fs.crash("delete.after-entry-zero") {
+		return 0, ErrCrashed
+	}
+	fs.dev.AtomicStore64(ref.slot, 0)
+	fs.dev.Persist(ref.slot, 8)
+	ds.lines[line].remove(fnv64(name), ref.slot)
+	ds.lines[line].pushFree(ref.slot)
+	fs.unlockLine(dirFirst, line)
+	return ref.inode, nil
+}
+
+// oaRecycle returns a fully zeroed object to the volatile free lists.
+func (fs *FS) oaRecycle(class int, e pmem.Ptr) {
+	fs.oa.Recycle(class, e)
+}
+
+// replaceDst removes an existing rename destination (POSIX overwrite).
+// Caller holds the destination line's lock.
+func (fs *FS) replaceDst(ds *dirState, line int, dst entryRef, name string) {
+	fs.dev.AtomicStore64(uint64(dst.entry), alloc.FlagDirty)
+	fs.dev.Persist(uint64(dst.entry), 8)
+	fs.freeEntryBody(dst.entry)
+	fs.dev.AtomicStore64(dst.slot, 0)
+	fs.dev.Persist(dst.slot, 8)
+	ds.lines[line].remove(fnv64(name), dst.slot)
+	ds.lines[line].pushFree(dst.slot)
+	if fsapi.IsDir(fs.inoMode(dst.inode)) {
+		// An (empty, checked) directory has nlink 2; release it outright.
+		fs.releaseOrOrphan(dst.inode)
+	} else {
+		fs.unlinkInode(dst.inode)
+	}
+}
+
+// renameSameDir implements Fig 5c: shadow entry, pointer swap through the
+// old line, final placement in the new line.
+func (fs *FS) renameSameDir(dirFirst pmem.Ptr, oldName, newName string) error {
+	oldHash, newHash := fnv32(oldName), fnv32(newName)
+	oldLine, newLine := lineOf(oldHash), lineOf(newHash)
+
+	// Lock lines in ascending order to avoid deadlock.
+	l1, l2 := oldLine, newLine
+	if l1 > l2 {
+		l1, l2 = l2, l1
+	}
+	fs.lockLine(dirFirst, l1)
+	if l2 != l1 {
+		fs.lockLine(dirFirst, l2)
+	}
+	unlock := func() {
+		if l2 != l1 {
+			fs.unlockLine(dirFirst, l2)
+		}
+		fs.unlockLine(dirFirst, l1)
+	}
+	ds := fs.ensureIndex(dirFirst)
+
+	ref, err := fs.lookupEntry(dirFirst, oldName)
+	if err != nil {
+		unlock()
+		return err
+	}
+	// POSIX: an existing destination is replaced.
+	if dst, err := fs.lookupEntry(dirFirst, newName); err == nil {
+		if err := fs.replaceCheck(ref.inode, dst.inode); err != nil {
+			unlock()
+			return err
+		}
+		fs.replaceDst(ds, newLine, dst, newName)
+	}
+
+	// Step 1-2: shadow entry with the new name, same inode.
+	shadow, err := fs.newEntry(newName, ref.inode, ref.symlink, uint64(ref.inode))
+	if err != nil {
+		unlock()
+		return err
+	}
+	if fs.crash("rename.after-shadow") {
+		return ErrCrashed
+	}
+	// Step 5: swing the old slot to the shadow entry. The hash of the
+	// shadow does not match the old line — that deliberate inconsistency is
+	// what recovery keys on.
+	fs.dev.AtomicStore64(ref.slot, uint64(shadow))
+	fs.dev.Persist(ref.slot, 8)
+	ds.lines[oldLine].remove(fnv64(oldName), ref.slot)
+	if fs.crash("rename.after-swap") {
+		return ErrCrashed
+	}
+	// Step 6: the old entry is no longer needed.
+	fs.dev.AtomicStore64(uint64(ref.entry), alloc.FlagDirty)
+	fs.dev.Persist(uint64(ref.entry), 8)
+	fs.freeEntryBody(ref.entry)
+
+	// Step 7: place the shadow into its proper line.
+	slot, err := fs.takeSlot(dirFirst, ds, newLine)
+	if err == ErrCrashed {
+		return err
+	}
+	if err != nil {
+		unlock()
+		return err
+	}
+	fs.dev.AtomicStore64(slot, uint64(shadow))
+	fs.dev.Persist(slot, 8)
+	if fs.crash("rename.after-place") {
+		return ErrCrashed
+	}
+	// Step 8: remove the mismatched pointer from the old line.
+	fs.dev.AtomicStore64(ref.slot, 0)
+	fs.dev.Persist(ref.slot, 8)
+	fs.oa.ClearDirty(shadow)
+	ds.lines[newLine].add(fnv64(newName), slot)
+	ds.lines[oldLine].pushFree(ref.slot)
+	unlock()
+	return nil
+}
+
+// renameCrossDir moves oldName from srcFirst to dstFirst as newName, using
+// the per-directory log entry in the source directory's first block (§4.3
+// cross-directory renames).
+func (fs *FS) renameCrossDir(srcFirst, dstFirst pmem.Ptr, oldName, newName string) error {
+	oldHash, newHash := fnv32(oldName), fnv32(newName)
+	oldLine, newLine := lineOf(oldHash), lineOf(newHash)
+
+	// Lock the two directories' lines in a global order (by first-block
+	// pointer) to avoid deadlocks between concurrent cross-dir renames.
+	if srcFirst < dstFirst {
+		fs.lockLine(srcFirst, oldLine)
+		fs.lockLine(dstFirst, newLine)
+	} else {
+		fs.lockLine(dstFirst, newLine)
+		fs.lockLine(srcFirst, oldLine)
+	}
+	unlockBoth := func() {
+		fs.unlockLine(srcFirst, oldLine)
+		fs.unlockLine(dstFirst, newLine)
+	}
+	sds := fs.ensureIndex(srcFirst)
+	dds := fs.ensureIndex(dstFirst)
+
+	ref, err := fs.lookupEntry(srcFirst, oldName)
+	if err != nil {
+		unlockBoth()
+		return err
+	}
+	if dst, err := fs.lookupEntry(dstFirst, newName); err == nil {
+		if err := fs.replaceCheck(ref.inode, dst.inode); err != nil {
+			unlockBoth()
+			return err
+		}
+		fs.replaceDst(dds, newLine, dst, newName)
+	}
+
+	// Shadow entry that will live in the destination.
+	shadow, err := fs.newEntry(newName, ref.inode, ref.symlink, uint64(ref.inode))
+	if err != nil {
+		unlockBoth()
+		return err
+	}
+	// Step 1-2: write the log entry in the source directory and set its
+	// dirty flag; from here recovery can either roll forward or back.
+	d := fs.dev
+	d.Store64(uint64(srcFirst)+dirLogOldOff, uint64(ref.entry))
+	d.Store64(uint64(srcFirst)+dirLogNewOff, uint64(shadow))
+	d.Store64(uint64(srcFirst)+dirLogDstOff, uint64(dstFirst))
+	d.Persist(uint64(srcFirst)+dirLogOldOff, 24)
+	d.AtomicOr64(uint64(srcFirst)+dirMetaOff, dirLogDirtyBit)
+	d.Persist(uint64(srcFirst)+dirMetaOff, 8)
+	if fs.crash("xrename.after-log") {
+		return ErrCrashed
+	}
+
+	// Step 4: perform the operation — insert into destination, remove from
+	// source.
+	slot, err := fs.takeSlot(dstFirst, dds, newLine)
+	if err == ErrCrashed {
+		return err
+	}
+	if err != nil {
+		fs.clearRenameLog(srcFirst)
+		unlockBoth()
+		fs.freeEntry(shadow)
+		return err
+	}
+	d.AtomicStore64(slot, uint64(shadow))
+	d.Persist(slot, 8)
+	if fs.crash("xrename.after-insert") {
+		return ErrCrashed
+	}
+	d.AtomicStore64(ref.slot, 0)
+	d.Persist(ref.slot, 8)
+	fs.dev.AtomicStore64(uint64(ref.entry), alloc.FlagDirty)
+	fs.dev.Persist(uint64(ref.entry), 8)
+	fs.freeEntryBody(ref.entry)
+	fs.oa.ClearDirty(shadow)
+	if fs.crash("xrename.before-log-clear") {
+		return ErrCrashed
+	}
+	fs.clearRenameLog(srcFirst)
+	dds.lines[newLine].add(fnv64(newName), slot)
+	sds.lines[oldLine].remove(fnv64(oldName), ref.slot)
+	sds.lines[oldLine].pushFree(ref.slot)
+	unlockBoth()
+	return nil
+}
+
+func (fs *FS) clearRenameLog(srcFirst pmem.Ptr) {
+	d := fs.dev
+	d.AtomicAnd64(uint64(srcFirst)+dirMetaOff, ^uint64(dirLogDirtyBit))
+	d.Persist(uint64(srcFirst)+dirMetaOff, 8)
+	d.Store64(uint64(srcFirst)+dirLogOldOff, 0)
+	d.Store64(uint64(srcFirst)+dirLogNewOff, 0)
+	d.Store64(uint64(srcFirst)+dirLogDstOff, 0)
+	d.Persist(uint64(srcFirst)+dirLogOldOff, 24)
+}
+
+// replaceCheck validates replacing dst with src in a rename.
+func (fs *FS) replaceCheck(src, dst pmem.Ptr) error {
+	if src == dst {
+		return nil
+	}
+	srcDir := fsapi.IsDir(fs.inoMode(src))
+	dstDir := fsapi.IsDir(fs.inoMode(dst))
+	switch {
+	case dstDir && !srcDir:
+		return fsapi.ErrIsDir
+	case !dstDir && srcDir:
+		return fsapi.ErrNotDir
+	case dstDir:
+		if !fs.dirEmpty(fs.inoData(dst)) {
+			return fsapi.ErrNotEmpty
+		}
+	}
+	return nil
+}
+
+// dirEmpty reports whether a directory chain has no live entries.
+func (fs *FS) dirEmpty(first pmem.Ptr) bool {
+	for b := first; fs.plausible(b, DirBlockSize); b = fs.nextBlock(b) {
+		for i := 0; i < NLines*SlotsPerLine; i++ {
+			e := pmem.Ptr(fs.dev.AtomicLoad64(uint64(b) + dirSlotsOff + uint64(i)*8))
+			if !fs.plausible(e, FileEntrySize) {
+				continue
+			}
+			if fs.oa.Flags(e)&alloc.FlagValid != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// listDir returns the live entries of a directory.
+func (fs *FS) listDir(first pmem.Ptr) []fsapi.DirEntry {
+	var out []fsapi.DirEntry
+	for b := first; fs.plausible(b, DirBlockSize); b = fs.nextBlock(b) {
+		for i := 0; i < NLines*SlotsPerLine; i++ {
+			e := pmem.Ptr(fs.dev.AtomicLoad64(uint64(b) + dirSlotsOff + uint64(i)*8))
+			if !fs.plausible(e, FileEntrySize) || fs.oa.Flags(e)&alloc.FlagValid == 0 {
+				continue
+			}
+			ino := pmem.Ptr(fs.dev.Load64(uint64(e) + feInodeOff))
+			if !fs.plausible(ino, InodeSize) {
+				continue
+			}
+			out = append(out, fsapi.DirEntry{
+				Name: fs.entryName(e),
+				Ino:  uint64(ino),
+				Mode: fs.inoMode(ino),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"simurgh/internal/alloc"
+	"simurgh/internal/pmem"
+)
+
+// Volatile per-directory index ("shared DRAM" state, like the allocators):
+// for each hash line it maps full 64-bit name hashes to slot offsets and
+// keeps the line's free slots, so directory operations are O(1) in the
+// directory size instead of rescanning the persistent chain. The paper's
+// linear hash maps have the same complexity natively; here the persistent
+// layout (Figure 4) and all crash protocols (Figure 5) are unchanged — the
+// index is derived data, rebuilt from NVMM on first access after a mount or
+// a recovery, and every mutation happens under the same per-line busy lock
+// that guards the persistent slot.
+type dirLine struct {
+	mu     sync.RWMutex
+	byHash map[uint64][]uint64 // fnv64(name) -> candidate slot offsets
+	free   []uint64            // free slot offsets of this line
+}
+
+func (l *dirLine) add(h uint64, slot uint64) {
+	l.mu.Lock()
+	if l.byHash == nil {
+		l.byHash = make(map[uint64][]uint64, 4)
+	}
+	l.byHash[h] = append(l.byHash[h], slot)
+	l.mu.Unlock()
+}
+
+func (l *dirLine) remove(h uint64, slot uint64) {
+	l.mu.Lock()
+	ss := l.byHash[h]
+	for i, s := range ss {
+		if s == slot {
+			ss[i] = ss[len(ss)-1]
+			ss = ss[:len(ss)-1]
+			break
+		}
+	}
+	if len(ss) == 0 {
+		delete(l.byHash, h)
+	} else {
+		l.byHash[h] = ss
+	}
+	l.mu.Unlock()
+}
+
+// candidates appends the slots indexed under h to buf (callers pass a small
+// stack buffer so the common single-candidate case does not allocate).
+func (l *dirLine) candidates(h uint64, buf []uint64) []uint64 {
+	l.mu.RLock()
+	buf = append(buf[:0], l.byHash[h]...)
+	l.mu.RUnlock()
+	return buf
+}
+
+func (l *dirLine) pushFree(slot uint64) {
+	l.mu.Lock()
+	l.free = append(l.free, slot)
+	l.mu.Unlock()
+}
+
+func (l *dirLine) popFree() (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.free) == 0 {
+		return 0, false
+	}
+	s := l.free[len(l.free)-1]
+	l.free = l.free[:len(l.free)-1]
+	return s, true
+}
+
+// fnv64 is the index key hash (the persistent entries store fnv32, which
+// also selects the line).
+func fnv64(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ensureIndex returns the directory's state with the index built.
+func (fs *FS) ensureIndex(first pmem.Ptr) *dirState {
+	ds := fs.dirState(first)
+	if ds.built.Load() {
+		return ds
+	}
+	ds.buildMu.Lock()
+	defer ds.buildMu.Unlock()
+	if ds.built.Load() {
+		return ds
+	}
+	fs.buildIndex(first, ds)
+	ds.built.Store(true)
+	return ds
+}
+
+// buildIndex scans the persistent chain, performing the same idempotent
+// repair-on-access fixes a lookup would (completing crashed deletes).
+func (fs *FS) buildIndex(first pmem.Ptr, ds *dirState) {
+	d := fs.dev
+	ds.blocks = ds.blocks[:0]
+	for b := first; !b.IsNull(); b = fs.nextBlock(b) {
+		ds.blocks = append(ds.blocks, b)
+		for line := 0; line < NLines; line++ {
+			for s := 0; s < SlotsPerLine; s++ {
+				so := slotOff(b, line, s)
+				e := pmem.Ptr(d.AtomicLoad64(so))
+				if e.IsNull() {
+					ds.lines[line].pushFree(so)
+					continue
+				}
+				flags := fs.oa.Flags(e)
+				if flags&alloc.FlagValid == 0 {
+					// Crashed delete: finish it and reclaim the slot.
+					if d.CompareAndSwap64(so, uint64(e), 0) {
+						d.Persist(so, 8)
+						if fs.oa.Flags(e) == alloc.FlagDirty {
+							fs.freeEntryBody(e)
+						}
+						if st := fs.recStats.Load(); st != nil {
+							st.FixedSlots++
+						}
+					}
+					ds.lines[line].pushFree(so)
+					continue
+				}
+				name := fs.entryName(e)
+				ds.lines[line].add(fnv64(name), so)
+			}
+		}
+	}
+}
+
+// invalidateDir drops a directory's volatile index (after recovery repairs
+// the persistent chain behind its back).
+func (fs *FS) invalidateDir(first pmem.Ptr) {
+	sh := &fs.dirs[uint64(first)>>7%uint64(len(fs.dirs))]
+	sh.mu.Lock()
+	delete(sh.m, first)
+	sh.mu.Unlock()
+}
+
+// extendChain appends a fresh hash block to the directory and feeds its
+// slots into the free lists. Returns a free slot for the requested line.
+func (fs *FS) extendChain(first pmem.Ptr, ds *dirState, line int) (uint64, error) {
+	ds.extendMu.Lock()
+	defer ds.extendMu.Unlock()
+	// Another extender may have refilled the line meanwhile.
+	if so, ok := ds.lines[line].popFree(); ok {
+		return so, nil
+	}
+	nb, err := fs.oa.Alloc(ClassDirBlock, uint64(first))
+	if err != nil {
+		return 0, err
+	}
+	fs.oa.ClearDirty(nb)
+	if fs.crash("dir.extend") {
+		return 0, ErrCrashed
+	}
+	last := first
+	if n := len(ds.blocks); n > 0 {
+		last = ds.blocks[n-1]
+	} else {
+		for b := fs.nextBlock(last); !b.IsNull(); b = fs.nextBlock(b) {
+			last = b
+		}
+	}
+	fs.dev.AtomicStore64(uint64(last)+dirNextOff, uint64(nb))
+	fs.dev.Persist(uint64(last)+dirNextOff, 8)
+	ds.blocks = append(ds.blocks, nb)
+	var out uint64
+	for l := 0; l < NLines; l++ {
+		for s := 0; s < SlotsPerLine; s++ {
+			so := slotOff(nb, l, s)
+			if l == line && out == 0 {
+				out = so
+				continue
+			}
+			ds.lines[l].pushFree(so)
+		}
+	}
+	return out, nil
+}
+
+// dirState is defined in fs.go; the index fields live here.
+type dirIndexState struct {
+	built   atomic.Bool
+	buildMu sync.Mutex
+	blocks  []pmem.Ptr
+	lines   [NLines]dirLine
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simurgh/internal/alloc"
+	"simurgh/internal/cost"
+	"simurgh/internal/fsapi"
+	"simurgh/internal/pmem"
+)
+
+// ErrCrashed is returned by an operation aborted at an injected crash point,
+// emulating the death of the calling process mid-operation.
+var ErrCrashed = errors.New("simurgh: simulated process crash")
+
+// Hooks allows tests to inject process crashes at named points inside
+// metadata operations. CrashPoint returns true to "kill" the process there:
+// the operation stops immediately, leaving NVMM (and any held busy-wait
+// locks) exactly as they were — recovery by other processes is then
+// exercised for real.
+type Hooks struct {
+	CrashPoint func(point string) bool
+}
+
+// Options configures Format and Mount.
+type Options struct {
+	// RelaxedWrites disables the per-file exclusive write lock, as in the
+	// "relaxed" Simurgh variant of Fig. 7k (the application coordinates
+	// writers itself).
+	RelaxedWrites bool
+	// LineLockTimeout is how long a process busy-waits on a directory line
+	// lock before assuming the holder crashed and running recovery.
+	LineLockTimeout time.Duration
+	// Cost is the per-call CPU cost model; nil charges nothing.
+	Cost *cost.Model
+	// Shards overrides the volatile lock/dir sharding (defaults to 64).
+	Shards int
+	// Now overrides the clock (tests); defaults to time.Now().UnixNano.
+	Now func() int64
+}
+
+const defaultLineLockTimeout = 500 * time.Millisecond
+
+type lockShard struct {
+	mu sync.Mutex
+	m  map[pmem.Ptr]*sync.RWMutex
+}
+
+// refShard tracks open-file references per inode ("shared DRAM" state):
+// POSIX keeps an unlinked inode alive while descriptors reference it, so
+// the final close — not the unlink — frees orphaned inodes.
+type refShard struct {
+	mu     sync.Mutex
+	refs   map[pmem.Ptr]int
+	orphan map[pmem.Ptr]bool
+}
+
+type dirShard struct {
+	mu sync.Mutex
+	m  map[pmem.Ptr]*dirState
+}
+
+// dirState is the volatile per-directory coordination state ("shared
+// DRAM"): a mutex serializing chain extension plus the derived directory
+// index (see dirindex.go). The persistent chain itself remains the single
+// source of truth.
+type dirState struct {
+	extendMu sync.Mutex
+	dirIndexState
+}
+
+// FS is a mounted Simurgh volume. All attached clients (processes) share it.
+type FS struct {
+	dev   *pmem.Device
+	ba    *alloc.BlockAlloc
+	oa    *alloc.ObjAlloc
+	costM *cost.Model
+	hooks Hooks
+
+	relaxedWrites bool
+	lineTimeout   time.Duration
+	now           func() int64
+
+	locks []lockShard
+	dirs  []dirShard
+	open  []refShard
+
+	// recoveryMu serializes concurrent waiter-initiated line recoveries.
+	recoveryMu sync.Mutex
+	// recStats, when set, collects fixes performed by index builds during
+	// the mount-time recovery scan.
+	recStats atomic.Pointer[RecoveryStats]
+
+	rootInode pmem.Ptr
+
+	// attach counter for shard hints.
+	attached sync.Map // *Client -> struct{}
+}
+
+func classConfigs() []alloc.ClassConfig {
+	mk := func(class int, size, segBlocks uint64) alloc.ClassConfig {
+		return alloc.ClassConfig{
+			ObjSize:   size,
+			SegBlocks: segBlocks,
+			HeadOff:   sbClassHeadOff + uint64(class)*8,
+		}
+	}
+	return []alloc.ClassConfig{
+		mk(ClassInode, InodeSize, 8),
+		mk(ClassDirBlock, DirBlockSize, 16),
+		mk(ClassFileEntry, FileEntrySize, 8),
+		mk(ClassExtent, ExtentSize, 8),
+		mk(ClassBlob, BlobSize, 8),
+	}
+}
+
+func (o *Options) fill() {
+	if o.LineLockTimeout == 0 {
+		o.LineLockTimeout = defaultLineLockTimeout
+	}
+	if o.Shards == 0 {
+		o.Shards = 64
+	}
+	if o.Now == nil {
+		o.Now = func() int64 { return time.Now().UnixNano() }
+	}
+}
+
+func newFS(dev *pmem.Device, opts Options) (*FS, error) {
+	opts.fill()
+	nBlocks := dev.Size()/BlockSize - 1
+	if nBlocks < 16 {
+		return nil, fmt.Errorf("core: device too small (%d bytes)", dev.Size())
+	}
+	ba := alloc.NewBlockAlloc(dev, BlockSize, 1, nBlocks, 2*maxProcs())
+	oa, err := alloc.NewObjAlloc(dev, ba, classConfigs(), 2*maxProcs())
+	if err != nil {
+		return nil, err
+	}
+	fs := &FS{
+		dev:           dev,
+		ba:            ba,
+		oa:            oa,
+		costM:         opts.Cost,
+		relaxedWrites: opts.RelaxedWrites,
+		lineTimeout:   opts.LineLockTimeout,
+		now:           opts.Now,
+		locks:         make([]lockShard, opts.Shards),
+		dirs:          make([]dirShard, opts.Shards),
+	}
+	for i := range fs.locks {
+		fs.locks[i].m = make(map[pmem.Ptr]*sync.RWMutex)
+	}
+	for i := range fs.dirs {
+		fs.dirs[i].m = make(map[pmem.Ptr]*dirState)
+	}
+	fs.open = make([]refShard, opts.Shards)
+	for i := range fs.open {
+		fs.open[i].refs = make(map[pmem.Ptr]int)
+		fs.open[i].orphan = make(map[pmem.Ptr]bool)
+	}
+	return fs, nil
+}
+
+func (fs *FS) refShard(ino pmem.Ptr) *refShard {
+	return &fs.open[uint64(ino)>>7%uint64(len(fs.open))]
+}
+
+// incRef registers an open descriptor on the inode. It fails if the inode
+// was freed between the lock-free lookup and the open.
+func (fs *FS) incRef(ino pmem.Ptr) error {
+	sh := fs.refShard(ino)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fs.oa.Flags(ino)&alloc.FlagValid == 0 {
+		return fsapi.ErrNotExist
+	}
+	sh.refs[ino]++
+	return nil
+}
+
+// decRef drops one open reference; the last close of an orphaned (fully
+// unlinked) inode frees it.
+func (fs *FS) decRef(ino pmem.Ptr) {
+	sh := fs.refShard(ino)
+	sh.mu.Lock()
+	sh.refs[ino]--
+	last := sh.refs[ino] <= 0
+	if last {
+		delete(sh.refs, ino)
+	}
+	orphan := last && sh.orphan[ino]
+	if orphan {
+		delete(sh.orphan, ino)
+	}
+	sh.mu.Unlock()
+	if orphan {
+		fs.freeInode(ino)
+	}
+}
+
+// releaseOrOrphan is called when the link count reaches zero: the inode is
+// freed immediately unless descriptors still reference it.
+func (fs *FS) releaseOrOrphan(ino pmem.Ptr) {
+	sh := fs.refShard(ino)
+	sh.mu.Lock()
+	if sh.refs[ino] > 0 {
+		sh.orphan[ino] = true
+		sh.mu.Unlock()
+		return
+	}
+	sh.mu.Unlock()
+	fs.freeInode(ino)
+}
+
+func maxProcs() int {
+	// Segment/shard counts follow the paper's "twice the number of cores".
+	n := numCPU()
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Format initializes dev with an empty Simurgh file system owned by cred.
+func Format(dev *pmem.Device, cred fsapi.Cred, opts Options) (*FS, error) {
+	dev.Zero(0, BlockSize) // superblock area
+	fs, err := newFS(dev, opts)
+	if err != nil {
+		return nil, err
+	}
+	d := dev
+	d.Store64(sbSizeOff, dev.Size())
+	d.Store64(sbBlockSizeOff, BlockSize)
+	d.Store64(sbVersionOff, sbVersion)
+	d.Store64(sbEpochOff, 1)
+	d.Persist(0, BlockSize)
+
+	// Root inode + first directory block.
+	root, err := fs.newInode(cred, fsapi.ModeDir|0o755, 0)
+	if err != nil {
+		return nil, err
+	}
+	first, err := fs.oa.Alloc(ClassDirBlock, 0)
+	if err != nil {
+		return nil, err
+	}
+	fs.oa.ClearDirty(first)
+	d.Store64(uint64(root)+inoDataOff, uint64(first))
+	d.Store32(uint64(root)+inoNlinkOff, 2)
+	d.Persist(uint64(root), InodeSize)
+	fs.oa.ClearDirty(root)
+
+	d.Store64(sbRootInodeOff, uint64(root))
+	d.Store64(sbCleanOff, 1)
+	d.Store64(sbMagicOff, sbMagic)
+	d.Persist(0, BlockSize)
+	fs.rootInode = root
+	// Mark the volume as in use.
+	d.Store64(sbCleanOff, 0)
+	d.Persist(sbCleanOff, 8)
+	return fs, nil
+}
+
+// Mount opens an existing volume. If the previous shutdown was unclean, the
+// full mark-and-sweep recovery runs first; in all cases the volatile
+// allocator state is rebuilt by scanning the persistent structures, exactly
+// as §4.3 describes for initialization.
+func Mount(dev *pmem.Device, opts Options) (*FS, *RecoveryStats, error) {
+	if dev.Load64(sbMagicOff) != sbMagic {
+		return nil, nil, fmt.Errorf("core: not a Simurgh volume")
+	}
+	if dev.Load64(sbVersionOff) != sbVersion {
+		return nil, nil, fmt.Errorf("core: unsupported version %d", dev.Load64(sbVersionOff))
+	}
+	fs, err := newFS(dev, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	fs.rootInode = pmem.Ptr(dev.Load64(sbRootInodeOff))
+	clean := dev.Load64(sbCleanOff) == 1
+	stats, err := fs.recoverAll(!clean)
+	if err != nil {
+		return nil, nil, err
+	}
+	dev.AtomicAdd64(sbEpochOff, 1)
+	dev.Store64(sbCleanOff, 0)
+	dev.Persist(sbCleanOff, 8)
+	return fs, stats, nil
+}
+
+// Unmount marks the volume cleanly shut down.
+func (fs *FS) Unmount() {
+	fs.dev.Store64(sbCleanOff, 1)
+	fs.dev.Persist(sbCleanOff, 8)
+}
+
+// Device returns the underlying NVMM device.
+func (fs *FS) Device() *pmem.Device { return fs.dev }
+
+// SetHooks installs crash-injection hooks (tests only).
+func (fs *FS) SetHooks(h Hooks) { fs.hooks = h }
+
+// crash reports whether an injected crash fires at the named point.
+func (fs *FS) crash(point string) bool {
+	return fs.hooks.CrashPoint != nil && fs.hooks.CrashPoint(point)
+}
+
+// FreeBlocks reports the allocator's free data blocks.
+func (fs *FS) FreeBlocks() uint64 { return fs.ba.FreeBlocks() }
+
+// fileLock returns the volatile read/write lock of an inode.
+func (fs *FS) fileLock(ino pmem.Ptr) *sync.RWMutex {
+	sh := &fs.locks[uint64(ino)>>7%uint64(len(fs.locks))]
+	sh.mu.Lock()
+	l := sh.m[ino]
+	if l == nil {
+		l = new(sync.RWMutex)
+		sh.m[ino] = l
+	}
+	sh.mu.Unlock()
+	return l
+}
+
+// dropFileLock forgets the volatile lock of a deleted inode.
+func (fs *FS) dropFileLock(ino pmem.Ptr) {
+	sh := &fs.locks[uint64(ino)>>7%uint64(len(fs.locks))]
+	sh.mu.Lock()
+	delete(sh.m, ino)
+	sh.mu.Unlock()
+}
+
+// dirState returns the volatile coordination state of a directory,
+// identified by its first hash block.
+func (fs *FS) dirState(first pmem.Ptr) *dirState {
+	sh := &fs.dirs[uint64(first)>>7%uint64(len(fs.dirs))]
+	sh.mu.Lock()
+	ds := sh.m[first]
+	if ds == nil {
+		ds = new(dirState)
+		sh.m[first] = ds
+	}
+	sh.mu.Unlock()
+	return ds
+}
+
+// newInode allocates and fills an inode (valid|dirty until the caller
+// commits). nlink starts at 1 for files, set by the caller for dirs.
+func (fs *FS) newInode(cred fsapi.Cred, mode uint32, hint uint64) (pmem.Ptr, error) {
+	ino, err := fs.oa.Alloc(ClassInode, hint)
+	if err != nil {
+		return 0, err
+	}
+	d := fs.dev
+	now := fs.now()
+	d.Store32(uint64(ino)+inoModeOff, mode)
+	d.Store32(uint64(ino)+inoUIDOff, cred.UID)
+	d.Store32(uint64(ino)+inoGIDOff, cred.GID)
+	d.Store32(uint64(ino)+inoNlinkOff, 1)
+	d.Store64(uint64(ino)+inoSizeOff, 0)
+	d.Store64(uint64(ino)+inoAtimeOff, uint64(now))
+	d.Store64(uint64(ino)+inoMtimeOff, uint64(now))
+	d.Store64(uint64(ino)+inoCtimeOff, uint64(now))
+	d.Store64(uint64(ino)+inoDataOff, 0)
+	d.Store64(uint64(ino)+inoBlocksOff, 0)
+	d.Persist(uint64(ino), InodeSize)
+	return ino, nil
+}
+
+// inode field helpers.
+
+func (fs *FS) inoMode(ino pmem.Ptr) uint32  { return fs.dev.Load32(uint64(ino) + inoModeOff) }
+func (fs *FS) inoUID(ino pmem.Ptr) uint32   { return fs.dev.Load32(uint64(ino) + inoUIDOff) }
+func (fs *FS) inoGID(ino pmem.Ptr) uint32   { return fs.dev.Load32(uint64(ino) + inoGIDOff) }
+func (fs *FS) inoNlink(ino pmem.Ptr) uint32 { return fs.dev.Load32(uint64(ino) + inoNlinkOff) }
+func (fs *FS) inoSize(ino pmem.Ptr) uint64  { return fs.dev.AtomicLoad64(uint64(ino) + inoSizeOff) }
+func (fs *FS) inoData(ino pmem.Ptr) pmem.Ptr {
+	return pmem.Ptr(fs.dev.AtomicLoad64(uint64(ino) + inoDataOff))
+}
+
+func (fs *FS) setNlink(ino pmem.Ptr, n uint32) {
+	fs.dev.Store32(uint64(ino)+inoNlinkOff, n)
+	fs.dev.Persist(uint64(ino)+inoNlinkOff, 4)
+}
+
+func (fs *FS) touchMtime(ino pmem.Ptr) {
+	now := uint64(fs.now())
+	fs.dev.Store64(uint64(ino)+inoMtimeOff, now)
+	fs.dev.Store64(uint64(ino)+inoCtimeOff, now)
+	fs.dev.Persist(uint64(ino)+inoMtimeOff, 16)
+}
+
+// touchMtimeLazy flushes the time update without a fence; the caller's next
+// fence commits it (timestamps need no ordering guarantee).
+func (fs *FS) touchMtimeLazy(ino pmem.Ptr) {
+	now := uint64(fs.now())
+	fs.dev.Store64(uint64(ino)+inoMtimeOff, now)
+	fs.dev.Store64(uint64(ino)+inoCtimeOff, now)
+	fs.dev.Flush(uint64(ino)+inoMtimeOff, 16)
+}
+
+// statOf builds a Stat from an inode.
+func (fs *FS) statOf(ino pmem.Ptr) fsapi.Stat {
+	d := fs.dev
+	return fsapi.Stat{
+		Ino:   uint64(ino),
+		Mode:  d.Load32(uint64(ino) + inoModeOff),
+		UID:   d.Load32(uint64(ino) + inoUIDOff),
+		GID:   d.Load32(uint64(ino) + inoGIDOff),
+		Nlink: d.Load32(uint64(ino) + inoNlinkOff),
+		Size:  fs.inoSize(ino),
+		Atime: int64(d.Load64(uint64(ino) + inoAtimeOff)),
+		Mtime: int64(d.Load64(uint64(ino) + inoMtimeOff)),
+		Ctime: int64(d.Load64(uint64(ino) + inoCtimeOff)),
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"simurgh/internal/fsapi"
+	"simurgh/internal/pmem"
+)
+
+// FuzzPathOperations drives create/stat/unlink with arbitrary path strings:
+// no input may panic the file system or corrupt the root directory.
+func FuzzPathOperations(f *testing.F) {
+	for _, seed := range []string{
+		"/a", "/a/b", "//x//", "/..", "/" + strings.Repeat("n", 300),
+		"/dir/../dir/file", "/\xff\xfe", "/with space", "/.hidden",
+	} {
+		f.Add(seed)
+	}
+	dev := pmem.New(32 << 20)
+	fs, err := Format(dev, fsapi.Root, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	c, _ := fs.Attach(fsapi.Root)
+	f.Fuzz(func(t *testing.T, path string) {
+		fd, err := c.Create(path, 0o644)
+		if err == nil {
+			c.Close(fd)
+			if _, err := c.Stat(path); err != nil {
+				t.Fatalf("created %q but cannot stat: %v", path, err)
+			}
+			if err := c.Unlink(path); err != nil {
+				t.Fatalf("created %q but cannot unlink: %v", path, err)
+			}
+		}
+		// The root must stay healthy regardless.
+		if _, err := c.ReadDir("/"); err != nil {
+			t.Fatalf("root corrupted by %q: %v", path, err)
+		}
+	})
+}
+
+// FuzzWriteOffsets drives pwrite/pread at arbitrary offsets and sizes.
+func FuzzWriteOffsets(f *testing.F) {
+	f.Add(uint32(0), []byte("hello"))
+	f.Add(uint32(4096), []byte{})
+	f.Add(uint32(1<<20), []byte{1, 2, 3})
+	dev := pmem.New(64 << 20)
+	fs, err := Format(dev, fsapi.Root, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	c, _ := fs.Attach(fsapi.Root)
+	fd, _ := c.Open("/fuzz", fsapi.OCreate|fsapi.ORdwr, 0o644)
+	f.Fuzz(func(t *testing.T, off uint32, data []byte) {
+		const maxOff = 8 << 20
+		o := uint64(off) % maxOff
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		n, err := c.Pwrite(fd, data, o)
+		if err != nil {
+			t.Fatalf("pwrite(%d bytes at %d): %v", len(data), o, err)
+		}
+		if n != len(data) {
+			t.Fatalf("short pwrite: %d of %d", n, len(data))
+		}
+		got := make([]byte, len(data))
+		if len(data) > 0 {
+			m, err := c.Pread(fd, got, o)
+			if err != nil || m != len(data) {
+				t.Fatalf("pread = (%d, %v)", m, err)
+			}
+			for i := range data {
+				if got[i] != data[i] {
+					t.Fatalf("byte %d: %d != %d", i, got[i], data[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChurnDoesNotLeakBlocks guards the create-write-fsync-unlink cycle
+// against data-block leaks (regression net for the Filebench workloads).
+func TestChurnDoesNotLeakBlocks(t *testing.T) {
+	_, fs := newFSForTest(t, 64<<20)
+	c := rootClient(t, fs)
+	free0 := fs.FreeBlocks()
+	buf := make([]byte, 8192)
+	for i := 0; i < 2000; i++ {
+		p := fmt.Sprintf("/f%d", i%50)
+		c.Unlink(p)
+		fd, err := c.Create(p, 0o644)
+		if err != nil {
+			t.Fatalf("i=%d create: %v (free=%d)", i, err, fs.FreeBlocks())
+		}
+		if _, err := c.Write(fd, buf); err != nil {
+			t.Fatalf("i=%d write: %v free=%d", i, err, fs.FreeBlocks())
+		}
+		c.Fsync(fd)
+		c.Close(fd)
+	}
+	for i := 0; i < 50; i++ {
+		c.Unlink(fmt.Sprintf("/f%d", i))
+	}
+	if free := fs.FreeBlocks(); free0-free > 200 {
+		t.Fatalf("leaked %d blocks", free0-free)
+	}
+}

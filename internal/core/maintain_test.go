@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"simurgh/internal/fsapi"
+)
+
+func TestCompactReclaimsEmptyChainBlocks(t *testing.T) {
+	_, fs := newFSForTest(t, 128<<20)
+	c := rootClient(t, fs)
+	// Grow the root chain far past one block, then empty it.
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if _, err := c.Create(fmt.Sprintf("/f%05d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chainLen := func() int {
+		l := 0
+		for b := fs.inoData(fs.rootInode); !b.IsNull(); b = fs.nextBlock(b) {
+			l++
+		}
+		return l
+	}
+	grown := chainLen()
+	if grown < 2 {
+		t.Fatalf("chain did not grow: %d blocks", grown)
+	}
+	for i := 0; i < n; i++ {
+		if err := c.Unlink(fmt.Sprintf("/f%05d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := fs.Maintain()
+	if st.BlocksFreed == 0 {
+		t.Fatal("maintenance freed nothing")
+	}
+	if after := chainLen(); after != 1 {
+		t.Fatalf("chain length after compact = %d, want 1", after)
+	}
+	// The directory must remain fully functional.
+	for i := 0; i < 500; i++ {
+		if _, err := c.Create(fmt.Sprintf("/post%d", i), 0o644); err != nil {
+			t.Fatalf("create after compact: %v", err)
+		}
+	}
+	ents, _ := c.ReadDir("/")
+	if len(ents) != 500 {
+		t.Fatalf("%d entries after compact+create", len(ents))
+	}
+}
+
+func TestMaintainVisitsSubdirectories(t *testing.T) {
+	_, fs := newFSForTest(t, 128<<20)
+	c := rootClient(t, fs)
+	c.Mkdir("/sub", 0o755)
+	for i := 0; i < 2000; i++ {
+		c.Create(fmt.Sprintf("/sub/x%05d", i), 0o644)
+	}
+	for i := 0; i < 2000; i++ {
+		c.Unlink(fmt.Sprintf("/sub/x%05d", i))
+	}
+	st := fs.Maintain()
+	if st.DirsVisited < 2 {
+		t.Fatalf("visited %d dirs, want >= 2", st.DirsVisited)
+	}
+	if st.BlocksFreed == 0 {
+		t.Fatal("subdirectory chain not compacted")
+	}
+	if _, err := c.Create("/sub/after", 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaintainIsIdempotentAndSafeWhenBusy(t *testing.T) {
+	_, fs := newFSForTest(t, 128<<20)
+	c := rootClient(t, fs)
+	for i := 0; i < 1000; i++ {
+		c.Create(fmt.Sprintf("/keep%d", i), 0o644)
+	}
+	s1 := fs.Maintain()
+	s2 := fs.Maintain()
+	if s2.BlocksFreed != 0 {
+		t.Fatalf("second maintain freed %d blocks", s2.BlocksFreed)
+	}
+	_ = s1
+	// All files must have survived both passes.
+	ents, _ := c.ReadDir("/")
+	if len(ents) != 1000 {
+		t.Fatalf("%d entries after maintenance, want 1000", len(ents))
+	}
+}
+
+func TestMaintainConcurrentWithWorkload(t *testing.T) {
+	_, fs := newFSForTest(t, 128<<20)
+	c := rootClient(t, fs)
+	c.Mkdir("/work", 0o777)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cw, _ := fs.Attach(fsapi.Root)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := fmt.Sprintf("/work/w%d-%d", w, i)
+				if _, err := cw.Create(p, 0o644); err != nil {
+					t.Errorf("create: %v", err)
+					return
+				}
+				if err := cw.Unlink(p); err != nil {
+					t.Errorf("unlink: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		fs.Maintain()
+	}
+	close(stop)
+	wg.Wait()
+	ents, _ := c.ReadDir("/work")
+	if len(ents) != 0 {
+		t.Fatalf("%d entries survive churn", len(ents))
+	}
+}

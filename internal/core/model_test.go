@@ -1,0 +1,278 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"simurgh/internal/fsapi"
+	"simurgh/internal/pmem"
+)
+
+// Model-based testing: random operation sequences run against both the real
+// file system and a trivial in-memory model; externally visible behaviour
+// must agree. This is the broadest invariant net over the directory
+// machinery (hash lines, chain extension, index, renames).
+
+type modelFS struct {
+	files map[string][]byte // path -> content
+	dirs  map[string]bool
+}
+
+func newModel() *modelFS {
+	return &modelFS{files: map[string][]byte{}, dirs: map[string]bool{"": true}}
+}
+
+func (m *modelFS) parentExists(p string) bool {
+	comps, _ := fsapi.SplitPath(p)
+	if len(comps) == 0 {
+		return false
+	}
+	return m.dirs[fsapi.JoinPath(comps[:len(comps)-1])]
+}
+
+func (m *modelFS) norm(p string) string {
+	comps, _ := fsapi.SplitPath(p)
+	return fsapi.JoinPath(comps)
+}
+
+func TestModelBasedRandomOps(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		seed := int64(trial*1000 + 7)
+		rng := rand.New(rand.NewSource(seed))
+		dev := pmem.New(64 << 20)
+		fs, err := Format(dev, fsapi.Root, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := fs.Attach(fsapi.Root)
+		m := newModel()
+		m.dirs["/"] = true
+
+		paths := func() []string {
+			var out []string
+			for p := range m.files {
+				out = append(out, p)
+			}
+			return out
+		}
+		dirs := func() []string {
+			var out []string
+			for d := range m.dirs {
+				if d != "" {
+					out = append(out, d)
+				}
+			}
+			return out
+		}
+		pick := func(ss []string) string {
+			if len(ss) == 0 {
+				return "/nonexistent"
+			}
+			return ss[rng.Intn(len(ss))]
+		}
+		randName := func() string { return fmt.Sprintf("n%d", rng.Intn(40)) }
+
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(7) {
+			case 0: // create + write
+				dir := pick(append(dirs(), "/"))
+				p := m.norm(dir + "/" + randName())
+				data := make([]byte, rng.Intn(5000))
+				rng.Read(data)
+				fd, err := c.Create(p, 0o644)
+				_, wantDir := m.dirs[p]
+				switch {
+				case wantDir:
+					if !errors.Is(err, fsapi.ErrIsDir) && err == nil {
+						t.Fatalf("step %d: create over dir %s: %v", step, p, err)
+					}
+				case err == nil:
+					if _, werr := c.Write(fd, data); werr != nil {
+						t.Fatalf("step %d write: %v", step, werr)
+					}
+					c.Close(fd)
+					m.files[p] = data
+				default:
+					t.Fatalf("step %d: create %s: %v", step, p, err)
+				}
+			case 1: // mkdir
+				dir := pick(append(dirs(), "/"))
+				p := m.norm(dir + "/" + randName())
+				err := c.Mkdir(p, 0o755)
+				_, isFile := m.files[p]
+				switch {
+				case m.dirs[p] || isFile:
+					if !errors.Is(err, fsapi.ErrExist) {
+						t.Fatalf("step %d: mkdir existing %s: %v", step, p, err)
+					}
+				case err == nil:
+					m.dirs[p] = true
+				default:
+					t.Fatalf("step %d: mkdir %s: %v", step, p, err)
+				}
+			case 2: // unlink
+				p := pick(paths())
+				err := c.Unlink(p)
+				if _, ok := m.files[p]; ok {
+					if err != nil {
+						t.Fatalf("step %d: unlink %s: %v", step, p, err)
+					}
+					delete(m.files, p)
+				} else if err == nil {
+					t.Fatalf("step %d: unlink phantom %s succeeded", step, p)
+				}
+			case 3: // rename file
+				src := pick(paths())
+				dir := pick(append(dirs(), "/"))
+				dst := m.norm(dir + "/" + randName())
+				if src == dst {
+					continue
+				}
+				err := c.Rename(src, dst)
+				_, srcOK := m.files[src]
+				_, dstIsDir := m.dirs[dst]
+				switch {
+				case !srcOK:
+					if err == nil {
+						// src may be a directory; allow directory moves.
+						if m.dirs[src] && !dstIsDir {
+							m.renameDir(src, dst)
+						} else {
+							t.Fatalf("step %d: rename phantom %s -> %s succeeded", step, src, dst)
+						}
+					}
+				case dstIsDir:
+					if err == nil {
+						t.Fatalf("step %d: rename onto dir succeeded", step)
+					}
+				case err == nil:
+					m.files[dst] = m.files[src]
+					delete(m.files, src)
+				default:
+					t.Fatalf("step %d: rename %s -> %s: %v", step, src, dst, err)
+				}
+			case 4: // read back a random file
+				p := pick(paths())
+				want, ok := m.files[p]
+				fd, err := c.Open(p, fsapi.ORdonly, 0)
+				if !ok {
+					if err == nil {
+						st, _ := c.Fstat(fd)
+						if !fsapi.IsDir(st.Mode) {
+							t.Fatalf("step %d: opened phantom file %s", step, p)
+						}
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("step %d: open %s: %v", step, p, err)
+				}
+				got := make([]byte, len(want)+10)
+				n, _ := c.Pread(fd, got, 0)
+				if n != len(want) || !bytes.Equal(got[:n], want) {
+					t.Fatalf("step %d: content mismatch on %s (%d vs %d bytes)", step, p, n, len(want))
+				}
+				c.Close(fd)
+			case 5: // stat consistency
+				p := pick(append(paths(), dirs()...))
+				st, err := c.Stat(p)
+				_, isFile := m.files[p]
+				isDir := m.dirs[p]
+				switch {
+				case isFile:
+					if err != nil || !fsapi.IsRegular(st.Mode) {
+						t.Fatalf("step %d: stat file %s: %+v %v", step, p, st, err)
+					}
+					if st.Size != uint64(len(m.files[p])) {
+						t.Fatalf("step %d: %s size %d, want %d", step, p, st.Size, len(m.files[p]))
+					}
+				case isDir:
+					if err != nil || !fsapi.IsDir(st.Mode) {
+						t.Fatalf("step %d: stat dir %s: %v", step, p, err)
+					}
+				default:
+					if !errors.Is(err, fsapi.ErrNotExist) {
+						t.Fatalf("step %d: stat phantom %s: %v", step, p, err)
+					}
+				}
+			case 6: // readdir consistency for a random directory
+				d := pick(append(dirs(), "/"))
+				ents, err := c.ReadDir(d)
+				if !m.dirs[m.norm(d)] && d != "/" {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("step %d: readdir %s: %v", step, d, err)
+				}
+				want := map[string]bool{}
+				prefix := m.norm(d)
+				for p := range m.files {
+					if dirOf(p) == prefix {
+						want[baseOf(p)] = true
+					}
+				}
+				for p := range m.dirs {
+					if p != "" && p != "/" && dirOf(p) == prefix {
+						want[baseOf(p)] = true
+					}
+				}
+				if len(ents) != len(want) {
+					t.Fatalf("step %d: readdir %s: %d entries, model has %d", step, d, len(ents), len(want))
+				}
+				for _, e := range ents {
+					if !want[e.Name] {
+						t.Fatalf("step %d: readdir %s: unexpected %q", step, d, e.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// renameDir updates the model for a directory move.
+func (m *modelFS) renameDir(src, dst string) {
+	delete(m.dirs, src)
+	m.dirs[dst] = true
+	for p, data := range m.files {
+		if hasPrefixDir(p, src) {
+			np := dst + p[len(src):]
+			delete(m.files, p)
+			m.files[np] = data
+		}
+	}
+	for p := range m.dirs {
+		if hasPrefixDir(p, src) {
+			np := dst + p[len(src):]
+			delete(m.dirs, p)
+			m.dirs[np] = true
+		}
+	}
+}
+
+func hasPrefixDir(p, dir string) bool {
+	return len(p) > len(dir) && p[:len(dir)] == dir && p[len(dir)] == '/'
+}
+
+func dirOf(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return p[:i]
+		}
+	}
+	return "/"
+}
+
+func baseOf(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}

@@ -1,0 +1,6 @@
+package core
+
+import "runtime"
+
+// numCPU is indirected for tests.
+var numCPU = runtime.NumCPU

@@ -1,0 +1,316 @@
+// Package filebench reimplements the four Filebench personalities the paper
+// uses (Table 2, Figure 8) — varmail, webserver, webproxy and fileserver —
+// as operation loops with the default parameter sets:
+//
+//	Workload    Files   Dir Width  File Size  Threads
+//	varmail     1,000   1,000,000  16 KB      16
+//	webserver   1,000   20         16-128 KB  100
+//	webproxy    10,000  1,000,000  16 KB      100
+//	fileserver  10,000  20         128 KB     50
+//
+// Each personality follows the canonical Filebench flowop sequence; the
+// measured figure is operations per second, as Filebench reports.
+package filebench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simurgh/internal/fsapi"
+)
+
+// Personality is one Filebench workload description.
+type Personality struct {
+	Name     string
+	Files    int
+	FileSize int
+	Threads  int
+	// Loop runs one iteration for a thread; it returns how many flowops it
+	// performed.
+	Loop func(w *worker) (int, error)
+}
+
+// Config overrides scale for constrained hosts.
+type Config struct {
+	// Files overrides the file count (0 = personality default).
+	Files int
+	// Threads overrides the thread count (0 = personality default).
+	Threads int
+	// Duration is how long the measured phase runs.
+	Duration time.Duration
+}
+
+// Result is ops/s plus totals.
+type Result struct {
+	Personality string
+	FS          string
+	Ops         uint64
+	Elapsed     time.Duration
+}
+
+// Throughput returns flowops per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+type worker struct {
+	c     fsapi.Client
+	rng   *rand.Rand
+	files int
+	size  int
+	buf   []byte
+	tid   int
+	seq   int
+}
+
+func (w *worker) pick() string { return fmt.Sprintf("/data/f%06d", w.rng.Intn(w.files)) }
+
+func (w *worker) readWhole(path string) error {
+	fd, err := w.c.Open(path, fsapi.ORdonly, 0)
+	if err == fsapi.ErrNotExist {
+		// Another thread is between delete and re-create of this file —
+		// part of the varmail mix, not an error.
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer w.c.Close(fd)
+	for off := uint64(0); ; off += uint64(len(w.buf)) {
+		n, err := w.c.Pread(fd, w.buf, off)
+		if err != nil || n < len(w.buf) {
+			return nil // EOF
+		}
+	}
+}
+
+func (w *worker) appendTo(path string, n int, sync bool) error {
+	fd, err := w.c.Open(path, fsapi.OCreate|fsapi.OWronly|fsapi.OAppend, 0o644)
+	if err != nil {
+		return err
+	}
+	defer w.c.Close(fd)
+	if _, err := w.c.Write(fd, w.buf[:n]); err != nil {
+		return err
+	}
+	if sync {
+		return w.c.Fsync(fd)
+	}
+	return nil
+}
+
+func (w *worker) createWrite(path string, n int, sync bool) error {
+	fd, err := w.c.Create(path, 0o644)
+	if err != nil {
+		return err
+	}
+	defer w.c.Close(fd)
+	for off := 0; off < n; off += len(w.buf) {
+		chunk := n - off
+		if chunk > len(w.buf) {
+			chunk = len(w.buf)
+		}
+		if _, err := w.c.Write(fd, w.buf[:chunk]); err != nil {
+			return err
+		}
+	}
+	if sync {
+		return w.c.Fsync(fd)
+	}
+	return nil
+}
+
+// varmail: deletefile; createfile+append+fsync; openfile+read+append+fsync;
+// openfile+read (the classic mail-server cycle; metadata dominated).
+func varmailLoop(w *worker) (int, error) {
+	victim := w.pick()
+	w.c.Unlink(victim) // may not exist; both outcomes are part of the mix
+	if err := w.createWrite(victim, w.size/2, true); err != nil {
+		return 0, err
+	}
+	target := w.pick()
+	if err := w.readWhole(target); err != nil {
+		return 0, err
+	}
+	if err := w.appendTo(target, w.size/2, true); err != nil {
+		return 0, err
+	}
+	if err := w.readWhole(w.pick()); err != nil {
+		return 0, err
+	}
+	return 16, nil // flowops per iteration in the varmail personality
+}
+
+// webserver: open+read ten files, append 16 KB to a shared log.
+func webserverLoop(w *worker) (int, error) {
+	for i := 0; i < 10; i++ {
+		if err := w.readWhole(w.pick()); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.appendTo(fmt.Sprintf("/logs/log%d", w.tid%4), 16<<10, false); err != nil {
+		return 0, err
+	}
+	return 21, nil
+}
+
+// webproxy: delete, create+append, then five whole-file reads.
+func webproxyLoop(w *worker) (int, error) {
+	w.seq++
+	name := fmt.Sprintf("/data/t%d-%d", w.tid, w.seq)
+	if w.seq > 1 {
+		w.c.Unlink(fmt.Sprintf("/data/t%d-%d", w.tid, w.seq-1))
+	}
+	if err := w.createWrite(name, w.size, false); err != nil {
+		return 0, err
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.readWhole(w.pick()); err != nil {
+			return 0, err
+		}
+	}
+	return 9, nil
+}
+
+// fileserver: create+write whole file, open+append, whole-file read,
+// delete, stat.
+func fileserverLoop(w *worker) (int, error) {
+	w.seq++
+	name := fmt.Sprintf("/data/t%d-%d", w.tid, w.seq)
+	if err := w.createWrite(name, w.size, false); err != nil {
+		return 0, err
+	}
+	if err := w.appendTo(name, 16<<10, false); err != nil {
+		return 0, err
+	}
+	if err := w.readWhole(w.pick()); err != nil {
+		return 0, err
+	}
+	if err := w.c.Unlink(name); err != nil {
+		return 0, err
+	}
+	if _, err := w.c.Stat(w.pick()); err != nil {
+		return 0, err
+	}
+	return 10, nil
+}
+
+// Personalities returns the four workloads with the paper's Table 2
+// defaults (thread counts are clamped to the host by Run).
+func Personalities() []Personality {
+	return []Personality{
+		{Name: "varmail", Files: 1000, FileSize: 16 << 10, Threads: 16, Loop: varmailLoop},
+		{Name: "webserver", Files: 1000, FileSize: 64 << 10, Threads: 100, Loop: webserverLoop},
+		{Name: "webproxy", Files: 10000, FileSize: 16 << 10, Threads: 100, Loop: webproxyLoop},
+		{Name: "fileserver", Files: 10000, FileSize: 128 << 10, Threads: 50, Loop: fileserverLoop},
+	}
+}
+
+// ByName finds a personality.
+func ByName(name string) (Personality, error) {
+	for _, p := range Personalities() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Personality{}, fmt.Errorf("filebench: unknown personality %q", name)
+}
+
+// Run prepopulates the fileset and executes the personality against fs.
+func Run(fs fsapi.FileSystem, p Personality, cfg Config) (Result, error) {
+	files := p.Files
+	if cfg.Files > 0 {
+		files = cfg.Files
+	}
+	threads := p.Threads
+	if cfg.Threads > 0 {
+		threads = cfg.Threads
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = time.Second
+	}
+	res := Result{Personality: p.Name, FS: fs.Name()}
+
+	setup, err := fs.Attach(fsapi.Root)
+	if err != nil {
+		return res, err
+	}
+	if err := setup.Mkdir("/data", 0o777); err != nil {
+		return res, err
+	}
+	if err := setup.Mkdir("/logs", 0o777); err != nil {
+		return res, err
+	}
+	buf := make([]byte, 64<<10)
+	for i := 0; i < files; i++ {
+		fd, err := setup.Create(fmt.Sprintf("/data/f%06d", i), 0o666)
+		if err != nil {
+			return res, err
+		}
+		for off := 0; off < p.FileSize; off += len(buf) {
+			chunk := p.FileSize - off
+			if chunk > len(buf) {
+				chunk = len(buf)
+			}
+			if _, err := setup.Write(fd, buf[:chunk]); err != nil {
+				return res, err
+			}
+		}
+		setup.Close(fd)
+	}
+
+	runtime.GC() // previous runs' arenas must not be collected inside the window
+	var ops atomic.Uint64
+	stop := make(chan struct{})
+	errs := make(chan error, threads)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := fs.Attach(fsapi.Root)
+			if err != nil {
+				errs <- err
+				return
+			}
+			w := &worker{
+				c: c, rng: rand.New(rand.NewSource(int64(t) + 1)),
+				files: files, size: p.FileSize,
+				buf: make([]byte, 64<<10), tid: t,
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n, err := p.Loop(w)
+				if err != nil {
+					errs <- fmt.Errorf("thread %d: %w", t, err)
+					return
+				}
+				ops.Add(uint64(n))
+			}
+		}()
+	}
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Ops = ops.Load()
+	select {
+	case err := <-errs:
+		return res, err
+	default:
+	}
+	return res, nil
+}

@@ -1,0 +1,56 @@
+package filebench
+
+import (
+	"testing"
+	"time"
+
+	"simurgh/internal/bench"
+)
+
+func TestPersonalityLookup(t *testing.T) {
+	if _, err := ByName("varmail"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nonsense"); err == nil {
+		t.Fatal("phantom personality")
+	}
+	if len(Personalities()) != 4 {
+		t.Fatalf("expected 4 personalities")
+	}
+}
+
+func TestEveryPersonalityOnSimurgh(t *testing.T) {
+	for _, p := range Personalities() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			fs, err := bench.MakeFS("simurgh", 512<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(fs, p, Config{Files: 60, Threads: 4, Duration: 100 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops == 0 {
+				t.Fatal("no operations completed")
+			}
+		})
+	}
+}
+
+func TestVarmailOnAllFS(t *testing.T) {
+	p, _ := ByName("varmail")
+	for _, name := range bench.FSNames {
+		fs, err := bench.MakeFS(name, 512<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(fs, p, Config{Files: 40, Threads: 3, Duration: 80 * time.Millisecond})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Ops == 0 {
+			t.Fatalf("%s: zero ops", name)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package filebench
+
+import (
+	"testing"
+	"time"
+
+	"simurgh/internal/bench"
+	"simurgh/internal/core"
+)
+
+// TestVarmailDoesNotExhaustSpace pins the stationary fileset size of the
+// varmail personality (appends are balanced by delete-resets).
+func TestVarmailDoesNotExhaustSpace(t *testing.T) {
+	fs, err := bench.MakeFS("simurgh", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := ByName("varmail")
+	res, err := Run(fs, p, Config{Files: 200, Threads: 4, Duration: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("err=%v free=%d", err, fs.(*core.FS).FreeBlocks())
+	}
+	t.Logf("ops=%d free=%d", res.Ops, fs.(*core.FS).FreeBlocks())
+}

@@ -1,0 +1,132 @@
+package fsapi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // joined with ","
+	}{
+		{"/", ""},
+		{"", ""},
+		{"/a", "a"},
+		{"a", "a"},
+		{"/a/b/c", "a,b,c"},
+		{"a//b///c/", "a,b,c"},
+		{"/a/./b", "a,b"},
+		{"/a/../b", "b"},
+		{"/../a", "a"},
+		{"/a/b/../../c", "c"},
+		{"./a", "a"},
+	}
+	for _, c := range cases {
+		got, err := SplitPath(c.in)
+		if err != nil {
+			t.Fatalf("SplitPath(%q): %v", c.in, err)
+		}
+		if s := strings.Join(got, ","); s != c.want {
+			t.Errorf("SplitPath(%q) = %q, want %q", c.in, s, c.want)
+		}
+	}
+}
+
+func TestSplitPathRejectsLongNames(t *testing.T) {
+	long := strings.Repeat("x", MaxNameLen+1)
+	if _, err := SplitPath("/" + long); !errors.Is(err, ErrNameTooLong) {
+		t.Fatalf("err = %v, want ErrNameTooLong", err)
+	}
+	ok := strings.Repeat("x", MaxNameLen)
+	if _, err := SplitPath("/" + ok); err != nil {
+		t.Fatalf("max-length name rejected: %v", err)
+	}
+}
+
+func TestBaseDir(t *testing.T) {
+	dir, name, err := BaseDir("/a/b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(dir, ",") != "a,b" || name != "c" {
+		t.Fatalf("BaseDir = (%v, %q)", dir, name)
+	}
+	if _, _, err := BaseDir("/"); !errors.Is(err, ErrInval) {
+		t.Fatalf("BaseDir(/) err = %v, want ErrInval", err)
+	}
+}
+
+func TestJoinPathRoundTrip(t *testing.T) {
+	f := func(parts []string) bool {
+		var clean []string
+		for _, p := range parts {
+			p = strings.Map(func(r rune) rune {
+				if r == '/' || r == 0 {
+					return 'x'
+				}
+				return r
+			}, p)
+			if p == "" || p == "." || p == ".." || len(p) > MaxNameLen {
+				continue
+			}
+			clean = append(clean, p)
+		}
+		joined := JoinPath(clean)
+		got, err := SplitPath(joined)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(clean) {
+			return false
+		}
+		for i := range got {
+			if got[i] != clean[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckPerm(t *testing.T) {
+	owner := Cred{UID: 100, GID: 100}
+	group := Cred{UID: 101, GID: 100}
+	other := Cred{UID: 102, GID: 102}
+	const mode = 0o640
+	if err := CheckPerm(owner, 100, 100, mode, AccessRead|AccessWrite); err != nil {
+		t.Fatalf("owner rw: %v", err)
+	}
+	if err := CheckPerm(group, 100, 100, mode, AccessRead); err != nil {
+		t.Fatalf("group r: %v", err)
+	}
+	if err := CheckPerm(group, 100, 100, mode, AccessWrite); !errors.Is(err, ErrPerm) {
+		t.Fatalf("group w = %v, want ErrPerm", err)
+	}
+	if err := CheckPerm(other, 100, 100, mode, AccessRead); !errors.Is(err, ErrPerm) {
+		t.Fatalf("other r = %v, want ErrPerm", err)
+	}
+	if err := CheckPerm(Root, 100, 100, 0, AccessRead|AccessWrite|AccessExec); err != nil {
+		t.Fatalf("root bypass: %v", err)
+	}
+}
+
+func TestModePredicates(t *testing.T) {
+	if !IsDir(ModeDir | 0o755) {
+		t.Fatal("IsDir failed")
+	}
+	if !IsRegular(ModeRegular | 0o644) {
+		t.Fatal("IsRegular failed")
+	}
+	if !IsSymlink(ModeSymlink | 0o777) {
+		t.Fatal("IsSymlink failed")
+	}
+	if IsDir(ModeRegular) || IsRegular(ModeDir) || IsSymlink(ModeRegular) {
+		t.Fatal("mode predicates confuse types")
+	}
+}

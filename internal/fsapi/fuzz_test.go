@@ -1,0 +1,48 @@
+package fsapi
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSplitPath checks the path canonicalizer never panics, never returns
+// empty/dot components, and is idempotent through JoinPath.
+func FuzzSplitPath(f *testing.F) {
+	for _, seed := range []string{
+		"/", "", "/a/b/c", "a//b", "/../..", "/a/./b/../c", "////",
+		"/name.with.dots/..hidden", strings.Repeat("/x", 100),
+		"/" + strings.Repeat("y", MaxNameLen), "/\x00/weird",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, path string) {
+		comps, err := SplitPath(path)
+		if err != nil {
+			return // only ErrNameTooLong is allowed
+		}
+		for _, c := range comps {
+			if c == "" || c == "." || c == ".." {
+				t.Fatalf("SplitPath(%q) returned component %q", path, c)
+			}
+			if len(c) > MaxNameLen {
+				t.Fatalf("SplitPath(%q) returned overlong component", path)
+			}
+			if strings.ContainsRune(c, '/') {
+				t.Fatalf("SplitPath(%q) returned component with slash", path)
+			}
+		}
+		// Round trip: joining and re-splitting is a fixed point.
+		again, err := SplitPath(JoinPath(comps))
+		if err != nil {
+			t.Fatalf("re-split of %q failed: %v", JoinPath(comps), err)
+		}
+		if len(again) != len(comps) {
+			t.Fatalf("round trip changed length: %v vs %v", comps, again)
+		}
+		for i := range comps {
+			if comps[i] != again[i] {
+				t.Fatalf("round trip changed component %d: %v vs %v", i, comps, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package fstest
+
+import (
+	"testing"
+
+	"simurgh/internal/core"
+	"simurgh/internal/fsapi"
+	"simurgh/internal/kfs"
+	"simurgh/internal/kfs/splitfs"
+	"simurgh/internal/pmem"
+	"simurgh/internal/vfs"
+)
+
+const devSize = 128 << 20
+
+func TestSimurghConformance(t *testing.T) {
+	RunConformance(t, func() fsapi.FileSystem {
+		dev := pmem.New(devSize)
+		fs, err := core.Format(dev, fsapi.Root, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	})
+}
+
+func TestSimurghRelaxedConformance(t *testing.T) {
+	RunConformance(t, func() fsapi.FileSystem {
+		dev := pmem.New(devSize)
+		fs, err := core.Format(dev, fsapi.Root, core.Options{RelaxedWrites: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	})
+}
+
+func TestNovaConformance(t *testing.T) {
+	RunConformance(t, func() fsapi.FileSystem {
+		return vfs.New(kfs.New(kfs.KindNova, pmem.New(devSize)), nil)
+	})
+}
+
+func TestPMFSConformance(t *testing.T) {
+	RunConformance(t, func() fsapi.FileSystem {
+		return vfs.New(kfs.New(kfs.KindPMFS, pmem.New(devSize)), nil)
+	})
+}
+
+func TestExtDaxConformance(t *testing.T) {
+	RunConformance(t, func() fsapi.FileSystem {
+		return vfs.New(kfs.New(kfs.KindExtDax, pmem.New(devSize)), nil)
+	})
+}
+
+func TestSplitFSConformance(t *testing.T) {
+	RunConformance(t, func() fsapi.FileSystem {
+		return splitfs.New(pmem.New(devSize), nil)
+	})
+}

@@ -1,0 +1,305 @@
+// Package isa models the paper's proposed CPU extension for protected user
+// space functions: the jmpp (jump protected) and pret (protected return)
+// instructions, the execute-protected (ep) page-table bit, and fixed entry
+// points into protected pages.
+//
+// The paper prototypes the extension in the gem5 cycle-accurate simulator;
+// here it is a functional model plus a micro-op cycle account. The
+// functional model enforces the four security requirements of §3.1:
+//
+//  1. normal (user-mode) code cannot access file-system data pages,
+//  2. normal code cannot modify protected code pages,
+//  3. privilege transitions happen only through jmpp, and
+//  4. privileged execution can only start at predefined entry points.
+//
+// The cycle model decomposes call, jmpp/pret and syscall into micro-ops and
+// reproduces the gem5 table of §3.3 (call ≈ 24 cycles, jmpp+pret ≈ 70,
+// empty syscall ≈ 1200 on gem5 / ≈ 400 on the real testbed).
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the (simulated) page size.
+const PageSize = 4096
+
+// EntryStride is the distance between the fixed protected entry points
+// within a protected page; with 4 KB pages this yields 4 entry points at
+// offsets 0x000, 0x400, 0x800 and 0xc00 (Figure 1).
+const EntryStride = 0x400
+
+// EntryPointsPerPage is the number of jmpp targets a protected page exposes.
+const EntryPointsPerPage = PageSize / EntryStride
+
+// Privilege levels. Only user and kernel are distinguished, as in the paper.
+const (
+	CPLKernel = 0
+	CPLUser   = 3
+)
+
+// Fault kinds raised by the functional model.
+var (
+	ErrProtectionFault = errors.New("isa: protection fault (user access to kernel page)")
+	ErrWriteFault      = errors.New("isa: write fault (protected page writable only from kernel mode)")
+	ErrNotExecProt     = errors.New("isa: jmpp target page lacks the ep bit")
+	ErrBadEntryPoint   = errors.New("isa: jmpp target is not a valid protected entry point")
+	ErrNotPresent      = errors.New("isa: page not present")
+	ErrBadPret         = errors.New("isa: pret without matching jmpp")
+	ErrNeedKernel      = errors.New("isa: operation requires kernel mode")
+)
+
+// PTE is a page-table entry in the extended design.
+type PTE struct {
+	Present bool
+	// User marks the page accessible from user mode (like the x86 U/S bit).
+	// File-system data/metadata pages and protected code pages are kernel
+	// pages (User=false).
+	User bool
+	// Writable marks the page writable at its privilege level.
+	Writable bool
+	// EP is the new execute-protected bit: the page may be entered via jmpp.
+	EP bool
+}
+
+// ProtectedFunc is the body of a protected function. It runs with the CPU in
+// kernel mode and may perform nested jmpp calls through the same CPU.
+type ProtectedFunc func(cpu *CPU) error
+
+// entrySlot describes one fixed entry point of a protected page.
+type entrySlot struct {
+	fn ProtectedFunc
+	// padding marks an entry offset that falls inside the body of a longer
+	// function; per the paper the instruction there is deliberately a nop,
+	// which makes the slot an invalid jmpp target.
+	padding bool
+}
+
+// Memory is a paged address space with the extended page-table format.
+type Memory struct {
+	pages   map[uint64]*PTE
+	entries map[uint64]*[EntryPointsPerPage]entrySlot // page base -> slots
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory {
+	return &Memory{
+		pages:   make(map[uint64]*PTE),
+		entries: make(map[uint64]*[EntryPointsPerPage]entrySlot),
+	}
+}
+
+// Map installs a PTE for the page containing addr.
+func (m *Memory) Map(addr uint64, pte PTE) {
+	p := pte
+	m.pages[addr/PageSize] = &p
+}
+
+// Lookup returns the PTE for addr, or nil if unmapped.
+func (m *Memory) Lookup(addr uint64) *PTE {
+	return m.pages[addr/PageSize]
+}
+
+// CPU models the privilege state of one hardware thread.
+type CPU struct {
+	mem *Memory
+	cpl int
+	// nested counts outstanding jmpp frames (§3.1: nested protected calls
+	// increment a counter that pret decrements).
+	nested int
+	// onProtectedStack records that the stack pointer was switched into the
+	// protected pages on entry (§3.2 stack-modification defence).
+	onProtectedStack bool
+	// savedCPL holds the privilege level across a simulated preemption.
+	savedCPL int
+
+	Cycles uint64 // accumulated cycle count of executed instructions
+}
+
+// NewCPU returns a CPU in user mode attached to mem.
+func NewCPU(mem *Memory) *CPU {
+	return &CPU{mem: mem, cpl: CPLUser, savedCPL: CPLUser}
+}
+
+// CPL returns the current privilege level.
+func (c *CPU) CPL() int { return c.cpl }
+
+// Nested returns the protected-call nesting depth.
+func (c *CPU) Nested() int { return c.nested }
+
+// OnProtectedStack reports whether execution currently uses the protected stack.
+func (c *CPU) OnProtectedStack() bool { return c.onProtectedStack }
+
+// Load checks a data read at addr under the current privilege level.
+func (c *CPU) Load(addr uint64) error {
+	pte := c.mem.Lookup(addr)
+	switch {
+	case pte == nil || !pte.Present:
+		return ErrNotPresent
+	case !pte.User && c.cpl != CPLKernel:
+		return ErrProtectionFault
+	}
+	return nil
+}
+
+// Store checks a data write at addr under the current privilege level.
+// Beyond the classic U/S check, the extension requires that pages carrying
+// the ep bit are writable only from kernel mode, so user code can never
+// patch a protected function.
+func (c *CPU) Store(addr uint64) error {
+	pte := c.mem.Lookup(addr)
+	switch {
+	case pte == nil || !pte.Present:
+		return ErrNotPresent
+	case !pte.User && c.cpl != CPLKernel:
+		return ErrProtectionFault
+	case !pte.Writable:
+		return ErrWriteFault
+	case pte.EP && c.cpl != CPLKernel:
+		return ErrWriteFault
+	}
+	return nil
+}
+
+// Jmpp executes the jump-protected instruction to target. On success the
+// registered protected function runs in kernel mode and Jmpp performs the
+// matching pret before returning. The returned error is either a fault from
+// the jmpp itself or the error returned by the protected function.
+func (c *CPU) Jmpp(target uint64) error {
+	c.Cycles += CyclesJmpp
+	pte := c.mem.Lookup(target)
+	switch {
+	case pte == nil || !pte.Present:
+		return ErrNotPresent
+	case !pte.EP:
+		return ErrNotExecProt
+	case target%EntryStride != 0:
+		return ErrBadEntryPoint
+	}
+	slots := c.mem.entries[target/PageSize*PageSize]
+	if slots == nil {
+		return ErrBadEntryPoint
+	}
+	slot := slots[(target%PageSize)/EntryStride]
+	if slot.fn == nil || slot.padding {
+		// The first instruction at this entry offset is a nop (or nothing):
+		// per §3.1 the CPU raises an exception rather than escalate.
+		return ErrBadEntryPoint
+	}
+
+	// Privilege escalation: CPL -> kernel, nesting counter++, stack switch.
+	prevStack := c.onProtectedStack
+	c.cpl = CPLKernel
+	c.nested++
+	c.onProtectedStack = true
+
+	err := slot.fn(c)
+
+	// pret: nesting counter--, restore user mode at depth zero.
+	c.Cycles += CyclesPret
+	c.nested--
+	c.onProtectedStack = prevStack
+	if c.nested == 0 {
+		c.cpl = CPLUser
+	}
+	return err
+}
+
+// Pret models a stray pret executed without a matching jmpp frame.
+func (c *CPU) Pret() error {
+	if c.nested == 0 {
+		return ErrBadPret
+	}
+	return nil
+}
+
+// Preempt simulates the CPU being preempted by the OS scheduler and later
+// resumed. The paper modifies the scheduler so that, upon returning from
+// interrupts, the CPL is restored with regard to the running mode; the
+// nesting counter and privilege level must survive.
+func (c *CPU) Preempt() (resume func()) {
+	saved := c.cpl
+	c.savedCPL = saved
+	// While preempted the kernel runs; on resume the scheduler restores the
+	// task's CPL (kernel if it was inside a protected function).
+	return func() { c.cpl = saved }
+}
+
+// Supervisor models the trusted kernel module that bootstraps protected
+// libraries (Figure 2): it loads a library's functions into fresh protected
+// pages, sets the ep bit, and registers the entry points. Only a Supervisor
+// can set ep bits or install entry points.
+type Supervisor struct {
+	mem      *Memory
+	nextPage uint64
+}
+
+// NewSupervisor returns a supervisor allocating protected pages starting at base.
+func NewSupervisor(mem *Memory, base uint64) *Supervisor {
+	return &Supervisor{mem: mem, nextPage: base / PageSize}
+}
+
+// LoadProtected implements the load_protected() system call: it maps the
+// given functions into protected pages (four entry points per page), marks
+// the pages kernel-only + ep, and returns the entry address of each function
+// in order. Functions whose simulated size exceeds one entry stride consume
+// the following slots as nop padding (Figure 1's open() example).
+//
+// sizes[i] gives the simulated code size of fns[i] in bytes; pass 0 for a
+// function that fits one stride.
+func (s *Supervisor) LoadProtected(fns []ProtectedFunc, sizes []int) ([]uint64, error) {
+	if len(sizes) != 0 && len(sizes) != len(fns) {
+		return nil, fmt.Errorf("isa: LoadProtected: %d sizes for %d functions", len(sizes), len(fns))
+	}
+	addrs := make([]uint64, 0, len(fns))
+	var page uint64
+	slotIdx := EntryPointsPerPage // force page allocation on first use
+	var slots *[EntryPointsPerPage]entrySlot
+	for i, fn := range fns {
+		need := 1
+		if len(sizes) > 0 && sizes[i] > EntryStride {
+			need = (sizes[i] + EntryStride - 1) / EntryStride
+		}
+		if slotIdx+need > EntryPointsPerPage {
+			page = s.nextPage * PageSize
+			s.nextPage++
+			s.mem.Map(page, PTE{Present: true, User: false, Writable: true, EP: true})
+			slots = new([EntryPointsPerPage]entrySlot)
+			s.mem.entries[page] = slots
+			slotIdx = 0
+		}
+		addr := page + uint64(slotIdx)*EntryStride
+		slots[slotIdx] = entrySlot{fn: fn}
+		for j := 1; j < need; j++ {
+			slots[slotIdx+j] = entrySlot{padding: true}
+		}
+		slotIdx += need
+		addrs = append(addrs, addr)
+	}
+	return addrs, nil
+}
+
+// MapData maps a kernel-only data page (file-system data/metadata in NVMM).
+func (s *Supervisor) MapData(addr uint64, writable bool) {
+	s.mem.Map(addr, PTE{Present: true, User: false, Writable: writable})
+}
+
+// MapUser maps an ordinary user page.
+func (s *Supervisor) MapUser(addr uint64, writable bool) {
+	s.mem.Map(addr, PTE{Present: true, User: true, Writable: writable})
+}
+
+// SetEP attempts to set the ep bit on the page containing addr on behalf of
+// code running at the given privilege level. Only kernel mode may do this.
+func (s *Supervisor) SetEP(addr uint64, cpl int) error {
+	if cpl != CPLKernel {
+		return ErrNeedKernel
+	}
+	pte := s.mem.Lookup(addr)
+	if pte == nil {
+		return ErrNotPresent
+	}
+	pte.EP = true
+	return nil
+}

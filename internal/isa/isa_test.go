@@ -1,0 +1,335 @@
+package isa
+
+import (
+	"errors"
+	"testing"
+)
+
+// newWorld builds a memory with one supervisor and a user CPU.
+func newWorld() (*Memory, *Supervisor, *CPU) {
+	mem := NewMemory()
+	sup := NewSupervisor(mem, 0x100000)
+	cpu := NewCPU(mem)
+	return mem, sup, cpu
+}
+
+func TestUserCannotReadKernelPage(t *testing.T) {
+	_, sup, cpu := newWorld()
+	sup.MapData(0x5000, true) // NVMM metadata page: kernel-only
+	if err := cpu.Load(0x5000); !errors.Is(err, ErrProtectionFault) {
+		t.Fatalf("user load of kernel page: %v, want protection fault", err)
+	}
+}
+
+func TestUserCannotWriteKernelPage(t *testing.T) {
+	_, sup, cpu := newWorld()
+	sup.MapData(0x5000, true)
+	if err := cpu.Store(0x5000); !errors.Is(err, ErrProtectionFault) {
+		t.Fatalf("user store to kernel page: %v, want protection fault", err)
+	}
+}
+
+func TestUserCanAccessUserPage(t *testing.T) {
+	_, sup, cpu := newWorld()
+	sup.MapUser(0x6000, true)
+	if err := cpu.Load(0x6000); err != nil {
+		t.Fatalf("user load of user page: %v", err)
+	}
+	if err := cpu.Store(0x6000); err != nil {
+		t.Fatalf("user store to user page: %v", err)
+	}
+}
+
+func TestUnmappedPageFaults(t *testing.T) {
+	_, _, cpu := newWorld()
+	if err := cpu.Load(0xdead000); !errors.Is(err, ErrNotPresent) {
+		t.Fatalf("unmapped load: %v", err)
+	}
+}
+
+func TestProtectedPageNotWritableFromUser(t *testing.T) {
+	// Requirement 2: normal functions cannot change protected code, even if
+	// the page is writable (it is writable only from kernel mode).
+	_, sup, cpu := newWorld()
+	addrs, err := sup.LoadProtected([]ProtectedFunc{func(*CPU) error { return nil }}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cpu.Store(addrs[0]); !errors.Is(err, ErrProtectionFault) && !errors.Is(err, ErrWriteFault) {
+		t.Fatalf("user store to protected page: %v, want fault", err)
+	}
+}
+
+func TestJmppRunsInKernelModeAndReturnsToUser(t *testing.T) {
+	_, sup, cpu := newWorld()
+	var sawCPL, sawNested int
+	var sawStack bool
+	addrs, err := sup.LoadProtected([]ProtectedFunc{func(c *CPU) error {
+		sawCPL = c.CPL()
+		sawNested = c.Nested()
+		sawStack = c.OnProtectedStack()
+		return nil
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.CPL() != CPLUser {
+		t.Fatal("CPU did not start in user mode")
+	}
+	if err := cpu.Jmpp(addrs[0]); err != nil {
+		t.Fatalf("jmpp: %v", err)
+	}
+	if sawCPL != CPLKernel {
+		t.Fatalf("protected function ran at CPL %d", sawCPL)
+	}
+	if sawNested != 1 {
+		t.Fatalf("nesting depth inside function = %d", sawNested)
+	}
+	if !sawStack {
+		t.Fatal("stack was not switched to the protected pages")
+	}
+	if cpu.CPL() != CPLUser {
+		t.Fatalf("CPL after pret = %d, want user", cpu.CPL())
+	}
+	if cpu.Nested() != 0 {
+		t.Fatalf("nesting depth after pret = %d", cpu.Nested())
+	}
+	if cpu.OnProtectedStack() {
+		t.Fatal("still on protected stack after pret")
+	}
+}
+
+func TestJmppToPageWithoutEPFaults(t *testing.T) {
+	// Requirement 3: privilege transition only via ep-marked pages.
+	_, sup, cpu := newWorld()
+	sup.MapUser(0x7000, true)
+	if err := cpu.Jmpp(0x7000); !errors.Is(err, ErrNotExecProt) {
+		t.Fatalf("jmpp to non-ep page: %v", err)
+	}
+}
+
+func TestJmppToMisalignedOffsetFaults(t *testing.T) {
+	// Requirement 4: only the fixed entry points are valid.
+	_, sup, cpu := newWorld()
+	addrs, _ := sup.LoadProtected([]ProtectedFunc{func(*CPU) error { return nil }}, nil)
+	if err := cpu.Jmpp(addrs[0] + 8); !errors.Is(err, ErrBadEntryPoint) {
+		t.Fatalf("jmpp into function body: %v", err)
+	}
+	if cpu.CPL() != CPLUser {
+		t.Fatal("failed jmpp escalated privilege")
+	}
+}
+
+func TestJmppToEmptySlotFaults(t *testing.T) {
+	_, sup, cpu := newWorld()
+	addrs, _ := sup.LoadProtected([]ProtectedFunc{func(*CPU) error { return nil }}, nil)
+	// Slot 1 of the same page has no function registered.
+	if err := cpu.Jmpp(addrs[0] + EntryStride); !errors.Is(err, ErrBadEntryPoint) {
+		t.Fatalf("jmpp to empty slot: %v", err)
+	}
+}
+
+func TestLongFunctionPadsNextEntryWithNop(t *testing.T) {
+	// Figure 1: open() is bigger than one stride, so the entry point that
+	// falls inside it must be a nop and therefore an invalid jmpp target.
+	_, sup, cpu := newWorld()
+	ran := false
+	addrs, err := sup.LoadProtected(
+		[]ProtectedFunc{
+			func(*CPU) error { ran = true; return nil }, // open(): > 1 KB
+			func(*CPU) error { return nil },             // read()
+		},
+		[]int{EntryStride + 100, 0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cpu.Jmpp(addrs[0]); err != nil || !ran {
+		t.Fatalf("jmpp to long function start: %v (ran=%v)", err, ran)
+	}
+	// The padded slot right after open()'s entry must fault.
+	if err := cpu.Jmpp(addrs[0] + EntryStride); !errors.Is(err, ErrBadEntryPoint) {
+		t.Fatalf("jmpp into nop padding: %v", err)
+	}
+	// read() was placed after the padding.
+	if addrs[1] != addrs[0]+2*EntryStride {
+		t.Fatalf("second function at %#x, want %#x", addrs[1], addrs[0]+2*EntryStride)
+	}
+	if err := cpu.Jmpp(addrs[1]); err != nil {
+		t.Fatalf("jmpp to function after padding: %v", err)
+	}
+}
+
+func TestNestedProtectedCalls(t *testing.T) {
+	_, sup, cpu := newWorld()
+	var innerAddr uint64
+	depths := []int{}
+	fns := []ProtectedFunc{
+		func(c *CPU) error { // outer
+			depths = append(depths, c.Nested())
+			if err := c.Jmpp(innerAddr); err != nil {
+				return err
+			}
+			// Still in kernel mode after the nested pret.
+			if c.CPL() != CPLKernel {
+				t.Error("outer frame lost kernel mode after nested pret")
+			}
+			return nil
+		},
+		func(c *CPU) error { // inner
+			depths = append(depths, c.Nested())
+			return nil
+		},
+	}
+	addrs, err := sup.LoadProtected(fns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	innerAddr = addrs[1]
+	if err := cpu.Jmpp(addrs[0]); err != nil {
+		t.Fatalf("nested jmpp: %v", err)
+	}
+	if len(depths) != 2 || depths[0] != 1 || depths[1] != 2 {
+		t.Fatalf("nesting depths = %v, want [1 2]", depths)
+	}
+	if cpu.CPL() != CPLUser || cpu.Nested() != 0 {
+		t.Fatalf("after outermost pret: CPL=%d nested=%d", cpu.CPL(), cpu.Nested())
+	}
+}
+
+func TestKernelModeInsideFunctionCanTouchNVMM(t *testing.T) {
+	_, sup, cpu := newWorld()
+	sup.MapData(0x9000, true) // NVMM page
+	var loadErr, storeErr error
+	addrs, _ := sup.LoadProtected([]ProtectedFunc{func(c *CPU) error {
+		loadErr = c.Load(0x9000)
+		storeErr = c.Store(0x9000)
+		return nil
+	}}, nil)
+	if err := cpu.Jmpp(addrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if loadErr != nil || storeErr != nil {
+		t.Fatalf("protected function NVMM access: load=%v store=%v", loadErr, storeErr)
+	}
+	// And the same accesses fault once back in user mode.
+	if err := cpu.Load(0x9000); err == nil {
+		t.Fatal("user load of NVMM page allowed after pret")
+	}
+}
+
+func TestStrayPretFaults(t *testing.T) {
+	_, _, cpu := newWorld()
+	if err := cpu.Pret(); !errors.Is(err, ErrBadPret) {
+		t.Fatalf("stray pret: %v", err)
+	}
+}
+
+func TestSetEPRequiresKernelMode(t *testing.T) {
+	_, sup, _ := newWorld()
+	if err := sup.SetEP(0x100000, CPLUser); !errors.Is(err, ErrNeedKernel) {
+		t.Fatalf("SetEP from user mode: %v", err)
+	}
+}
+
+func TestPreemptRestoresCPL(t *testing.T) {
+	_, sup, cpu := newWorld()
+	addrs, _ := sup.LoadProtected([]ProtectedFunc{func(c *CPU) error {
+		resume := c.Preempt()
+		// While preempted the kernel may run anything; on resume the
+		// modified scheduler restores kernel mode for this task.
+		c.cpl = CPLUser // clobber, as an interrupt return would
+		resume()
+		if c.CPL() != CPLKernel {
+			t.Error("CPL not restored to kernel after preemption inside protected function")
+		}
+		return nil
+	}}, nil)
+	if err := cpu.Jmpp(addrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.CPL() != CPLUser {
+		t.Fatal("CPL not user after pret")
+	}
+}
+
+func TestProtectedFunctionErrorPropagates(t *testing.T) {
+	_, sup, cpu := newWorld()
+	boom := errors.New("boom")
+	addrs, _ := sup.LoadProtected([]ProtectedFunc{func(*CPU) error { return boom }}, nil)
+	if err := cpu.Jmpp(addrs[0]); !errors.Is(err, boom) {
+		t.Fatalf("error from protected function: %v", err)
+	}
+	if cpu.CPL() != CPLUser || cpu.Nested() != 0 {
+		t.Fatal("privilege not restored after erroring protected function")
+	}
+}
+
+func TestCycleTableMatchesPaper(t *testing.T) {
+	if CyclesCallRet != 24 {
+		t.Fatalf("call+ret = %d cycles, paper says ~24", CyclesCallRet)
+	}
+	if CyclesJmppPret != 70 {
+		t.Fatalf("jmpp+pret = %d cycles, paper says ~70", CyclesJmppPret)
+	}
+	if CyclesSyscallGem5 != 1200 {
+		t.Fatalf("empty syscall (gem5) = %d cycles, paper says ~1200", CyclesSyscallGem5)
+	}
+	if CyclesSyscallModern != 400 {
+		t.Fatalf("geteuid = %d cycles, paper says ~400", CyclesSyscallModern)
+	}
+	// The headline ratio: protected calls are ~6x cheaper than syscalls on
+	// real hardware and ~17x on gem5.
+	if CyclesSyscallModern/CyclesJmppPret < 5 {
+		t.Fatal("protected call not meaningfully cheaper than syscall")
+	}
+	// ep+entry check ~6 cycles, CPL+stack ~30 cycles (paper §3.3).
+	if CyclesEPCheck != 6 || CyclesCPLSwitch != 30 {
+		t.Fatalf("micro-op split ep=%d cpl=%d, want 6/30", CyclesEPCheck, CyclesCPLSwitch)
+	}
+	if len(CycleTable()) == 0 {
+		t.Fatal("empty cycle table")
+	}
+}
+
+func TestJmppAccumulatesCycles(t *testing.T) {
+	_, sup, cpu := newWorld()
+	addrs, _ := sup.LoadProtected([]ProtectedFunc{func(*CPU) error { return nil }}, nil)
+	before := cpu.Cycles
+	if err := cpu.Jmpp(addrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := cpu.Cycles - before; got != CyclesJmppPret {
+		t.Fatalf("jmpp round trip charged %d cycles, want %d", got, CyclesJmppPret)
+	}
+}
+
+func TestManyFunctionsSpanPages(t *testing.T) {
+	_, sup, cpu := newWorld()
+	const n = 10 // > 4 entry points, must span 3 pages
+	fns := make([]ProtectedFunc, n)
+	ran := make([]bool, n)
+	for i := range fns {
+		i := i
+		fns[i] = func(*CPU) error { ran[i] = true; return nil }
+	}
+	addrs, err := sup.LoadProtected(fns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := map[uint64]bool{}
+	for i, a := range addrs {
+		pages[a/PageSize] = true
+		if err := cpu.Jmpp(a); err != nil {
+			t.Fatalf("jmpp to fn %d: %v", i, err)
+		}
+	}
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("function %d never ran", i)
+		}
+	}
+	if len(pages) != 3 {
+		t.Fatalf("10 functions occupy %d pages, want 3", len(pages))
+	}
+}

@@ -1,0 +1,198 @@
+package kfs
+
+import (
+	"runtime"
+	"sync"
+
+	"simurgh/internal/alloc"
+	"simurgh/internal/pmem"
+	"simurgh/internal/vfs"
+)
+
+// defaultNumCPU is indirected for tests.
+var defaultNumCPU = runtime.NumCPU
+
+// journal abstracts the three metadata-persistence disciplines. All three
+// do real NVMM writes so their costs are mechanical, not injected.
+type journal interface {
+	// logMeta records one metadata mutation of roughly `bytes` payload for
+	// the given inode.
+	logMeta(id vfs.NodeID, bytes int)
+	// orderPoint is where the design requires an ordering fence right after
+	// a record (undo logging needs the old value durable before the
+	// in-place write; NOVA needs the log entry durable before it counts).
+	orderPoint()
+	// commitSmall ends a small metadata transaction (create/unlink/...).
+	commitSmall()
+	// commit forces everything durable (fsync).
+	commit()
+}
+
+// ---------------------------------------------------------------------------
+// NOVA: per-inode logs. Each inode appends fixed-size log entries to its own
+// log pages; only that inode's log lock is taken, so independent inodes
+// never serialize. This is why NOVA scales for private-directory workloads.
+
+type novaLog struct {
+	dev *pmem.Device
+	ba  *alloc.BlockAlloc
+	mu  sync.Mutex
+	per map[vfs.NodeID]*inodeLog
+}
+
+type inodeLog struct {
+	mu   sync.Mutex
+	page uint64 // current log page (device offset)
+	off  uint64
+}
+
+const novaEntry = 64
+
+func newNovaLog(dev *pmem.Device, ba *alloc.BlockAlloc) *novaLog {
+	return &novaLog{dev: dev, ba: ba, per: make(map[vfs.NodeID]*inodeLog)}
+}
+
+func (j *novaLog) logOf(id vfs.NodeID) *inodeLog {
+	j.mu.Lock()
+	l := j.per[id]
+	if l == nil {
+		l = &inodeLog{}
+		j.per[id] = l
+	}
+	j.mu.Unlock()
+	return l
+}
+
+func (j *novaLog) logMeta(id vfs.NodeID, bytes int) {
+	l := j.logOf(id)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.page == 0 || l.off+novaEntry > BlockSize {
+		b, err := j.ba.Alloc(1, uint64(id))
+		if err != nil {
+			return
+		}
+		l.page = b * BlockSize
+		l.off = 0
+	}
+	var entry [novaEntry]byte
+	dst := l.page + l.off
+	j.dev.WriteAt(dst, entry[:])
+	j.dev.Flush(dst, novaEntry)
+	j.dev.Fence() // log entry durable before the operation counts
+	l.off += novaEntry
+}
+
+func (j *novaLog) orderPoint()  { j.dev.Fence() }
+func (j *novaLog) commitSmall() {}
+func (j *novaLog) commit()      { j.dev.Fence() }
+
+// ---------------------------------------------------------------------------
+// PMFS: one global undo journal. Every metadata mutation writes an undo
+// record under a single lock and fences before the in-place update — the
+// global serialization the paper calls out.
+
+type undoJournal struct {
+	dev  *pmem.Device
+	mu   sync.Mutex
+	base uint64
+	size uint64
+	off  uint64
+}
+
+const undoRecord = 64
+
+func newUndoJournal(dev *pmem.Device, base, size uint64) *undoJournal {
+	return &undoJournal{dev: dev, base: base, size: size}
+}
+
+func (j *undoJournal) logMeta(id vfs.NodeID, bytes int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.off+undoRecord > j.size {
+		j.off = 0 // wrap (checkpointing elided)
+	}
+	var rec [undoRecord]byte
+	dst := j.base + j.off
+	j.dev.WriteAt(dst, rec[:])
+	j.dev.Flush(dst, undoRecord)
+	j.dev.Fence() // undo record must be durable before the in-place write
+	j.off += undoRecord
+}
+
+func (j *undoJournal) orderPoint() { j.dev.Fence() }
+
+func (j *undoJournal) commitSmall() {
+	// Transaction end: invalidate the undo records (one more fenced write).
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var rec [8]byte
+	dst := j.base + j.off%j.size
+	j.dev.WriteAt(dst, rec[:])
+	j.dev.Flush(dst, 8)
+	j.dev.Fence()
+}
+
+func (j *undoJournal) commit() { j.commitSmall() }
+
+// ---------------------------------------------------------------------------
+// EXT4 (jbd2): one running transaction under a global lock. Records are
+// block-oriented (jbd2 journals whole metadata blocks, so the per-operation
+// payload is large), flushed immediately but fenced in batches; commits
+// write a commit record and fence.
+
+type jbd2 struct {
+	dev     *pmem.Device
+	mu      sync.Mutex
+	base    uint64
+	size    uint64
+	off     uint64
+	pending int
+}
+
+const (
+	jbd2Record    = 512 // journaled portion of a metadata block + tags
+	jbd2BatchSize = 32  // records per implicit commit
+)
+
+func newJBD2(dev *pmem.Device, base, size uint64) *jbd2 {
+	return &jbd2{dev: dev, base: base, size: size}
+}
+
+func (j *jbd2) logMeta(id vfs.NodeID, bytes int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.off+jbd2Record > j.size {
+		j.off = 0
+	}
+	var rec [jbd2Record]byte
+	dst := j.base + j.off
+	j.dev.WriteAt(dst, rec[:])
+	j.dev.Flush(dst, jbd2Record)
+	j.off += jbd2Record
+	j.pending++
+	if j.pending >= jbd2BatchSize {
+		j.commitLocked()
+	}
+}
+
+func (j *jbd2) commitLocked() {
+	var rec [64]byte // commit block header
+	dst := j.base + j.off%j.size
+	j.dev.WriteAt(dst, rec[:])
+	j.dev.Flush(dst, 64)
+	j.dev.Fence()
+	j.pending = 0
+}
+
+func (j *jbd2) orderPoint() {} // jbd2 defers ordering to the commit
+
+func (j *jbd2) commitSmall() {
+	// Handle-close: cheap, the running transaction keeps batching.
+}
+
+func (j *jbd2) commit() {
+	j.mu.Lock()
+	j.commitLocked()
+	j.mu.Unlock()
+}

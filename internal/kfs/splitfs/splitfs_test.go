@@ -1,0 +1,145 @@
+package splitfs
+
+import (
+	"bytes"
+	"testing"
+
+	"simurgh/internal/fsapi"
+	"simurgh/internal/pmem"
+)
+
+func newSFS(t *testing.T) (*FS, fsapi.Client) {
+	t.Helper()
+	fs := New(pmem.New(256<<20), nil)
+	c, err := fs.Attach(fsapi.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, c
+}
+
+func TestStagedAppendsVisibleAndDurable(t *testing.T) {
+	_, c := newSFS(t)
+	fd, err := c.Open("/log", fsapi.OCreate|fsapi.OWronly|fsapi.OAppend, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appends smaller than a block, crossing block boundaries.
+	var want []byte
+	for i := 0; i < 20; i++ {
+		chunk := bytes.Repeat([]byte{byte(i + 1)}, 1000)
+		if _, err := c.Write(fd, chunk); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, chunk...)
+	}
+	// Size must include staged-but-not-relinked bytes.
+	st, _ := c.Fstat(fd)
+	if st.Size != uint64(len(want)) {
+		t.Fatalf("visible size = %d, want %d", st.Size, len(want))
+	}
+	if err := c.Fsync(fd); err != nil {
+		t.Fatal(err)
+	}
+	c.Close(fd)
+	fd, _ = c.Open("/log", fsapi.ORdonly, 0)
+	got := make([]byte, len(want))
+	n, _ := c.Pread(fd, got, 0)
+	if n != len(want) || !bytes.Equal(got, want) {
+		t.Fatalf("staged append data corrupted (n=%d)", n)
+	}
+}
+
+func TestReadSeesPendingStagedData(t *testing.T) {
+	_, c := newSFS(t)
+	fd, _ := c.Open("/f", fsapi.OCreate|fsapi.ORdwr|fsapi.OAppend, 0o644)
+	c.Write(fd, []byte("staged-not-synced"))
+	// No fsync: a read must still see the append (relink-on-read).
+	buf := make([]byte, 32)
+	n, err := c.Pread(fd, buf, 0)
+	if err != nil || string(buf[:n]) != "staged-not-synced" {
+		t.Fatalf("read staged = (%q, %v)", buf[:n], err)
+	}
+}
+
+func TestUnalignedTailAppendAfterRelink(t *testing.T) {
+	_, c := newSFS(t)
+	fd, _ := c.Open("/f", fsapi.OCreate|fsapi.ORdwr|fsapi.OAppend, 0o644)
+	// First append leaves an unaligned tail, relink, then append again:
+	// the second staging round starts mid-block.
+	c.Write(fd, bytes.Repeat([]byte{0xAA}, 5000))
+	c.Fsync(fd)
+	c.Write(fd, bytes.Repeat([]byte{0xBB}, 5000))
+	c.Fsync(fd)
+	got := make([]byte, 10000)
+	n, _ := c.Pread(fd, got, 0)
+	if n != 10000 {
+		t.Fatalf("read %d bytes", n)
+	}
+	for i := 0; i < 5000; i++ {
+		if got[i] != 0xAA {
+			t.Fatalf("byte %d = %x, want AA", i, got[i])
+		}
+	}
+	for i := 5000; i < 10000; i++ {
+		if got[i] != 0xBB {
+			t.Fatalf("byte %d = %x, want BB", i, got[i])
+		}
+	}
+}
+
+func TestOverwriteBypassesStaging(t *testing.T) {
+	_, c := newSFS(t)
+	fd, _ := c.Open("/f", fsapi.OCreate|fsapi.ORdwr, 0o644)
+	c.Pwrite(fd, bytes.Repeat([]byte{1}, 8192), 0)
+	// In-place overwrite within the file.
+	if _, err := c.Pwrite(fd, []byte{9, 9, 9}, 100); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	c.Pread(fd, buf, 99)
+	if buf[0] != 1 || buf[1] != 9 || buf[2] != 9 || buf[3] != 9 || buf[4] != 1 {
+		t.Fatalf("overwrite result = %v", buf)
+	}
+}
+
+func TestUnlinkDropsStagedData(t *testing.T) {
+	fs, c := newSFS(t)
+	fd, _ := c.Open("/gone", fsapi.OCreate|fsapi.OWronly|fsapi.OAppend, 0o644)
+	c.Write(fd, make([]byte, 100000))
+	if err := c.Unlink("/gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/gone"); err != fsapi.ErrNotExist {
+		t.Fatalf("stat after unlink = %v", err)
+	}
+	_ = fs
+}
+
+func TestCloseRelinksPending(t *testing.T) {
+	_, c := newSFS(t)
+	fd, _ := c.Open("/f", fsapi.OCreate|fsapi.OWronly|fsapi.OAppend, 0o644)
+	c.Write(fd, []byte("pending"))
+	c.Close(fd)
+	st, err := c.Stat("/f")
+	if err != nil || st.Size != 7 {
+		t.Fatalf("size after close = (%d, %v)", st.Size, err)
+	}
+}
+
+func TestMetadataPathThroughKernel(t *testing.T) {
+	_, c := newSFS(t)
+	if err := c.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("/d/x", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("/d/x", "/d/y"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := c.ReadDir("/d")
+	if err != nil || len(ents) != 1 || ents[0].Name != "y" {
+		t.Fatalf("readdir = (%v, %v)", ents, err)
+	}
+}

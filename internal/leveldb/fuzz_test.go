@@ -1,0 +1,51 @@
+package leveldb
+
+import (
+	"testing"
+
+	"simurgh/internal/core"
+	"simurgh/internal/fsapi"
+	"simurgh/internal/pmem"
+)
+
+// FuzzPutGetDelete drives the store with arbitrary keys and values; every
+// accepted write must read back exactly, across flush boundaries.
+func FuzzPutGetDelete(f *testing.F) {
+	f.Add("key", []byte("value"), false)
+	f.Add("", []byte{}, true)
+	f.Add("k\x00odd", []byte{0xff, 0x00}, false)
+	dev := pmem.New(128 << 20)
+	fs, err := core.Format(dev, fsapi.Root, core.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	c, _ := fs.Attach(fsapi.Root)
+	db, err := Open(c, "/db", Options{MemtableBytes: 4096})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, key string, value []byte, del bool) {
+		if len(key) > 1000 || len(value) > 10000 {
+			return
+		}
+		if del {
+			if err := db.Delete(key); err != nil {
+				t.Fatalf("delete(%q): %v", key, err)
+			}
+			if _, ok, err := db.Get(key); err != nil || ok {
+				t.Fatalf("deleted key visible: ok=%v err=%v", ok, err)
+			}
+			return
+		}
+		if err := db.Put(key, string(value)); err != nil {
+			t.Fatalf("put(%q): %v", key, err)
+		}
+		got, ok, err := db.Get(key)
+		if err != nil || !ok {
+			t.Fatalf("get(%q) = (%v, %v)", key, ok, err)
+		}
+		if got != string(value) {
+			t.Fatalf("value mismatch for %q: %d vs %d bytes", key, len(got), len(value))
+		}
+	})
+}

@@ -1,0 +1,430 @@
+// Package leveldb is a compact LevelDB-style LSM key-value store written
+// against the fsapi interface. It exists because the paper's YCSB
+// experiments run LevelDB on top of each file system; what matters for the
+// reproduction is the I/O shape LevelDB induces — write-ahead-log appends
+// with fsyncs on every update, periodic SSTable creation (large sequential
+// writes + fsync + rename), table deletion during compaction, and random
+// reads of table blocks — all of which this implementation performs for
+// real through the file system under test.
+//
+// Supported operations: Put, Get, Delete, Scan (for YCSB workload E), and
+// Close. Durability follows LevelDB's default: the WAL is appended per
+// update and synced according to Options.SyncWrites.
+package leveldb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"simurgh/internal/fsapi"
+)
+
+// Options tunes the store.
+type Options struct {
+	// MemtableBytes triggers a flush when the memtable reaches this size.
+	MemtableBytes int
+	// L0Tables triggers a compaction when this many L0 tables exist.
+	L0Tables int
+	// SyncWrites fsyncs the WAL on every update (LevelDB sync=true).
+	SyncWrites bool
+}
+
+func (o *Options) fill() {
+	if o.MemtableBytes == 0 {
+		o.MemtableBytes = 1 << 20
+	}
+	if o.L0Tables == 0 {
+		o.L0Tables = 4
+	}
+}
+
+// DB is an open store.
+type DB struct {
+	c    fsapi.Client
+	dir  string
+	opts Options
+
+	mu       sync.RWMutex
+	mem      map[string]entry
+	memBytes int
+	walFD    fsapi.FD
+	walPath  string
+	seq      uint64 // next table file number
+
+	l0 []*table // newest first
+	l1 *table
+}
+
+type entry struct {
+	value   string
+	deleted bool
+}
+
+// table is an open SSTable with its index resident in memory.
+type table struct {
+	path string
+	keys []string // sorted
+	offs []uint64 // record offset per key
+	fd   fsapi.FD
+}
+
+// Open creates or reuses a store in dir (created if missing).
+func Open(c fsapi.Client, dir string, opts Options) (*DB, error) {
+	opts.fill()
+	if _, err := c.Stat(dir); err != nil {
+		if err := c.Mkdir(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	db := &DB{c: c, dir: dir, opts: opts, mem: make(map[string]entry)}
+	if err := db.newWAL(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) newWAL() error {
+	db.walPath = fmt.Sprintf("%s/%06d.log", db.dir, db.seq)
+	db.seq++
+	fd, err := db.c.Open(db.walPath, fsapi.OCreate|fsapi.OWronly|fsapi.OAppend|fsapi.OTrunc, 0o644)
+	if err != nil {
+		return err
+	}
+	db.walFD = fd
+	return nil
+}
+
+// record encodes one update: flags(1) klen(4) vlen(4) key value.
+func appendRecord(buf []byte, key, value string, deleted bool) []byte {
+	var hdr [9]byte
+	if deleted {
+		hdr[0] = 1
+	}
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(value)))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, key...)
+	buf = append(buf, value...)
+	return buf
+}
+
+// Put inserts or overwrites a key.
+func (db *DB) Put(key, value string) error {
+	return db.write(key, value, false)
+}
+
+// Delete removes a key (via tombstone).
+func (db *DB) Delete(key string) error {
+	return db.write(key, "", true)
+}
+
+func (db *DB) write(key, value string, deleted bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec := appendRecord(nil, key, value, deleted)
+	if _, err := db.c.Write(db.walFD, rec); err != nil {
+		return err
+	}
+	if db.opts.SyncWrites {
+		if err := db.c.Fsync(db.walFD); err != nil {
+			return err
+		}
+	}
+	db.mem[key] = entry{value: value, deleted: deleted}
+	db.memBytes += len(rec)
+	if db.memBytes >= db.opts.MemtableBytes {
+		return db.flushLocked()
+	}
+	return nil
+}
+
+// Get returns the value for key. The read lock is held across table reads
+// so a concurrent compaction cannot close the table descriptors mid-read.
+func (db *DB) Get(key string) (string, bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if e, ok := db.mem[key]; ok {
+		if e.deleted {
+			return "", false, nil
+		}
+		return e.value, true, nil
+	}
+	tables := make([]*table, 0, len(db.l0)+1)
+	tables = append(tables, db.l0...)
+	if db.l1 != nil {
+		tables = append(tables, db.l1)
+	}
+	for _, t := range tables {
+		v, del, ok, err := db.tableGet(t, key)
+		if err != nil {
+			return "", false, err
+		}
+		if ok {
+			if del {
+				return "", false, nil
+			}
+			return v, true, nil
+		}
+	}
+	return "", false, nil
+}
+
+// tableGet binary-searches the resident index and reads one record.
+func (db *DB) tableGet(t *table, key string) (string, bool, bool, error) {
+	i := sort.SearchStrings(t.keys, key)
+	if i >= len(t.keys) || t.keys[i] != key {
+		return "", false, false, nil
+	}
+	val, del, err := db.readRecord(t, t.offs[i])
+	return val, del, err == nil, err
+}
+
+func (db *DB) readRecord(t *table, off uint64) (string, bool, error) {
+	var hdr [9]byte
+	if _, err := db.c.Pread(t.fd, hdr[:], off); err != nil {
+		return "", false, err
+	}
+	klen := binary.LittleEndian.Uint32(hdr[1:])
+	vlen := binary.LittleEndian.Uint32(hdr[5:])
+	buf := make([]byte, klen+vlen)
+	if _, err := db.c.Pread(t.fd, buf, off+9); err != nil {
+		return "", false, err
+	}
+	return string(buf[klen:]), hdr[0] == 1, nil
+}
+
+// Scan returns up to count live key/value pairs with key >= start, in key
+// order (YCSB workload E).
+func (db *DB) Scan(start string, count int) ([][2]string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	// Collect candidates newest-source-first so the first hit per key wins.
+	seen := map[string]entry{}
+	for k, e := range db.mem {
+		if k >= start {
+			seen[k] = e
+		}
+	}
+	tables := make([]*table, 0, len(db.l0)+1)
+	tables = append(tables, db.l0...)
+	if db.l1 != nil {
+		tables = append(tables, db.l1)
+	}
+	for _, t := range tables {
+		i := sort.SearchStrings(t.keys, start)
+		for j := i; j < len(t.keys) && j < i+count*2; j++ {
+			k := t.keys[j]
+			if _, ok := seen[k]; ok {
+				continue
+			}
+			v, del, err := db.readRecord(t, t.offs[j])
+			if err != nil {
+				return nil, err
+			}
+			seen[k] = entry{value: v, deleted: del}
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][2]string, 0, count)
+	for _, k := range keys {
+		e := seen[k]
+		if e.deleted {
+			continue
+		}
+		out = append(out, [2]string{k, e.value})
+		if len(out) >= count {
+			break
+		}
+	}
+	return out, nil
+}
+
+// flushLocked writes the memtable as a new L0 SSTable and resets the WAL.
+func (db *DB) flushLocked() error {
+	if len(db.mem) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(db.mem))
+	for k := range db.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	recs := make(map[string]entry, len(db.mem))
+	for k, v := range db.mem {
+		recs[k] = v
+	}
+	t, err := db.writeTable(keys, func(k string) (string, bool) {
+		e := recs[k]
+		return e.value, e.deleted
+	})
+	if err != nil {
+		return err
+	}
+	db.l0 = append([]*table{t}, db.l0...)
+	// Retire the WAL and start fresh.
+	db.c.Close(db.walFD)
+	db.c.Unlink(db.walPath)
+	if err := db.newWAL(); err != nil {
+		return err
+	}
+	db.mem = make(map[string]entry)
+	db.memBytes = 0
+	if len(db.l0) >= db.opts.L0Tables {
+		return db.compactLocked()
+	}
+	return nil
+}
+
+// writeTable creates an SSTable file for the sorted keys.
+func (db *DB) writeTable(keys []string, val func(string) (string, bool)) (*table, error) {
+	path := fmt.Sprintf("%s/%06d.sst", db.dir, db.seq)
+	db.seq++
+	tmp := path + ".tmp"
+	fd, err := db.c.Open(tmp, fsapi.OCreate|fsapi.OWronly|fsapi.OTrunc, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	t := &table{path: path, keys: keys}
+	var buf []byte
+	var off uint64
+	for _, k := range keys {
+		v, del := val(k)
+		t.offs = append(t.offs, off)
+		rec := appendRecord(nil, k, v, del)
+		buf = append(buf, rec...)
+		off += uint64(len(rec))
+		if len(buf) >= 1<<20 {
+			if _, err := db.c.Write(fd, buf); err != nil {
+				return nil, err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := db.c.Write(fd, buf); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.c.Fsync(fd); err != nil {
+		return nil, err
+	}
+	db.c.Close(fd)
+	// Publish atomically, as LevelDB does via the MANIFEST + rename.
+	if err := db.c.Rename(tmp, path); err != nil {
+		return nil, err
+	}
+	if err := db.writeManifest(); err != nil {
+		return nil, err
+	}
+	rfd, err := db.c.Open(path, fsapi.ORdonly, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.fd = rfd
+	return t, nil
+}
+
+// writeManifest records the current table set (create, write, fsync,
+// rename — the metadata-heavy part of LevelDB).
+func (db *DB) writeManifest() error {
+	tmp := db.dir + "/MANIFEST.tmp"
+	fd, err := db.c.Open(tmp, fsapi.OCreate|fsapi.OWronly|fsapi.OTrunc, 0o644)
+	if err != nil {
+		return err
+	}
+	var sb strings.Builder
+	for _, t := range db.l0 {
+		sb.WriteString(t.path)
+		sb.WriteByte('\n')
+	}
+	if db.l1 != nil {
+		sb.WriteString(db.l1.path)
+		sb.WriteByte('\n')
+	}
+	if _, err := db.c.Write(fd, []byte(sb.String())); err != nil {
+		return err
+	}
+	if err := db.c.Fsync(fd); err != nil {
+		return err
+	}
+	db.c.Close(fd)
+	return db.c.Rename(tmp, db.dir+"/MANIFEST")
+}
+
+// compactLocked merges all L0 tables and the current L1 into a new L1.
+func (db *DB) compactLocked() error {
+	sources := append([]*table{}, db.l0...)
+	if db.l1 != nil {
+		sources = append(sources, db.l1)
+	}
+	// Newest-first merge: first occurrence of a key wins.
+	merged := map[string]entry{}
+	var keys []string
+	for _, t := range sources {
+		for i, k := range t.keys {
+			if _, ok := merged[k]; ok {
+				continue
+			}
+			v, del, err := db.readRecord(t, t.offs[i])
+			if err != nil {
+				return err
+			}
+			merged[k] = entry{value: v, deleted: del}
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	// Drop tombstones entirely at the bottom level.
+	live := keys[:0]
+	for _, k := range keys {
+		if !merged[k].deleted {
+			live = append(live, k)
+		}
+	}
+	nt, err := db.writeTable(live, func(k string) (string, bool) {
+		e := merged[k]
+		return e.value, false
+	})
+	if err != nil {
+		return err
+	}
+	for _, t := range sources {
+		db.c.Close(t.fd)
+		db.c.Unlink(t.path)
+	}
+	db.l0 = nil
+	db.l1 = nt
+	return db.writeManifest()
+}
+
+// Flush forces the memtable out (used by benchmarks to settle state).
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.flushLocked()
+}
+
+// Close flushes and releases the store.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	db.c.Close(db.walFD)
+	db.c.Unlink(db.walPath)
+	for _, t := range db.l0 {
+		db.c.Close(t.fd)
+	}
+	if db.l1 != nil {
+		db.c.Close(db.l1.fd)
+	}
+	return nil
+}

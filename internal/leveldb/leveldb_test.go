@@ -1,0 +1,261 @@
+package leveldb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"simurgh/internal/core"
+	"simurgh/internal/fsapi"
+	"simurgh/internal/pmem"
+)
+
+func newDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	dev := pmem.New(256 << 20)
+	fs, err := core.Format(dev, fsapi.Root, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := fs.Attach(fsapi.Root)
+	db, err := Open(c, "/db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPutGet(t *testing.T) {
+	db := newDB(t, Options{})
+	if err := db.Put("alpha", "1"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Get("alpha")
+	if err != nil || !ok || v != "1" {
+		t.Fatalf("get = (%q, %v, %v)", v, ok, err)
+	}
+	if _, ok, _ := db.Get("missing"); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	db := newDB(t, Options{})
+	db.Put("k", "old")
+	db.Put("k", "new")
+	v, ok, _ := db.Get("k")
+	if !ok || v != "new" {
+		t.Fatalf("get = %q", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := newDB(t, Options{})
+	db.Put("k", "v")
+	db.Delete("k")
+	if _, ok, _ := db.Get("k"); ok {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestFlushAndReadFromTable(t *testing.T) {
+	db := newDB(t, Options{MemtableBytes: 1024})
+	for i := 0; i < 200; i++ {
+		if err := db.Put(fmt.Sprintf("key%04d", i), fmt.Sprintf("val%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Several flushes have happened; all keys must still be readable.
+	for i := 0; i < 200; i++ {
+		v, ok, err := db.Get(fmt.Sprintf("key%04d", i))
+		if err != nil || !ok || v != fmt.Sprintf("val%d", i) {
+			t.Fatalf("key%04d = (%q, %v, %v)", i, v, ok, err)
+		}
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	db := newDB(t, Options{MemtableBytes: 512, L0Tables: 2})
+	for i := 0; i < 500; i++ {
+		db.Put(fmt.Sprintf("k%05d", i%100), fmt.Sprintf("gen%d", i))
+	}
+	if len(db.l0) >= db.opts.L0Tables {
+		t.Fatalf("compaction never ran: %d L0 tables", len(db.l0))
+	}
+	// Latest generation must win for every key.
+	for i := 400; i < 500; i++ {
+		k := fmt.Sprintf("k%05d", i%100)
+		v, ok, err := db.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("%s = (%v, %v)", k, ok, err)
+		}
+		if v != fmt.Sprintf("gen%d", i) {
+			t.Fatalf("%s = %q, want gen%d", k, v, i)
+		}
+	}
+}
+
+func TestDeleteAcrossCompaction(t *testing.T) {
+	db := newDB(t, Options{MemtableBytes: 256, L0Tables: 2})
+	for i := 0; i < 50; i++ {
+		db.Put(fmt.Sprintf("d%03d", i), "x")
+	}
+	for i := 0; i < 50; i += 2 {
+		db.Delete(fmt.Sprintf("d%03d", i))
+	}
+	db.Flush()
+	for i := 0; i < 50; i++ {
+		_, ok, _ := db.Get(fmt.Sprintf("d%03d", i))
+		if i%2 == 0 && ok {
+			t.Fatalf("deleted d%03d visible", i)
+		}
+		if i%2 == 1 && !ok {
+			t.Fatalf("live d%03d lost", i)
+		}
+	}
+}
+
+func TestScan(t *testing.T) {
+	db := newDB(t, Options{MemtableBytes: 512})
+	for i := 0; i < 100; i++ {
+		db.Put(fmt.Sprintf("s%04d", i), fmt.Sprintf("v%d", i))
+	}
+	out, err := db.Scan("s0050", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 10 {
+		t.Fatalf("scan returned %d", len(out))
+	}
+	for i, kv := range out {
+		want := fmt.Sprintf("s%04d", 50+i)
+		if kv[0] != want {
+			t.Fatalf("scan[%d] = %q, want %q", i, kv[0], want)
+		}
+	}
+}
+
+func TestScanSkipsDeleted(t *testing.T) {
+	db := newDB(t, Options{})
+	db.Put("a1", "x")
+	db.Put("a2", "y")
+	db.Put("a3", "z")
+	db.Delete("a2")
+	out, _ := db.Scan("a1", 10)
+	if len(out) != 2 || out[0][0] != "a1" || out[1][0] != "a3" {
+		t.Fatalf("scan = %v", out)
+	}
+}
+
+func TestRandomizedAgainstModel(t *testing.T) {
+	db := newDB(t, Options{MemtableBytes: 2048, L0Tables: 3})
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("r%03d", rng.Intn(300))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("v%d", i)
+			if err := db.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		case 2:
+			if err := db.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		}
+	}
+	for k, want := range model {
+		v, ok, err := db.Get(k)
+		if err != nil || !ok || v != want {
+			t.Fatalf("%s = (%q, %v, %v), want %q", k, v, ok, err, want)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("r%03d", i)
+		if _, inModel := model[k]; !inModel {
+			if _, ok, _ := db.Get(k); ok {
+				t.Fatalf("%s should be absent", k)
+			}
+		}
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	db := newDB(t, Options{MemtableBytes: 8192})
+	big := make([]byte, 16000)
+	for i := range big {
+		big[i] = byte(i % 251)
+	}
+	db.Put("big", string(big))
+	db.Flush()
+	v, ok, err := db.Get("big")
+	if err != nil || !ok || v != string(big) {
+		t.Fatalf("big value corrupted (ok=%v err=%v len=%d)", ok, err, len(v))
+	}
+}
+
+func TestSyncWrites(t *testing.T) {
+	db := newDB(t, Options{SyncWrites: true})
+	for i := 0; i < 50; i++ {
+		if err := db.Put(fmt.Sprintf("s%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, _ := db.Get("s25"); !ok {
+		t.Fatal("synced write lost")
+	}
+}
+
+func TestConcurrentReadersDuringCompaction(t *testing.T) {
+	// Readers must never observe closed table descriptors while a writer
+	// triggers flushes and compactions (regression: Get raced compaction).
+	db := newDB(t, Options{MemtableBytes: 512, L0Tables: 2})
+	for i := 0; i < 100; i++ {
+		db.Put(fmt.Sprintf("w%03d", i), "seed")
+	}
+	stop := make(chan struct{})
+	errs := make(chan error, 4)
+	for r := 0; r < 3; r++ {
+		go func(r int) {
+			rng := rand.New(rand.NewSource(int64(r)))
+			for {
+				select {
+				case <-stop:
+					errs <- nil
+					return
+				default:
+				}
+				if _, _, err := db.Get(fmt.Sprintf("w%03d", rng.Intn(100))); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := db.Scan(fmt.Sprintf("w%03d", rng.Intn(100)), 5); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := db.Put(fmt.Sprintf("w%03d", i%100), fmt.Sprintf("gen%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	for r := 0; r < 3; r++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("reader failed during compaction churn: %v", err)
+		}
+	}
+}
+
+func TestCloseFlushes(t *testing.T) {
+	db := newDB(t, Options{})
+	db.Put("persist", "me")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

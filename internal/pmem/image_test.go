@@ -1,0 +1,76 @@
+package pmem
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	d := New(1 << 16)
+	d.WriteAt(100, []byte("persisted across serialization"))
+	d.Store64(4096, 0xfeedface)
+	var buf bytes.Buffer
+	n, err := d.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	d2, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Size() != d.Size() {
+		t.Fatalf("size %d != %d", d2.Size(), d.Size())
+	}
+	got := make([]byte, 30)
+	d2.ReadAt(100, got)
+	if string(got) != "persisted across serialization" {
+		t.Fatalf("content = %q", got)
+	}
+	if d2.Load64(4096) != 0xfeedface {
+		t.Fatalf("word = %#x", d2.Load64(4096))
+	}
+}
+
+func TestReadImageRejectsGarbage(t *testing.T) {
+	if _, err := ReadImage(strings.NewReader("this is not a device image at all")); err == nil {
+		t.Fatal("garbage image accepted")
+	}
+}
+
+func TestReadImageRejectsTruncated(t *testing.T) {
+	d := New(1 << 14)
+	var buf bytes.Buffer
+	d.WriteTo(&buf)
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()/2])
+	if _, err := ReadImage(trunc); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+}
+
+func TestLatencyChargesSpin(t *testing.T) {
+	d := New(1 << 12)
+	var charged uint64
+	d.SetLatency(Latency{FlushNs: 7, FenceNs: 11, NTStoreNsPerLine: 3},
+		func(ns uint64) { charged += ns })
+	d.Flush(0, 64)                  // 1 line -> 7
+	d.Fence()                       // 11
+	d.NTStore(0, make([]byte, 128)) // 2 lines -> 6
+	if charged != 7+11+6 {
+		t.Fatalf("charged %d ns, want 24", charged)
+	}
+}
+
+func TestZeroLatencyChargesNothing(t *testing.T) {
+	d := New(1 << 12)
+	called := false
+	d.SetLatency(Latency{}, func(uint64) { called = true })
+	d.Flush(0, 64)
+	d.Fence()
+	if called {
+		t.Fatal("zero latency model still spun")
+	}
+}

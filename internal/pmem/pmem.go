@@ -1,0 +1,463 @@
+// Package pmem emulates a byte-addressable non-volatile main-memory (NVMM)
+// device.
+//
+// The paper's implementation runs on Intel Optane DIMMs and relies on the
+// x86 persistence primitives clwb (cache-line write back), non-temporal
+// stores, and sfence. Go exposes none of these, so this package models them
+// explicitly: a Device is a flat arena addressed by relative offsets
+// (pmem.Ptr), and durability is a property tracked per 64-byte cache line.
+//
+// Two modes are supported:
+//
+//   - Fast mode (the default): stores go straight to the arena and
+//     Flush/Fence only update statistics. This is the mode benchmarks run
+//     in; it has no bookkeeping overhead beyond a branch.
+//
+//   - Tracked mode: the Device additionally keeps a shadow "persistent"
+//     image and per-line dirty state. A store makes its lines pending; Flush
+//     stages them; Fence copies staged lines to the shadow image. Crash
+//     rolls the arena back to the shadow image (optionally letting a random
+//     subset of unfenced lines survive, as real hardware may persist lines
+//     through cache eviction). Crash-consistency tests run in this mode and
+//     falsify incorrect ordering exactly as real NVMM would.
+//
+// All multi-word data structures stored in the arena use relative offsets
+// instead of machine pointers, because the paper maps NVMM at a different
+// virtual address in every process (ASLR); Ptr is that relative pointer.
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Ptr is a persistent relative pointer: a byte offset from the start of the
+// device. The zero value is the null pointer (offset 0 is occupied by the
+// superblock precisely so that 0 can never address a valid object).
+type Ptr uint64
+
+// IsNull reports whether p is the null persistent pointer.
+func (p Ptr) IsNull() bool { return p == 0 }
+
+// CachelineSize is the persistence granularity, matching x86.
+const CachelineSize = 64
+
+// Mode selects the persistence bookkeeping level of a Device.
+type Mode int32
+
+const (
+	// ModeFast performs no durability tracking.
+	ModeFast Mode = iota
+	// ModeTracked maintains a shadow persistent image for crash simulation.
+	ModeTracked
+)
+
+// Stats counts device traffic. All fields are updated atomically.
+type Stats struct {
+	LoadBytes  atomic.Uint64
+	StoreBytes atomic.Uint64
+	NTBytes    atomic.Uint64
+	Flushes    atomic.Uint64
+	Fences     atomic.Uint64
+}
+
+// Latency models the timing of the NVMM persistence primitives. Plain
+// cached loads/stores are not charged (they hit the CPU cache, and the
+// arena already runs at DRAM speed); flushes, fences and non-temporal
+// stores spin for their Optane-calibrated durations. The zero value charges
+// nothing (unit tests).
+type Latency struct {
+	// FlushNs is the cost of issuing one clwb.
+	FlushNs uint64
+	// FenceNs is the cost of an sfence draining the write-pending queue.
+	FenceNs uint64
+	// NTStoreNsPerLine is the per-cacheline cost of a non-temporal store
+	// stream (sets the sustainable write bandwidth).
+	NTStoreNsPerLine uint64
+}
+
+// OptaneLatency approximates Intel Optane DC PMM: clwb ≈ 40 ns to issue,
+// sfence ≈ 100 ns to drain, and a sustained non-temporal write stream of
+// roughly 1.6 GB/s per thread (≈ 40 ns per 64-byte line — NT streaming is
+// at least as fast as cached stores plus write-back).
+func OptaneLatency() Latency {
+	return Latency{FlushNs: 40, FenceNs: 100, NTStoreNsPerLine: 40}
+}
+
+// Device is an emulated NVMM DIMM region.
+type Device struct {
+	buf  []byte
+	size uint64
+	mode atomic.Int32
+	lat  Latency
+	spin func(ns uint64)
+
+	// Tracked-mode state, guarded by mu.
+	mu      sync.Mutex
+	shadow  []byte
+	pending map[uint64]struct{} // line offsets written but not flushed
+	staged  map[uint64]struct{} // line offsets flushed, awaiting fence
+
+	Stats Stats
+}
+
+// New creates a device of the given size (rounded up to a cache line).
+// The arena is zero-filled, which doubles as the "freshly formatted" state.
+func New(size uint64) *Device {
+	size = (size + CachelineSize - 1) &^ uint64(CachelineSize-1)
+	return &Device{
+		buf:     make([]byte, size),
+		size:    size,
+		pending: make(map[uint64]struct{}),
+		staged:  make(map[uint64]struct{}),
+	}
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() uint64 { return d.size }
+
+// Prefault touches every page of the arena so the host kernel materializes
+// it up front. Benchmarks call this once per device: otherwise first-touch
+// page faults land inside measured windows and add run-to-run variance.
+func (d *Device) Prefault() {
+	for off := 0; off < len(d.buf); off += 4096 {
+		d.buf[off] = 0
+	}
+}
+
+// SetLatency installs a persistence-latency model; spin must busy-wait for
+// approximately the given nanoseconds (see cost.SpinNs).
+func (d *Device) SetLatency(lat Latency, spin func(ns uint64)) {
+	d.lat = lat
+	d.spin = spin
+}
+
+func (d *Device) charge(ns uint64) {
+	if ns != 0 && d.spin != nil {
+		d.spin(ns)
+	}
+}
+
+// Mode returns the current persistence-tracking mode.
+func (d *Device) Mode() Mode { return Mode(d.mode.Load()) }
+
+// SetMode switches persistence tracking. Switching to ModeTracked snapshots
+// the current arena as the persistent image (i.e. everything written so far
+// is considered durable).
+func (d *Device) SetMode(m Mode) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m == ModeTracked {
+		if d.shadow == nil {
+			d.shadow = make([]byte, d.size)
+		}
+		copy(d.shadow, d.buf)
+		clear(d.pending)
+		clear(d.staged)
+	}
+	d.mode.Store(int32(m))
+}
+
+func (d *Device) tracked() bool { return Mode(d.mode.Load()) == ModeTracked }
+
+func (d *Device) check(off, n uint64) {
+	if off+n > d.size || off+n < off {
+		panic(fmt.Sprintf("pmem: access [%#x,%#x) out of device bounds %#x", off, off+n, d.size))
+	}
+}
+
+// markDirty records the cache lines of [off, off+n) as pending (written but
+// not yet flushed). Only called in tracked mode.
+func (d *Device) markDirty(off, n uint64) {
+	first := off &^ uint64(CachelineSize-1)
+	last := (off + n - 1) &^ uint64(CachelineSize-1)
+	d.mu.Lock()
+	for l := first; l <= last; l += CachelineSize {
+		d.pending[l] = struct{}{}
+	}
+	d.mu.Unlock()
+}
+
+// markStaged records the cache lines of [off, off+n) as staged for the next
+// fence (the state after clwb or a non-temporal store).
+func (d *Device) markStaged(off, n uint64) {
+	first := off &^ uint64(CachelineSize-1)
+	last := (off + n - 1) &^ uint64(CachelineSize-1)
+	d.mu.Lock()
+	for l := first; l <= last; l += CachelineSize {
+		delete(d.pending, l)
+		d.staged[l] = struct{}{}
+	}
+	d.mu.Unlock()
+}
+
+// word returns a pointer to the naturally aligned 8-byte word at off.
+func (d *Device) word(off uint64) *uint64 {
+	if off%8 != 0 {
+		panic(fmt.Sprintf("pmem: misaligned 8-byte access at %#x", off))
+	}
+	d.check(off, 8)
+	return (*uint64)(unsafe.Pointer(&d.buf[off]))
+}
+
+// word32 returns a pointer to the naturally aligned 4-byte word at off.
+func (d *Device) word32(off uint64) *uint32 {
+	if off%4 != 0 {
+		panic(fmt.Sprintf("pmem: misaligned 4-byte access at %#x", off))
+	}
+	d.check(off, 4)
+	return (*uint32)(unsafe.Pointer(&d.buf[off]))
+}
+
+// Load64 reads the 8-byte word at off with a plain (non-atomic) load.
+func (d *Device) Load64(off uint64) uint64 { return *d.word(off) }
+
+// Store64 writes the 8-byte word at off with a plain store.
+func (d *Device) Store64(off uint64, v uint64) {
+	*d.word(off) = v
+	if d.tracked() {
+		d.markDirty(off, 8)
+	}
+}
+
+// Load32 reads the 4-byte word at off.
+func (d *Device) Load32(off uint64) uint32 { return *d.word32(off) }
+
+// Store32 writes the 4-byte word at off.
+func (d *Device) Store32(off uint64, v uint32) {
+	*d.word32(off) = v
+	if d.tracked() {
+		d.markDirty(off, 4)
+	}
+}
+
+// AtomicLoad64 reads the word at off with acquire semantics.
+func (d *Device) AtomicLoad64(off uint64) uint64 {
+	return atomic.LoadUint64(d.word(off))
+}
+
+// AtomicStore64 writes the word at off with release semantics. Like real
+// hardware, the store is not durable until the line is flushed and fenced.
+func (d *Device) AtomicStore64(off uint64, v uint64) {
+	atomic.StoreUint64(d.word(off), v)
+	if d.tracked() {
+		d.markDirty(off, 8)
+	}
+}
+
+// CompareAndSwap64 atomically swaps the word at off if it equals old.
+func (d *Device) CompareAndSwap64(off uint64, old, new uint64) bool {
+	ok := atomic.CompareAndSwapUint64(d.word(off), old, new)
+	if ok && d.tracked() {
+		d.markDirty(off, 8)
+	}
+	return ok
+}
+
+// AtomicAdd64 atomically adds delta to the word at off and returns the new value.
+func (d *Device) AtomicAdd64(off uint64, delta uint64) uint64 {
+	v := atomic.AddUint64(d.word(off), delta)
+	if d.tracked() {
+		d.markDirty(off, 8)
+	}
+	return v
+}
+
+// AtomicOr64 atomically ORs mask into the word at off, returning the old value.
+func (d *Device) AtomicOr64(off uint64, mask uint64) uint64 {
+	for {
+		old := atomic.LoadUint64(d.word(off))
+		if atomic.CompareAndSwapUint64(d.word(off), old, old|mask) {
+			if d.tracked() {
+				d.markDirty(off, 8)
+			}
+			return old
+		}
+	}
+}
+
+// AtomicAnd64 atomically ANDs mask into the word at off, returning the old value.
+func (d *Device) AtomicAnd64(off uint64, mask uint64) uint64 {
+	for {
+		old := atomic.LoadUint64(d.word(off))
+		if atomic.CompareAndSwapUint64(d.word(off), old, old&mask) {
+			if d.tracked() {
+				d.markDirty(off, 8)
+			}
+			return old
+		}
+	}
+}
+
+// ReadAt copies len(p) bytes starting at off into p.
+func (d *Device) ReadAt(off uint64, p []byte) {
+	d.check(off, uint64(len(p)))
+	copy(p, d.buf[off:off+uint64(len(p))])
+	d.Stats.LoadBytes.Add(uint64(len(p)))
+}
+
+// WriteAt copies p into the device at off using regular (cached) stores.
+func (d *Device) WriteAt(off uint64, p []byte) {
+	d.check(off, uint64(len(p)))
+	copy(d.buf[off:off+uint64(len(p))], p)
+	d.Stats.StoreBytes.Add(uint64(len(p)))
+	if d.tracked() {
+		d.markDirty(off, uint64(len(p)))
+	}
+}
+
+// NTStore copies p into the device at off with non-temporal stores: the data
+// bypasses the cache and becomes durable at the next Fence. This is the data
+// path the paper uses for file writes.
+func (d *Device) NTStore(off uint64, p []byte) {
+	d.check(off, uint64(len(p)))
+	copy(d.buf[off:off+uint64(len(p))], p)
+	d.Stats.NTBytes.Add(uint64(len(p)))
+	d.charge(d.lat.NTStoreNsPerLine * ((uint64(len(p)) + CachelineSize - 1) / CachelineSize))
+	if d.tracked() {
+		d.markStaged(off, uint64(len(p)))
+	}
+}
+
+// Bytes returns the live arena slice [off, off+n). The caller must treat it
+// as volatile memory: reads are fine, writes bypass persistence tracking.
+// It exists for zero-copy read paths.
+func (d *Device) Bytes(off, n uint64) []byte {
+	d.check(off, n)
+	return d.buf[off : off+n : off+n]
+}
+
+// Zero clears [off, off+n) with regular stores.
+func (d *Device) Zero(off, n uint64) {
+	d.check(off, n)
+	clear(d.buf[off : off+n])
+	d.Stats.StoreBytes.Add(n)
+	if d.tracked() {
+		d.markDirty(off, n)
+	}
+}
+
+// Flush issues a cache-line write back (clwb) for every line overlapping
+// [off, off+n). The lines become durable at the next Fence.
+func (d *Device) Flush(off, n uint64) {
+	if n == 0 {
+		return
+	}
+	d.check(off, n)
+	lines := (n + CachelineSize - 1) / CachelineSize
+	d.Stats.Flushes.Add(lines)
+	d.charge(d.lat.FlushNs * lines)
+	if d.tracked() {
+		d.markStaged(off, n)
+	}
+}
+
+// Fence issues an sfence: all previously flushed or non-temporally written
+// lines become durable (are copied to the shadow persistent image).
+func (d *Device) Fence() {
+	d.Stats.Fences.Add(1)
+	d.charge(d.lat.FenceNs)
+	if !d.tracked() {
+		return
+	}
+	d.mu.Lock()
+	for l := range d.staged {
+		copy(d.shadow[l:l+CachelineSize], d.buf[l:l+CachelineSize])
+	}
+	clear(d.staged)
+	d.mu.Unlock()
+}
+
+// Persist is the common flush+fence sequence used to make a small update durable.
+func (d *Device) Persist(off, n uint64) {
+	d.Flush(off, n)
+	d.Fence()
+}
+
+// Crash simulates a power failure in tracked mode: the arena reverts to the
+// shadow persistent image. Every line that was not both flushed and fenced
+// is lost. Panics in fast mode, where no persistent image exists.
+func (d *Device) Crash() {
+	d.crash(nil)
+}
+
+// CrashPartial simulates a power failure where an arbitrary subset of
+// unfenced lines happens to have reached the media anyway (cache eviction,
+// in-flight writebacks). Each pending or staged line independently survives
+// with probability 1/2 under rng. Both outcomes are legal persistent states
+// on real hardware, so recovery code must handle either.
+func (d *Device) CrashPartial(rng *rand.Rand) {
+	d.crash(rng)
+}
+
+func (d *Device) crash(rng *rand.Rand) {
+	if !d.tracked() {
+		panic("pmem: Crash called on a device in fast mode")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if rng != nil {
+		for l := range d.pending {
+			if rng.Intn(2) == 0 {
+				copy(d.shadow[l:l+CachelineSize], d.buf[l:l+CachelineSize])
+			}
+		}
+		for l := range d.staged {
+			if rng.Intn(2) == 0 {
+				copy(d.shadow[l:l+CachelineSize], d.buf[l:l+CachelineSize])
+			}
+		}
+	}
+	copy(d.buf, d.shadow)
+	clear(d.pending)
+	clear(d.staged)
+}
+
+// WriteTo serializes the device's current contents (header + raw arena),
+// so a volume can be saved to a host file and reopened later.
+func (d *Device) WriteTo(w io.Writer) (int64, error) {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], imageMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], d.size)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(d.buf)
+	return int64(n) + 16, err
+}
+
+// ReadImage deserializes a device previously written with WriteTo.
+func ReadImage(r io.Reader) (*Device, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(hdr[0:]) != imageMagic {
+		return nil, fmt.Errorf("pmem: not a device image")
+	}
+	size := binary.LittleEndian.Uint64(hdr[8:])
+	if size > 1<<40 {
+		return nil, fmt.Errorf("pmem: implausible image size %d", size)
+	}
+	d := New(size)
+	if _, err := io.ReadFull(r, d.buf); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+const imageMagic = 0x53494d5552474844 // "SIMURGHD"
+
+// DirtyLines returns the number of cache lines that are not yet durable
+// (pending + staged). Useful in tests asserting that an operation persisted
+// everything it wrote.
+func (d *Device) DirtyLines() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pending) + len(d.staged)
+}

@@ -1,0 +1,151 @@
+package simurgh_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"simurgh/internal/bench"
+	"simurgh/internal/fsapi"
+	"simurgh/internal/fxmark"
+)
+
+// Shape regression tests: the paper's qualitative findings that this
+// reproduction is expected to preserve, checked at small scale with
+// generous margins so they hold on noisy CI hosts. These are the claims
+// EXPERIMENTS.md makes; if a change to the cost models or the file systems
+// breaks one, this fails before the docs go stale.
+//
+// They are skipped in -short mode (each point runs a real timed workload).
+
+func runPointBest(t *testing.T, w bench.Workload, fsName string, reps int) float64 {
+	t.Helper()
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		r, err := bench.RunPoint(w, fsName, 512<<20, 1, 400*time.Millisecond)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", w.Name, fsName, err)
+		}
+		if v := r.OpsPerSec(); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestShapeSimurghWinsSharedDirCreates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed workload")
+	}
+	w := fxmark.CreateShared()
+	simurgh := runPointBest(t, w, "simurgh", 2)
+	nova := runPointBest(t, w, "nova", 2)
+	ext4 := runPointBest(t, w, "ext4-dax", 2)
+	if simurgh <= nova {
+		t.Errorf("create-shared: simurgh %.0f <= nova %.0f (paper: simurgh >2x nova)", simurgh, nova)
+	}
+	if nova <= ext4*0.8 {
+		t.Errorf("create-shared: nova %.0f below ext4 %.0f (paper: nova above ext4)", nova, ext4)
+	}
+}
+
+func TestShapePMFSCollapsesOnLargeDirectories(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed workload")
+	}
+	// PMFS's unsorted linear directories make creates O(n); by the end of a
+	// timed window its rate must be far below Simurgh's hash directories.
+	w := fxmark.CreateShared()
+	simurgh := runPointBest(t, w, "simurgh", 1)
+	pmfs := runPointBest(t, w, "pmfs", 1)
+	if pmfs*3 > simurgh {
+		t.Errorf("create-shared: pmfs %.0f not collapsed vs simurgh %.0f", pmfs, simurgh)
+	}
+}
+
+func TestShapeResolveBenefitsFromProtectedCalls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed workload")
+	}
+	// The ablation claim: the same design with syscall-cost entry is slower
+	// on resolvepath; and Simurgh beats the kernel systems on it.
+	w := fxmark.ResolvePrivate()
+	jmpp := runPointBest(t, w, "simurgh", 3)
+	sysc := runPointBest(t, w, "simurgh-syscall", 3)
+	nova := runPointBest(t, w, "nova", 2)
+	if jmpp <= nova {
+		t.Errorf("resolve: simurgh %.0f <= nova %.0f (paper: simurgh ~2x kernel FSes)", jmpp, nova)
+	}
+	if sysc > jmpp*1.05 {
+		t.Errorf("resolve: syscall variant %.0f faster than jmpp variant %.0f", sysc, jmpp)
+	}
+}
+
+func TestShapeReadsTrackDeviceBandwidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed workload")
+	}
+	w := fxmark.ReadShared()
+	r, err := bench.RunPoint(w, "simurgh", 1<<30, 1, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := bench.RawReadBandwidth(1<<30, 1, 400*time.Millisecond)
+	// Simurgh must reach at least half the raw device bandwidth (the paper
+	// shows it saturating the device).
+	if r.MBPerSec() < raw.MBPerSec()/2 {
+		t.Errorf("shared read %.0f MiB/s far below device %.0f MiB/s", r.MBPerSec(), raw.MBPerSec())
+	}
+}
+
+func TestShapeCacheHotReadInflation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed workload")
+	}
+	// Fig 6: the original FxMark's cache-hot reads report far more than the
+	// adapted random reads — the reason the paper adapted the benchmark.
+	hot, err := bench.RunPoint(fxmark.ReadSharedCacheHot(), "simurgh", 512<<20, 1, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := bench.RunPoint(fxmark.ReadShared(), "simurgh", 512<<20, 1, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.MBPerSec() < rnd.MBPerSec()*2 {
+		t.Errorf("cache-hot %.0f MiB/s not clearly above random %.0f MiB/s", hot.MBPerSec(), rnd.MBPerSec())
+	}
+}
+
+func TestShapeEveryFSCompletesEveryMicrobench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed workload")
+	}
+	// Completeness net: every Fig 7 workload must run on every system.
+	for name, w := range fxmark.All() {
+		for _, fsName := range bench.FSNames {
+			r, err := bench.RunPoint(w, fsName, 512<<20, 1, 30*time.Millisecond)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, fsName, err)
+			}
+			if r.Ops == 0 {
+				t.Fatalf("%s on %s: zero ops", name, fsName)
+			}
+		}
+	}
+}
+
+// TestShapeAblationDocumented double-checks the ablation wiring exists for
+// every variant EXPERIMENTS.md mentions.
+func TestShapeAblationDocumented(t *testing.T) {
+	for _, name := range []string{"simurgh", "simurgh-relaxed", "simurgh-syscall"} {
+		fs, err := bench.MakeFS(name, 64<<20)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c, _ := fs.Attach(fsapi.Root)
+		if _, err := c.Create(fmt.Sprintf("/%s-probe", name), 0o644); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

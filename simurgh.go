@@ -1,0 +1,153 @@
+// Package simurgh is the public API of this reproduction of "Simurgh: A
+// Fully Decentralized and Secure NVMM User Space File System" (SC '21).
+//
+// A Volume is an emulated NVMM device holding one Simurgh file system.
+// Processes attach with their credentials and receive a POSIX-like Client;
+// all attached clients operate on the shared device concurrently with no
+// central coordinator, as in the paper's preload-library design.
+//
+// Quickstart:
+//
+//	vol, _ := simurgh.Create(256 << 20) // 256 MiB emulated NVMM
+//	c, _ := vol.Attach(simurgh.Cred{UID: 1000, GID: 1000})
+//	fd, _ := c.Create("/hello.txt", 0o644)
+//	c.Write(fd, []byte("hi"))
+//	c.Close(fd)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced evaluation.
+package simurgh
+
+import (
+	"simurgh/internal/core"
+	"simurgh/internal/cost"
+	"simurgh/internal/fsapi"
+	"simurgh/internal/pmem"
+)
+
+// Re-exported identity and API types.
+type (
+	// Cred is a process identity (effective uid/gid).
+	Cred = fsapi.Cred
+	// Client is a process's handle on the file system.
+	Client = fsapi.Client
+	// FD is a file descriptor.
+	FD = fsapi.FD
+	// Stat describes a file.
+	Stat = fsapi.Stat
+	// DirEntry is a directory listing entry.
+	DirEntry = fsapi.DirEntry
+	// OpenFlag selects open modes.
+	OpenFlag = fsapi.OpenFlag
+	// RecoveryStats reports what a mount-time recovery did.
+	RecoveryStats = core.RecoveryStats
+)
+
+// Open flags.
+const (
+	ORdonly = fsapi.ORdonly
+	OWronly = fsapi.OWronly
+	ORdwr   = fsapi.ORdwr
+	OCreate = fsapi.OCreate
+	OExcl   = fsapi.OExcl
+	OTrunc  = fsapi.OTrunc
+	OAppend = fsapi.OAppend
+)
+
+// Root is the superuser credential.
+var Root = fsapi.Root
+
+// Shared errors (see package fsapi for the full set).
+var (
+	ErrNotExist = fsapi.ErrNotExist
+	ErrExist    = fsapi.ErrExist
+	ErrNotDir   = fsapi.ErrNotDir
+	ErrIsDir    = fsapi.ErrIsDir
+	ErrNotEmpty = fsapi.ErrNotEmpty
+	ErrPerm     = fsapi.ErrPerm
+	ErrBadFD    = fsapi.ErrBadFD
+	ErrNoSpace  = fsapi.ErrNoSpace
+)
+
+// Options tunes a Volume.
+type Options struct {
+	// RelaxedWrites disables the per-file exclusive write lock (the
+	// "relaxed" variant of Fig 7k); the application must coordinate
+	// concurrent writers itself.
+	RelaxedWrites bool
+	// ChargeProtectedCalls adds the paper's measured jmpp/pret cycle delta
+	// (46 cycles @ 2.5 GHz) to every file-system call, as the evaluation
+	// does. Off by default.
+	ChargeProtectedCalls bool
+	// Tracked enables durability tracking on the device so crashes can be
+	// simulated (slower; for testing).
+	Tracked bool
+}
+
+// Volume is an emulated NVMM device with a mounted Simurgh file system.
+type Volume struct {
+	dev *pmem.Device
+	fs  *core.FS
+}
+
+// Create makes a fresh volume of the given size, formatted and mounted,
+// owned by root.
+func Create(size uint64) (*Volume, error) {
+	return CreateWithOptions(size, Options{})
+}
+
+// CreateWithOptions makes a fresh volume with explicit options.
+func CreateWithOptions(size uint64, opts Options) (*Volume, error) {
+	dev := pmem.New(size)
+	if opts.Tracked {
+		dev.SetMode(pmem.ModeTracked)
+	}
+	fs, err := core.Format(dev, fsapi.Root, coreOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Volume{dev: dev, fs: fs}, nil
+}
+
+func coreOptions(opts Options) core.Options {
+	co := core.Options{RelaxedWrites: opts.RelaxedWrites}
+	if opts.ChargeProtectedCalls {
+		co.Cost = cost.SimurghModel()
+	}
+	return co
+}
+
+// Attach registers a process and returns its client handle.
+func (v *Volume) Attach(cred Cred) (Client, error) { return v.fs.Attach(cred) }
+
+// Unmount marks the volume cleanly shut down.
+func (v *Volume) Unmount() { v.fs.Unmount() }
+
+// Crash simulates a power failure (Tracked volumes only): all stores that
+// were not explicitly persisted are dropped.
+func (v *Volume) Crash() { v.dev.Crash() }
+
+// Remount re-mounts after a crash or unmount, running recovery as needed,
+// and returns what the recovery found.
+func (v *Volume) Remount(opts Options) (*RecoveryStats, error) {
+	fs, stats, err := core.Mount(v.dev, coreOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	v.fs = fs
+	return stats, nil
+}
+
+// Maintain runs the file-system maintenance check (§4.3): it compacts
+// directory hash-block chains whose tails became empty and completes any
+// leftover half-done operations. Safe to run concurrently with normal use.
+func (v *Volume) Maintain() MaintainStats { return v.fs.Maintain() }
+
+// MaintainStats reports what a maintenance pass reclaimed.
+type MaintainStats = core.MaintainStats
+
+// Device exposes the underlying emulated NVMM device.
+func (v *Volume) Device() *pmem.Device { return v.dev }
+
+// FS exposes the core file system (used by the benchmark harness).
+func (v *Volume) FS() *core.FS { return v.fs }
