@@ -36,6 +36,7 @@ import (
 	"simurgh/internal/fsapi"
 	"simurgh/internal/fxmark"
 	"simurgh/internal/isa"
+	"simurgh/internal/obs"
 	"simurgh/internal/pmem"
 	"simurgh/internal/ycsb"
 )
@@ -304,6 +305,55 @@ func runYCSB(args []string) error {
 	return nil
 }
 
+// statsFS is the surface breakdown needs from an observable file system:
+// snapshotting the per-op counters and forcing full sampling.
+type statsFS interface {
+	fsapi.StatsProvider
+	Obs() *obs.Registry
+}
+
+// observe prepares fsi for an attributed phase, returning a closure that
+// yields the phase's counter delta — or nil for file systems without
+// per-op counters (the kernel baselines).
+func observe(fsi fsapi.FileSystem) func() obs.Snapshot {
+	sp, ok := fsi.(statsFS)
+	if !ok {
+		return nil
+	}
+	sp.Obs().SetSamplePeriod(1) // exact attribution; this is not a speed run
+	base := sp.Stats()
+	return func() obs.Snapshot { return sp.Stats().Sub(base) }
+}
+
+// obsSplit converts a phase's counter delta plus its wall time into the
+// paper's application / data copy / file-system split. In-FS time is the
+// ops' recorded latency total; copy time is the file-content traffic of
+// the read/write classes (metadata traffic stays in the file-system
+// share) at the calibrated memcpy bandwidth, capped at the FS total like
+// TimedClient.Breakdown.
+func obsSplit(d obs.Snapshot, wall time.Duration) (app, copyT, fst time.Duration) {
+	fsTotal := time.Duration(d.TotalLatNs())
+	var bytes float64
+	for _, op := range []obs.Op{obs.OpRead, obs.OpPread} {
+		o := d.Ops[op]
+		bytes += o.PerCall(o.Pmem.LoadBytes) * float64(o.Calls)
+	}
+	for _, op := range []obs.Op{obs.OpWrite, obs.OpPwrite} {
+		o := d.Ops[op]
+		bytes += o.PerCall(o.Pmem.StoreBytes+o.Pmem.NTBytes) * float64(o.Calls)
+	}
+	copyT = time.Duration(bytes / bench.MemcpyBandwidth() * float64(time.Second))
+	if copyT > fsTotal {
+		copyT = fsTotal
+	}
+	fst = fsTotal - copyT
+	app = wall - fsTotal
+	if app < 0 {
+		app = 0
+	}
+	return app, copyT, fst
+}
+
 func runBreakdown(args []string) error {
 	fs := flag.NewFlagSet("breakdown", flag.ExitOnError)
 	fsName := fs.String("fs", "nova", "file system to break down (Table 1: nova; Fig 10: simurgh)")
@@ -322,17 +372,31 @@ func runBreakdown(args []string) error {
 			100*float64(app)/float64(total), 100*float64(cp)/float64(total),
 			100*float64(fst)/float64(total))
 	}
+	// Observable file systems (simurgh and its variants) get their split
+	// from the FS's own per-op counters; kernel baselines keep the
+	// stopwatch client. Per-phase deltas accumulate into one op table.
+	var opsTotal obs.Snapshot
+	haveObs := false
 
 	// YCSB LoadA.
 	fsi, err := bench.MakeFS(*fsName, 1<<30)
 	if err != nil {
 		return err
 	}
+	done := observe(fsi)
 	res, err := ycsb.RunLoadOnly(fsi, ycsb.Config{Records: *records})
 	if err != nil {
 		return err
 	}
-	row("YCSB LoadA", res.App, res.Copy, res.FSTime)
+	if done != nil {
+		d := done()
+		app, cp, fst := obsSplit(d, res.LoadTime)
+		row("YCSB LoadA", app, cp, fst)
+		opsTotal = opsTotal.Add(d)
+		haveObs = true
+	} else {
+		row("YCSB LoadA", res.App, res.Copy, res.FSTime)
+	}
 
 	// Tar pack.
 	fsi, err = bench.MakeFS(*fsName, 1<<30)
@@ -343,13 +407,24 @@ func runBreakdown(args []string) error {
 		return err
 	}
 	c, _ := fsi.Attach(fsapi.Root)
-	tc := bench.NewTimedClient(c)
+	done = observe(fsi)
 	packStart := time.Now()
-	if _, err := tarPackTimed(tc); err != nil {
-		return err
+	if done != nil {
+		if _, err := tarbench.PackWithClient(c); err != nil {
+			return err
+		}
+		d := done()
+		app, cp, fst := obsSplit(d, time.Since(packStart))
+		row("Tar Pack", app, cp, fst)
+		opsTotal = opsTotal.Add(d)
+	} else {
+		tc := bench.NewTimedClient(c)
+		if _, err := tarbench.PackWithClient(tc); err != nil {
+			return err
+		}
+		app, cp, fst := tc.Breakdown(time.Since(packStart))
+		row("Tar Pack", app, cp, fst)
 	}
-	app, cp, fst := tc.Breakdown(time.Since(packStart))
-	row("Tar Pack", app, cp, fst)
 
 	// Git commit.
 	fsi, err = bench.MakeFS(*fsName, 1<<30)
@@ -370,20 +445,30 @@ func runBreakdown(args []string) error {
 	if _, err := repo.Add(); err != nil {
 		return err
 	}
-	tc2 := bench.NewTimedClient(c2)
-	repo2 := repo.WithClient(tc2)
+	done = observe(fsi)
 	commitStart := time.Now()
-	if _, err := repo2.Commit("bench"); err != nil {
-		return err
+	if done != nil {
+		if _, err := repo.WithClient(c2).Commit("bench"); err != nil {
+			return err
+		}
+		d := done()
+		app, cp, fst := obsSplit(d, time.Since(commitStart))
+		row("Git Commit", app, cp, fst)
+		opsTotal = opsTotal.Add(d)
+	} else {
+		tc2 := bench.NewTimedClient(c2)
+		if _, err := repo.WithClient(tc2).Commit("bench"); err != nil {
+			return err
+		}
+		app, cp, fst := tc2.Breakdown(time.Since(commitStart))
+		row("Git Commit", app, cp, fst)
 	}
-	app, cp, fst = tc2.Breakdown(time.Since(commitStart))
-	row("Git Commit", app, cp, fst)
-	return nil
-}
 
-// tarPackTimed is tarbench.Pack but against an existing (timed) client.
-func tarPackTimed(c fsapi.Client) (tarbench.Result, error) {
-	return tarbench.PackWithClient(c)
+	if haveObs {
+		fmt.Println("\nper-op attribution across the three workloads (live counters):")
+		opsTotal.WriteTable(os.Stdout)
+	}
+	return nil
 }
 
 func runTar(args []string) error {

@@ -15,12 +15,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"simurgh/internal/core"
 	"simurgh/internal/corpus"
 	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
 	"simurgh/internal/pmem"
 )
+
+// toDelta maps the device counter snapshot into the obs traffic type.
+func toDelta(s pmem.StatsSnapshot) obs.Delta {
+	return obs.Delta{
+		LoadBytes:  s.LoadBytes,
+		StoreBytes: s.StoreBytes,
+		NTBytes:    s.NTBytes,
+		Flushes:    s.Flushes,
+		Fences:     s.Fences,
+	}
+}
 
 func main() {
 	image := flag.String("image", "", "volume image to check and repair")
@@ -90,21 +103,57 @@ func check(path string, dump bool) error {
 	if err != nil {
 		return err
 	}
+	// Each fsck stage is reported as an obs.Phase: the same diffable
+	// counter-snapshot types the live file system exposes, with the stage's
+	// NVMM traffic attributed from the device counter delta.
+	base := dev.StatsSnapshot()
 	fs, stats, err := core.Mount(dev, core.Options{})
 	if err != nil {
 		return err
 	}
+	recoverPmem := dev.StatsSnapshot().Sub(base)
+
+	base = dev.StatsSnapshot()
+	auditStart := time.Now()
+	free := fs.FreeBlocks()
+	maint := fs.Maintain()
+	auditElapsed := time.Since(auditStart)
+	auditPmem := dev.StatsSnapshot().Sub(base)
+
 	state := "dirty (recovery performed)"
 	if stats.WasClean {
 		state = "clean"
 	}
-	fmt.Printf("volume:   %s, %d bytes\n", state, dev.Size())
-	fmt.Printf("scanned:  %d files, %d dirs, %d symlinks, %d dir blocks\n",
-		stats.Files, stats.Dirs, stats.Symlinks, stats.DirBlocks)
-	fmt.Printf("repairs:  slots=%d creates=%d renames=%d logs=%d reclaimed=%d\n",
-		stats.FixedSlots, stats.FixedCreates, stats.FixedRenames, stats.FixedLogs, stats.Reclaimed)
-	fmt.Printf("data:     %d blocks in use, %d free\n", stats.UsedDataBlock, fs.FreeBlocks())
-	fmt.Printf("elapsed:  %v\n", stats.Elapsed)
+	fmt.Printf("volume: %s, %d bytes\n", state, dev.Size())
+	obs.WritePhases(os.Stdout, []obs.Phase{
+		{
+			Name:    "recover",
+			Elapsed: stats.Elapsed,
+			Counters: []obs.Counter{
+				{Name: "files", Value: stats.Files},
+				{Name: "dirs", Value: stats.Dirs},
+				{Name: "symlinks", Value: stats.Symlinks},
+				{Name: "dir-blocks", Value: stats.DirBlocks},
+				{Name: "fixed-slots", Value: stats.FixedSlots},
+				{Name: "fixed-creates", Value: stats.FixedCreates},
+				{Name: "fixed-renames", Value: stats.FixedRenames},
+				{Name: "fixed-logs", Value: stats.FixedLogs},
+				{Name: "reclaimed", Value: stats.Reclaimed},
+			},
+			Pmem: toDelta(recoverPmem),
+		},
+		{
+			Name:    "audit",
+			Elapsed: auditElapsed,
+			Counters: []obs.Counter{
+				{Name: "used-blocks", Value: stats.UsedDataBlock},
+				{Name: "free-blocks", Value: free},
+				{Name: "dirs-visited", Value: maint.DirsVisited},
+				{Name: "blocks-compacted", Value: maint.BlocksFreed},
+			},
+			Pmem: toDelta(auditPmem),
+		},
+	})
 	if dump {
 		c, _ := fs.Attach(fsapi.Root)
 		dumpTree(c, "/", 0)

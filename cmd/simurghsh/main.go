@@ -7,7 +7,7 @@
 // Commands: ls [path], cat <file>, write <file> <text...>, append <file>
 // <text...>, mkdir <dir>, rm <file>, rmdir <dir>, mv <old> <new>,
 // ln -s <target> <link>, ln <old> <new>, stat <path>, chmod <perm> <path>,
-// tree [path], df, crashdemo, su <uid> <gid>, help, exit.
+// tree [path], df, stats [reset], crashdemo, su <uid> <gid>, help, exit.
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 
 	"simurgh/internal/core"
 	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
 	"simurgh/internal/pmem"
 )
 
@@ -27,6 +28,11 @@ func main() {
 	image := flag.String("image", "", "volume image to open and save on exit")
 	size := flag.Uint64("size", 256<<20, "volume size for fresh volumes")
 	flag.Parse()
+
+	// The shell is interactive, so sample every operation: exact latency
+	// and NVMM attribution matter more than per-call overhead here.
+	reg := obs.NewRegistry()
+	reg.SetSamplePeriod(1)
 
 	var dev *pmem.Device
 	var fs *core.FS
@@ -37,7 +43,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			mounted, stats, err := core.Mount(d, core.Options{})
+			mounted, stats, err := core.Mount(d, core.Options{Obs: reg})
 			if err != nil {
 				fatal(err)
 			}
@@ -50,7 +56,7 @@ func main() {
 	}
 	if fs == nil {
 		dev = pmem.New(*size)
-		formatted, err := core.Format(dev, fsapi.Root, core.Options{})
+		formatted, err := core.Format(dev, fsapi.Root, core.Options{Obs: reg})
 		if err != nil {
 			fatal(err)
 		}
@@ -59,7 +65,7 @@ func main() {
 
 	cred := fsapi.Root
 	client, _ := fs.Attach(cred)
-	sh := &shell{fs: fs, dev: dev, c: client, cred: cred}
+	sh := &shell{fs: fs, dev: dev, c: client, cred: cred, base: fs.Stats()}
 
 	fmt.Println("simurghsh — type 'help' for commands, 'exit' to quit")
 	scanner := bufio.NewScanner(os.Stdin)
@@ -99,6 +105,7 @@ type shell struct {
 	dev  *pmem.Device
 	c    fsapi.Client
 	cred fsapi.Cred
+	base obs.Snapshot // stats baseline; `stats reset` moves it
 }
 
 func (s *shell) exec(line string) {
@@ -107,7 +114,7 @@ func (s *shell) exec(line string) {
 	var err error
 	switch cmd {
 	case "help":
-		fmt.Println("ls cat write append mkdir rm rmdir mv ln stat chmod tree df maintain crashdemo su exit")
+		fmt.Println("ls cat write append mkdir rm rmdir mv ln stat chmod tree df stats maintain crashdemo su exit")
 	case "ls":
 		path := "/"
 		if len(rest) > 0 {
@@ -228,6 +235,13 @@ func (s *shell) exec(line string) {
 		free := s.fs.FreeBlocks()
 		total := s.dev.Size() / core.BlockSize
 		fmt.Printf("%d / %d blocks free (%.1f%%)\n", free, total, 100*float64(free)/float64(total))
+	case "stats":
+		if len(rest) > 0 && rest[0] == "reset" {
+			s.base = s.fs.Stats()
+			fmt.Println("stats baseline reset")
+			break
+		}
+		s.fs.Stats().Sub(s.base).WriteTable(os.Stdout)
 	case "maintain":
 		st := s.fs.Maintain()
 		fmt.Printf("visited %d dirs, freed %d hash blocks\n", st.DirsVisited, st.BlocksFreed)

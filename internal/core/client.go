@@ -4,8 +4,10 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
 	"simurgh/internal/pmem"
 )
 
@@ -14,10 +16,11 @@ import (
 // (§4.3). Everything else is shared NVMM. Each public operation models one
 // protected-function call and charges the jmpp/pret delta.
 type Client struct {
-	fs     *FS
-	cred   fsapi.Cred
-	nextFD atomic.Int32
-	files  sync.Map // fsapi.FD -> *openFile
+	fs       *FS
+	cred     fsapi.Cred
+	obsShard uint32
+	nextFD   atomic.Int32
+	files    sync.Map // fsapi.FD -> *openFile
 }
 
 // openFile is one open-file-map entry: open mode, current position, and the
@@ -33,7 +36,7 @@ const maxSymlinkDepth = 10
 
 // Attach registers a process with the volume.
 func (fs *FS) Attach(cred fsapi.Cred) (fsapi.Client, error) {
-	c := &Client{fs: fs, cred: cred}
+	c := &Client{fs: fs, cred: cred, obsShard: fs.obsR.ShardHint()}
 	c.nextFD.Store(2) // 0/1/2 conventionally reserved
 	fs.attached.Store(c, struct{}{})
 	return c, nil
@@ -42,7 +45,60 @@ func (fs *FS) Attach(cred fsapi.Cred) (fsapi.Client, error) {
 // Name implements fsapi.FileSystem.
 func (fs *FS) Name() string { return "simurgh" }
 
-func (c *Client) enter() { c.fs.costM.ProtectedCall() }
+// opCall scopes one public operation through the instrumented dispatch
+// path. begin charges the protected-call (jmpp/pret) cost and, when the op
+// class is deep-sampled, opens a latency/NVMM-attribution window; end
+// records the outcome. The pair is the only instrumentation entry point:
+// every public operation is written as
+//
+//	func (c *Client) X(...) (..., err error) {
+//		defer c.begin(obs.OpX).end(&err)
+//		...
+//	}
+//
+// so per-op counters, latency histograms and flush/fence attribution stay
+// in lockstep with the cost model by construction. Attribution windows
+// snapshot the shared device counters, so they are exact when operations do
+// not overlap and an upper bound under concurrency (see package obs).
+type opCall struct {
+	c  *Client
+	op obs.Op
+	w  *opWindow // non-nil only for deep-sampled calls
+}
+
+// opWindow is the deep-sampling state of one operation window. It lives
+// behind a pointer so the common (non-sampled) opCall stays small enough to
+// copy through the deferred end for a few nanoseconds; the allocation is
+// paid only once per sample period.
+type opWindow struct {
+	start time.Time
+	base  pmem.StatsSnapshot
+}
+
+// begin is the single cost/instrumentation entry helper of the client.
+func (c *Client) begin(op obs.Op) opCall {
+	c.fs.costM.ProtectedCall()
+	oc := opCall{c: c, op: op}
+	if c.fs.obsR.EnterAt(c.obsShard, op) {
+		oc.w = &opWindow{base: c.fs.dev.StatsSnapshot(), start: time.Now()}
+	}
+	return oc
+}
+
+// end closes the operation window; errp points at the operation's named
+// error result so a deferred end observes the final outcome.
+func (oc opCall) end(errp *error) {
+	fs := oc.c.fs
+	failed := errp != nil && *errp != nil
+	if failed {
+		fs.obsR.ErrorAt(oc.c.obsShard, oc.op)
+	}
+	if oc.w != nil {
+		lat := time.Since(oc.w.start)
+		delta := fs.dev.StatsSnapshot().Sub(oc.w.base)
+		fs.obsR.SampleAt(oc.c.obsShard, oc.op, oc.w.start, uint64(lat.Nanoseconds()), toDelta(delta), failed)
+	}
+}
 
 // resolve walks path from the root, enforcing execute permission on every
 // traversed directory and following symlinks (up to maxSymlinkDepth). If
@@ -142,14 +198,21 @@ func (c *Client) file(fd fsapi.FD) (*openFile, error) {
 	return v.(*openFile), nil
 }
 
-// Create implements fsapi.Client.
-func (c *Client) Create(path string, perm uint32) (fsapi.FD, error) {
-	return c.Open(path, fsapi.OCreate|fsapi.OWronly|fsapi.OTrunc, perm)
+// Create implements fsapi.Client. It is charged and attributed as its own
+// op class (the paper's figures single out file creation).
+func (c *Client) Create(path string, perm uint32) (fd fsapi.FD, err error) {
+	defer c.begin(obs.OpCreate).end(&err)
+	return c.open(path, fsapi.OCreate|fsapi.OWronly|fsapi.OTrunc, perm)
 }
 
 // Open implements fsapi.Client.
-func (c *Client) Open(path string, flags fsapi.OpenFlag, perm uint32) (fsapi.FD, error) {
-	c.enter()
+func (c *Client) Open(path string, flags fsapi.OpenFlag, perm uint32) (fd fsapi.FD, err error) {
+	defer c.begin(obs.OpOpen).end(&err)
+	return c.open(path, flags, perm)
+}
+
+// open is the shared uninstrumented open/create path.
+func (c *Client) open(path string, flags fsapi.OpenFlag, perm uint32) (fsapi.FD, error) {
 	fs := c.fs
 	ino, err := c.resolve(path, true)
 	switch {
@@ -219,8 +282,8 @@ func (c *Client) createFile(parent pmem.Ptr, name string, perm uint32) (pmem.Ptr
 }
 
 // Close implements fsapi.Client.
-func (c *Client) Close(fd fsapi.FD) error {
-	c.enter()
+func (c *Client) Close(fd fsapi.FD) (err error) {
+	defer c.begin(obs.OpClose).end(&err)
 	v, ok := c.files.LoadAndDelete(fd)
 	if !ok {
 		return fsapi.ErrBadFD
@@ -230,8 +293,8 @@ func (c *Client) Close(fd fsapi.FD) error {
 }
 
 // Read implements fsapi.Client.
-func (c *Client) Read(fd fsapi.FD, p []byte) (int, error) {
-	c.enter()
+func (c *Client) Read(fd fsapi.FD, p []byte) (n int, err error) {
+	defer c.begin(obs.OpRead).end(&err)
 	of, err := c.file(fd)
 	if err != nil {
 		return 0, err
@@ -240,7 +303,7 @@ func (c *Client) Read(fd fsapi.FD, p []byte) (int, error) {
 		return 0, fsapi.ErrWriteOnly
 	}
 	pos := of.pos.Load()
-	n := c.readLocked(of.ino, p, pos)
+	n = c.readLocked(of.ino, p, pos)
 	of.pos.Store(pos + uint64(n))
 	if n == 0 && len(p) > 0 {
 		return 0, io.EOF
@@ -249,8 +312,8 @@ func (c *Client) Read(fd fsapi.FD, p []byte) (int, error) {
 }
 
 // Pread implements fsapi.Client.
-func (c *Client) Pread(fd fsapi.FD, p []byte, off uint64) (int, error) {
-	c.enter()
+func (c *Client) Pread(fd fsapi.FD, p []byte, off uint64) (n int, err error) {
+	defer c.begin(obs.OpPread).end(&err)
 	of, err := c.file(fd)
 	if err != nil {
 		return 0, err
@@ -258,7 +321,7 @@ func (c *Client) Pread(fd fsapi.FD, p []byte, off uint64) (int, error) {
 	if of.flags&fsapi.OWronly != 0 {
 		return 0, fsapi.ErrWriteOnly
 	}
-	n := c.readLocked(of.ino, p, off)
+	n = c.readLocked(of.ino, p, off)
 	if n == 0 && len(p) > 0 {
 		return 0, io.EOF
 	}
@@ -274,8 +337,8 @@ func (c *Client) readLocked(ino pmem.Ptr, p []byte, off uint64) int {
 }
 
 // Write implements fsapi.Client.
-func (c *Client) Write(fd fsapi.FD, p []byte) (int, error) {
-	c.enter()
+func (c *Client) Write(fd fsapi.FD, p []byte) (n int, err error) {
+	defer c.begin(obs.OpWrite).end(&err)
 	of, err := c.file(fd)
 	if err != nil {
 		return 0, err
@@ -296,14 +359,14 @@ func (c *Client) Write(fd fsapi.FD, p []byte) (int, error) {
 		return n, err
 	}
 	pos := of.pos.Load()
-	n, err := c.writeLocked(of.ino, p, pos)
+	n, err = c.writeLocked(of.ino, p, pos)
 	of.pos.Store(pos + uint64(n))
 	return n, err
 }
 
 // Pwrite implements fsapi.Client.
-func (c *Client) Pwrite(fd fsapi.FD, p []byte, off uint64) (int, error) {
-	c.enter()
+func (c *Client) Pwrite(fd fsapi.FD, p []byte, off uint64) (n int, err error) {
+	defer c.begin(obs.OpPwrite).end(&err)
 	of, err := c.file(fd)
 	if err != nil {
 		return 0, err
@@ -329,8 +392,8 @@ func (c *Client) writeLocked(ino pmem.Ptr, p []byte, off uint64) (int, error) {
 }
 
 // Seek implements fsapi.Client.
-func (c *Client) Seek(fd fsapi.FD, off int64, whence int) (int64, error) {
-	c.enter()
+func (c *Client) Seek(fd fsapi.FD, off int64, whence int) (pos int64, err error) {
+	defer c.begin(obs.OpSeek).end(&err)
 	of, err := c.file(fd)
 	if err != nil {
 		return 0, err
@@ -356,8 +419,8 @@ func (c *Client) Seek(fd fsapi.FD, off int64, whence int) (int64, error) {
 
 // Fsync implements fsapi.Client. Simurgh persists data and metadata inline
 // (non-temporal stores + fences), so fsync only issues a fence.
-func (c *Client) Fsync(fd fsapi.FD) error {
-	c.enter()
+func (c *Client) Fsync(fd fsapi.FD) (err error) {
+	defer c.begin(obs.OpFsync).end(&err)
 	if _, err := c.file(fd); err != nil {
 		return err
 	}
@@ -366,8 +429,8 @@ func (c *Client) Fsync(fd fsapi.FD) error {
 }
 
 // Ftruncate implements fsapi.Client.
-func (c *Client) Ftruncate(fd fsapi.FD, size uint64) error {
-	c.enter()
+func (c *Client) Ftruncate(fd fsapi.FD, size uint64) (err error) {
+	defer c.begin(obs.OpFtruncate).end(&err)
 	of, err := c.file(fd)
 	if err != nil {
 		return err
@@ -380,8 +443,8 @@ func (c *Client) Ftruncate(fd fsapi.FD, size uint64) error {
 
 // Fallocate implements fsapi.Client: preallocates blocks for [0, size)
 // without zeroing them (the configuration the paper benchmarks).
-func (c *Client) Fallocate(fd fsapi.FD, size uint64) error {
-	c.enter()
+func (c *Client) Fallocate(fd fsapi.FD, size uint64) (err error) {
+	defer c.begin(obs.OpFallocate).end(&err)
 	of, err := c.file(fd)
 	if err != nil {
 		return err
@@ -408,8 +471,8 @@ func (c *Client) Fallocate(fd fsapi.FD, size uint64) error {
 }
 
 // Fstat implements fsapi.Client.
-func (c *Client) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
-	c.enter()
+func (c *Client) Fstat(fd fsapi.FD) (st fsapi.Stat, err error) {
+	defer c.begin(obs.OpFstat).end(&err)
 	of, err := c.file(fd)
 	if err != nil {
 		return fsapi.Stat{}, err
@@ -418,8 +481,8 @@ func (c *Client) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
 }
 
 // Stat implements fsapi.Client.
-func (c *Client) Stat(path string) (fsapi.Stat, error) {
-	c.enter()
+func (c *Client) Stat(path string) (st fsapi.Stat, err error) {
+	defer c.begin(obs.OpStat).end(&err)
 	ino, err := c.resolve(path, true)
 	if err != nil {
 		return fsapi.Stat{}, err
@@ -428,8 +491,8 @@ func (c *Client) Stat(path string) (fsapi.Stat, error) {
 }
 
 // Lstat implements fsapi.Client.
-func (c *Client) Lstat(path string) (fsapi.Stat, error) {
-	c.enter()
+func (c *Client) Lstat(path string) (st fsapi.Stat, err error) {
+	defer c.begin(obs.OpLstat).end(&err)
 	ino, err := c.resolve(path, false)
 	if err != nil {
 		return fsapi.Stat{}, err
@@ -438,8 +501,8 @@ func (c *Client) Lstat(path string) (fsapi.Stat, error) {
 }
 
 // Mkdir implements fsapi.Client.
-func (c *Client) Mkdir(path string, perm uint32) error {
-	c.enter()
+func (c *Client) Mkdir(path string, perm uint32) (err error) {
+	defer c.begin(obs.OpMkdir).end(&err)
 	fs := c.fs
 	parent, name, err := c.resolveParent(path, true)
 	if err != nil {
@@ -468,8 +531,8 @@ func (c *Client) Mkdir(path string, perm uint32) error {
 }
 
 // Rmdir implements fsapi.Client.
-func (c *Client) Rmdir(path string) error {
-	c.enter()
+func (c *Client) Rmdir(path string) (err error) {
+	defer c.begin(obs.OpRmdir).end(&err)
 	fs := c.fs
 	parent, name, err := c.resolveParent(path, true)
 	if err != nil {
@@ -495,8 +558,8 @@ func (c *Client) Rmdir(path string) error {
 }
 
 // Unlink implements fsapi.Client.
-func (c *Client) Unlink(path string) error {
-	c.enter()
+func (c *Client) Unlink(path string) (err error) {
+	defer c.begin(obs.OpUnlink).end(&err)
 	fs := c.fs
 	parent, name, err := c.resolveParent(path, true)
 	if err != nil {
@@ -515,8 +578,8 @@ func (c *Client) Unlink(path string) error {
 }
 
 // Rename implements fsapi.Client.
-func (c *Client) Rename(oldPath, newPath string) error {
-	c.enter()
+func (c *Client) Rename(oldPath, newPath string) (err error) {
+	defer c.begin(obs.OpRename).end(&err)
 	fs := c.fs
 	oldParent, oldName, err := c.resolveParent(oldPath, true)
 	if err != nil {
@@ -536,8 +599,8 @@ func (c *Client) Rename(oldPath, newPath string) error {
 }
 
 // Symlink implements fsapi.Client.
-func (c *Client) Symlink(target, linkPath string) error {
-	c.enter()
+func (c *Client) Symlink(target, linkPath string) (err error) {
+	defer c.begin(obs.OpSymlink).end(&err)
 	fs := c.fs
 	parent, name, err := c.resolveParent(linkPath, true)
 	if err != nil {
@@ -558,8 +621,8 @@ func (c *Client) Symlink(target, linkPath string) error {
 
 // Link implements fsapi.Client: hard links are distinct file entries
 // pointing at the same inode, with a reference count in the inode (§4.3).
-func (c *Client) Link(oldPath, newPath string) error {
-	c.enter()
+func (c *Client) Link(oldPath, newPath string) (err error) {
+	defer c.begin(obs.OpLink).end(&err)
 	fs := c.fs
 	ino, err := c.resolve(oldPath, true)
 	if err != nil {
@@ -583,8 +646,8 @@ func (c *Client) Link(oldPath, newPath string) error {
 }
 
 // Readlink implements fsapi.Client.
-func (c *Client) Readlink(path string) (string, error) {
-	c.enter()
+func (c *Client) Readlink(path string) (target string, err error) {
+	defer c.begin(obs.OpReadlink).end(&err)
 	ino, err := c.resolve(path, false)
 	if err != nil {
 		return "", err
@@ -596,8 +659,8 @@ func (c *Client) Readlink(path string) (string, error) {
 }
 
 // ReadDir implements fsapi.Client.
-func (c *Client) ReadDir(path string) ([]fsapi.DirEntry, error) {
-	c.enter()
+func (c *Client) ReadDir(path string) (ents []fsapi.DirEntry, err error) {
+	defer c.begin(obs.OpReadDir).end(&err)
 	fs := c.fs
 	ino, err := c.resolve(path, true)
 	if err != nil {
@@ -613,8 +676,8 @@ func (c *Client) ReadDir(path string) ([]fsapi.DirEntry, error) {
 }
 
 // Chmod implements fsapi.Client.
-func (c *Client) Chmod(path string, perm uint32) error {
-	c.enter()
+func (c *Client) Chmod(path string, perm uint32) (err error) {
+	defer c.begin(obs.OpChmod).end(&err)
 	fs := c.fs
 	ino, err := c.resolve(path, true)
 	if err != nil {
@@ -631,8 +694,8 @@ func (c *Client) Chmod(path string, perm uint32) error {
 }
 
 // Utimes implements fsapi.Client.
-func (c *Client) Utimes(path string, atime, mtime int64) error {
-	c.enter()
+func (c *Client) Utimes(path string, atime, mtime int64) (err error) {
+	defer c.begin(obs.OpUtimes).end(&err)
 	fs := c.fs
 	ino, err := c.resolve(path, true)
 	if err != nil {
@@ -648,7 +711,8 @@ func (c *Client) Utimes(path string, atime, mtime int64) error {
 }
 
 // Detach implements fsapi.Client.
-func (c *Client) Detach() error {
+func (c *Client) Detach() (err error) {
+	defer c.begin(obs.OpDetach).end(&err)
 	c.files.Range(func(k, v any) bool {
 		if _, ok := c.files.LoadAndDelete(k); ok {
 			c.fs.decRef(v.(*openFile).ino)

@@ -143,10 +143,7 @@ func (fs *FS) buildIndex(first pmem.Ptr, ds *dirState) {
 // invalidateDir drops a directory's volatile index (after recovery repairs
 // the persistent chain behind its back).
 func (fs *FS) invalidateDir(first pmem.Ptr) {
-	sh := &fs.dirs[uint64(first)>>7%uint64(len(fs.dirs))]
-	sh.mu.Lock()
-	delete(sh.m, first)
-	sh.mu.Unlock()
+	fs.dirs.drop(first)
 }
 
 // extendChain appends a fresh hash block to the directory and feeds its

@@ -10,6 +10,7 @@ import (
 	"simurgh/internal/alloc"
 	"simurgh/internal/cost"
 	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
 	"simurgh/internal/pmem"
 )
 
@@ -41,27 +42,123 @@ type Options struct {
 	Shards int
 	// Now overrides the clock (tests); defaults to time.Now().UnixNano.
 	Now func() int64
+	// Obs is the per-operation observability sink; nil creates a fresh
+	// registry at the default sample period (see obs.DefaultSamplePeriod).
+	Obs *obs.Registry
 }
 
 const defaultLineLockTimeout = 500 * time.Millisecond
 
-type lockShard struct {
-	mu sync.Mutex
-	m  map[pmem.Ptr]*sync.RWMutex
+// sharded is the one generic volatile sharded-map type backing all of the
+// FS's "shared DRAM" coordination state: file locks, open-file references
+// and per-directory state are all instances of it. Shards are selected by
+// key, values are created on demand, and every shard counts how many lock
+// acquisitions found the shard already held so Stats() can expose
+// contention per map.
+type sharded[V any] struct {
+	name   string
+	newV   func() V
+	shards []shardOf[V]
+	mask   uint64 // len(shards)-1; the count is rounded up to a power of two
 }
 
-// refShard tracks open-file references per inode ("shared DRAM" state):
+// shardOf is one mutex-protected slice of a sharded map. The contention
+// counters are plain words mutated only while holding mu, so counting
+// costs no extra atomics on the hot path; stats() takes each shard's lock
+// to read them. The trailing pad keeps adjacent shards off one cache line
+// (they would otherwise false-share under exactly the load the counters
+// are meant to measure).
+type shardOf[V any] struct {
+	mu        sync.Mutex
+	m         map[pmem.Ptr]V
+	gets      uint64
+	contended uint64
+	_         [24]byte
+}
+
+func newSharded[V any](name string, n int, newV func() V) sharded[V] {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	s := sharded[V]{name: name, newV: newV, shards: make([]shardOf[V], p), mask: uint64(p - 1)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[pmem.Ptr]V)
+	}
+	return s
+}
+
+func (s *sharded[V]) shard(key pmem.Ptr) *shardOf[V] {
+	return &s.shards[uint64(key)>>7&s.mask]
+}
+
+// lock acquires the shard mutex, counting acquisitions that had to wait.
+func (sh *shardOf[V]) lock() {
+	if sh.mu.TryLock() {
+		sh.gets++
+		return
+	}
+	sh.mu.Lock()
+	sh.gets++
+	sh.contended++
+}
+
+// get returns the value for key, creating it on first use.
+func (s *sharded[V]) get(key pmem.Ptr) V {
+	sh := s.shard(key)
+	sh.lock()
+	v, ok := sh.m[key]
+	if !ok {
+		v = s.newV()
+		sh.m[key] = v
+	}
+	sh.mu.Unlock()
+	return v
+}
+
+// drop forgets key's value.
+func (s *sharded[V]) drop(key pmem.Ptr) {
+	sh := s.shard(key)
+	sh.lock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
+}
+
+// update runs f on key's entry under the shard lock. f receives the current
+// value (zero V when absent) and returns the new value plus whether to keep
+// the entry; returning false removes it.
+func (s *sharded[V]) update(key pmem.Ptr, f func(v V, ok bool) (V, bool)) {
+	sh := s.shard(key)
+	sh.lock()
+	v, ok := sh.m[key]
+	nv, keep := f(v, ok)
+	if keep {
+		sh.m[key] = nv
+	} else if ok {
+		delete(sh.m, key)
+	}
+	sh.mu.Unlock()
+}
+
+// stats sums the shard counters into one named contention report.
+func (s *sharded[V]) stats() obs.ShardStat {
+	st := obs.ShardStat{Name: s.name}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st.Gets += sh.gets
+		st.Contended += sh.contended
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// refEntry tracks open-file references of one inode ("shared DRAM" state):
 // POSIX keeps an unlinked inode alive while descriptors reference it, so
 // the final close — not the unlink — frees orphaned inodes.
-type refShard struct {
-	mu     sync.Mutex
-	refs   map[pmem.Ptr]int
-	orphan map[pmem.Ptr]bool
-}
-
-type dirShard struct {
-	mu sync.Mutex
-	m  map[pmem.Ptr]*dirState
+type refEntry struct {
+	refs   int
+	orphan bool
 }
 
 // dirState is the volatile per-directory coordination state ("shared
@@ -85,9 +182,13 @@ type FS struct {
 	lineTimeout   time.Duration
 	now           func() int64
 
-	locks []lockShard
-	dirs  []dirShard
-	open  []refShard
+	// obsR is the per-op observability sink every public operation reports
+	// into (never nil on a mounted FS).
+	obsR *obs.Registry
+
+	locks sharded[*sync.RWMutex]
+	dirs  sharded[*dirState]
+	open  sharded[refEntry]
 
 	// recoveryMu serializes concurrent waiter-initiated line recoveries.
 	recoveryMu sync.Mutex
@@ -141,6 +242,10 @@ func newFS(dev *pmem.Device, opts Options) (*FS, error) {
 	if err != nil {
 		return nil, err
 	}
+	obsR := opts.Obs
+	if obsR == nil {
+		obsR = obs.NewRegistry()
+	}
 	fs := &FS{
 		dev:           dev,
 		ba:            ba,
@@ -149,56 +254,42 @@ func newFS(dev *pmem.Device, opts Options) (*FS, error) {
 		relaxedWrites: opts.RelaxedWrites,
 		lineTimeout:   opts.LineLockTimeout,
 		now:           opts.Now,
-		locks:         make([]lockShard, opts.Shards),
-		dirs:          make([]dirShard, opts.Shards),
-	}
-	for i := range fs.locks {
-		fs.locks[i].m = make(map[pmem.Ptr]*sync.RWMutex)
-	}
-	for i := range fs.dirs {
-		fs.dirs[i].m = make(map[pmem.Ptr]*dirState)
-	}
-	fs.open = make([]refShard, opts.Shards)
-	for i := range fs.open {
-		fs.open[i].refs = make(map[pmem.Ptr]int)
-		fs.open[i].orphan = make(map[pmem.Ptr]bool)
+		obsR:          obsR,
+		locks:         newSharded("locks", opts.Shards, func() *sync.RWMutex { return new(sync.RWMutex) }),
+		dirs:          newSharded("dirs", opts.Shards, func() *dirState { return new(dirState) }),
+		open:          newSharded("refs", opts.Shards, func() refEntry { return refEntry{} }),
 	}
 	return fs, nil
-}
-
-func (fs *FS) refShard(ino pmem.Ptr) *refShard {
-	return &fs.open[uint64(ino)>>7%uint64(len(fs.open))]
 }
 
 // incRef registers an open descriptor on the inode. It fails if the inode
 // was freed between the lock-free lookup and the open.
 func (fs *FS) incRef(ino pmem.Ptr) error {
-	sh := fs.refShard(ino)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if fs.oa.Flags(ino)&alloc.FlagValid == 0 {
-		return fsapi.ErrNotExist
-	}
-	sh.refs[ino]++
-	return nil
+	var err error
+	fs.open.update(ino, func(e refEntry, ok bool) (refEntry, bool) {
+		if fs.oa.Flags(ino)&alloc.FlagValid == 0 {
+			err = fsapi.ErrNotExist
+			return e, ok
+		}
+		e.refs++
+		return e, true
+	})
+	return err
 }
 
 // decRef drops one open reference; the last close of an orphaned (fully
 // unlinked) inode frees it.
 func (fs *FS) decRef(ino pmem.Ptr) {
-	sh := fs.refShard(ino)
-	sh.mu.Lock()
-	sh.refs[ino]--
-	last := sh.refs[ino] <= 0
-	if last {
-		delete(sh.refs, ino)
-	}
-	orphan := last && sh.orphan[ino]
-	if orphan {
-		delete(sh.orphan, ino)
-	}
-	sh.mu.Unlock()
-	if orphan {
+	var free bool
+	fs.open.update(ino, func(e refEntry, ok bool) (refEntry, bool) {
+		e.refs--
+		if e.refs <= 0 {
+			free = e.orphan
+			return e, false
+		}
+		return e, true
+	})
+	if free {
 		fs.freeInode(ino)
 	}
 }
@@ -206,15 +297,18 @@ func (fs *FS) decRef(ino pmem.Ptr) {
 // releaseOrOrphan is called when the link count reaches zero: the inode is
 // freed immediately unless descriptors still reference it.
 func (fs *FS) releaseOrOrphan(ino pmem.Ptr) {
-	sh := fs.refShard(ino)
-	sh.mu.Lock()
-	if sh.refs[ino] > 0 {
-		sh.orphan[ino] = true
-		sh.mu.Unlock()
-		return
+	free := true
+	fs.open.update(ino, func(e refEntry, ok bool) (refEntry, bool) {
+		if ok && e.refs > 0 {
+			e.orphan = true
+			free = false
+			return e, true
+		}
+		return e, ok
+	})
+	if free {
+		fs.freeInode(ino)
 	}
-	sh.mu.Unlock()
-	fs.freeInode(ino)
 }
 
 func maxProcs() int {
@@ -313,39 +407,45 @@ func (fs *FS) crash(point string) bool {
 // FreeBlocks reports the allocator's free data blocks.
 func (fs *FS) FreeBlocks() uint64 { return fs.ba.FreeBlocks() }
 
+// Obs returns the FS's observability registry (for sample-period and trace
+// control; never nil).
+func (fs *FS) Obs() *obs.Registry { return fs.obsR }
+
+// Stats snapshots the per-operation observability counters together with
+// volatile-shard contention and the device-global NVMM traffic totals.
+// Snapshots are plain values; diff two with Sub to scope them to a window.
+func (fs *FS) Stats() obs.Snapshot {
+	s := fs.obsR.Snapshot()
+	s.Shards = []obs.ShardStat{fs.locks.stats(), fs.open.stats(), fs.dirs.stats()}
+	s.Device = toDelta(fs.dev.StatsSnapshot())
+	return s
+}
+
+// toDelta converts a device stats snapshot into the obs traffic type.
+func toDelta(s pmem.StatsSnapshot) obs.Delta {
+	return obs.Delta{
+		LoadBytes:  s.LoadBytes,
+		StoreBytes: s.StoreBytes,
+		NTBytes:    s.NTBytes,
+		Flushes:    s.Flushes,
+		Fences:     s.Fences,
+	}
+}
+
 // fileLock returns the volatile read/write lock of an inode.
 func (fs *FS) fileLock(ino pmem.Ptr) *sync.RWMutex {
-	sh := &fs.locks[uint64(ino)>>7%uint64(len(fs.locks))]
-	sh.mu.Lock()
-	l := sh.m[ino]
-	if l == nil {
-		l = new(sync.RWMutex)
-		sh.m[ino] = l
-	}
-	sh.mu.Unlock()
-	return l
+	return fs.locks.get(ino)
 }
 
 // dropFileLock forgets the volatile lock of a deleted inode.
 func (fs *FS) dropFileLock(ino pmem.Ptr) {
-	sh := &fs.locks[uint64(ino)>>7%uint64(len(fs.locks))]
-	sh.mu.Lock()
-	delete(sh.m, ino)
-	sh.mu.Unlock()
+	fs.locks.drop(ino)
 }
 
 // dirState returns the volatile coordination state of a directory,
 // identified by its first hash block.
 func (fs *FS) dirState(first pmem.Ptr) *dirState {
-	sh := &fs.dirs[uint64(first)>>7%uint64(len(fs.dirs))]
-	sh.mu.Lock()
-	ds := sh.m[first]
-	if ds == nil {
-		ds = new(dirState)
-		sh.m[first] = ds
-	}
-	sh.mu.Unlock()
-	return ds
+	return fs.dirs.get(first)
 }
 
 // newInode allocates and fills an inode (valid|dirty until the caller

@@ -11,6 +11,8 @@ package fsapi
 import (
 	"errors"
 	"fmt"
+
+	"simurgh/internal/obs"
 )
 
 // Cred is the effective identity of an attached process.
@@ -173,6 +175,16 @@ type FileSystem interface {
 	Name() string
 	// Attach registers a process with the given credentials.
 	Attach(cred Cred) (Client, error)
+}
+
+// StatsProvider is implemented by file systems that keep per-operation
+// observability counters (call/error counts, latency histograms, NVMM
+// flush/fence attribution — see package obs). Tools type-assert a
+// FileSystem to it; kernel-FS baselines do not implement it.
+type StatsProvider interface {
+	// Stats returns a point-in-time snapshot of the counters. Diff two
+	// snapshots with Sub to scope them to a phase.
+	Stats() obs.Snapshot
 }
 
 // SplitPath canonicalizes path into components, rejecting empty and

@@ -1,0 +1,15 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkEnter(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < b.N; i++ {
+		if r.Enter(OpStat) {
+			r.Sample(OpStat, time.Time{}, 100, Delta{}, false)
+		}
+	}
+}

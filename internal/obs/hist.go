@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+)
+
+// NumBuckets is the fixed size of the per-op latency histogram. Buckets are
+// power-of-two nanosecond ranges: bucket 0 holds latencies below 128 ns,
+// bucket i (i>0) holds [64<<(i-1), 64<<i) ns, and the last bucket absorbs
+// everything from ~16.8 ms up. Fixed buckets keep recording a single atomic
+// add and make histograms diffable field-by-field.
+const NumBuckets = 20
+
+// bucketOf maps a latency in nanoseconds to its histogram bucket.
+func bucketOf(ns uint64) int {
+	b := bits.Len64(ns >> 6)
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// BucketUpperNs returns the exclusive upper bound of bucket i in
+// nanoseconds (the last bucket reports its lower bound: it is unbounded).
+func BucketUpperNs(i int) uint64 {
+	if i >= NumBuckets-1 {
+		return 64 << (NumBuckets - 2)
+	}
+	return 64 << i
+}
+
+// Histogram is a diffed, plain-value latency histogram (counts per bucket).
+type Histogram [NumBuckets]uint64
+
+// Count returns the total number of recorded samples.
+func (h Histogram) Count() uint64 {
+	var n uint64
+	for _, c := range h {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1)
+// in nanoseconds: the upper bound of the bucket where the cumulative count
+// crosses q. Returns 0 for an empty histogram.
+func (h Histogram) Quantile(q float64) uint64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	want := uint64(math.Ceil(q * float64(total)))
+	if want < 1 {
+		want = 1
+	}
+	if want > total {
+		want = total
+	}
+	var cum uint64
+	for i, c := range h {
+		cum += c
+		if cum >= want {
+			return BucketUpperNs(i)
+		}
+	}
+	return BucketUpperNs(NumBuckets - 1)
+}
+
+// Add returns the bucket-wise sum h+b.
+func (h Histogram) Add(b Histogram) Histogram {
+	var out Histogram
+	for i := range h {
+		out[i] = h[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns the bucket-wise difference h-b.
+func (h Histogram) Sub(b Histogram) Histogram {
+	var out Histogram
+	for i := range h {
+		out[i] = h[i] - b[i]
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// OpStats is the plain-value accumulated state of one operation class at
+// snapshot time. Calls and Errors are exact; Sampled, the histogram, the
+// latency total and the NVMM traffic cover only deep-sampled calls (all
+// calls when the registry runs at sample period 1).
+type OpStats struct {
+	Calls   uint64
+	Errors  uint64
+	Sampled uint64
+	LatNs   uint64
+	Hist    Histogram
+	Pmem    Delta
+}
+
+// MeanNs returns the mean latency of sampled calls in nanoseconds.
+func (s OpStats) MeanNs() uint64 {
+	if s.Sampled == 0 {
+		return 0
+	}
+	return s.LatNs / s.Sampled
+}
+
+// PerCall returns v scaled from sampled calls to a per-call average.
+func (s OpStats) PerCall(v uint64) float64 {
+	if s.Sampled == 0 {
+		return 0
+	}
+	return float64(v) / float64(s.Sampled)
+}
+
+// EstTotalLatNs extrapolates the total latency across all calls from the
+// sampled subset (identical to LatNs at sample period 1).
+func (s OpStats) EstTotalLatNs() uint64 {
+	if s.Sampled == 0 {
+		return 0
+	}
+	return uint64(float64(s.LatNs) / float64(s.Sampled) * float64(s.Calls))
+}
+
+// Add returns the field-wise sum s+b.
+func (s OpStats) Add(b OpStats) OpStats {
+	return OpStats{
+		Calls:   s.Calls + b.Calls,
+		Errors:  s.Errors + b.Errors,
+		Sampled: s.Sampled + b.Sampled,
+		LatNs:   s.LatNs + b.LatNs,
+		Hist:    s.Hist.Add(b.Hist),
+		Pmem:    s.Pmem.Add(b.Pmem),
+	}
+}
+
+// Sub returns the field-wise difference s-b.
+func (s OpStats) Sub(b OpStats) OpStats {
+	return OpStats{
+		Calls:   s.Calls - b.Calls,
+		Errors:  s.Errors - b.Errors,
+		Sampled: s.Sampled - b.Sampled,
+		LatNs:   s.LatNs - b.LatNs,
+		Hist:    s.Hist.Sub(b.Hist),
+		Pmem:    s.Pmem.Sub(b.Pmem),
+	}
+}
+
+// ShardStat reports lock pressure on one named sharded volatile-state map:
+// how many times a shard was locked and how many of those acquisitions
+// found the lock already held.
+type ShardStat struct {
+	Name      string
+	Gets      uint64
+	Contended uint64
+}
+
+// Snapshot is a point-in-time copy of a Registry (plus, when taken through
+// FS.Stats, shard contention and device-global traffic). Snapshots are
+// plain values: diff two with Sub to scope counters to a window.
+type Snapshot struct {
+	// SamplePeriod is the registry's deep-sampling period at snapshot time.
+	SamplePeriod uint64
+	// Ops holds one accumulator per operation class.
+	Ops [NumOps]OpStats
+	// Shards reports contention on the volatile sharded maps (optional).
+	Shards []ShardStat
+	// Device holds the device-global traffic totals (optional).
+	Device Delta
+}
+
+// Snapshot sums the registry's shards into a consistent-enough point-in-time
+// copy (individual counters are read atomically; the set is not a single
+// atomic cut, which is fine for monotonically increasing counters).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	s.SamplePeriod = r.SamplePeriod()
+	for i := range r.shards {
+		sh := &r.shards[i]
+		for op := Op(0); op < NumOps; op++ {
+			c := &sh.ops[op]
+			o := &s.Ops[op]
+			o.Calls += c.calls.Load()
+			o.Errors += c.errors.Load()
+			o.Sampled += c.sampled.Load()
+			o.LatNs += c.latNs.Load()
+			for b := 0; b < NumBuckets; b++ {
+				o.Hist[b] += c.hist[b].Load()
+			}
+			o.Pmem.LoadBytes += c.load.Load()
+			o.Pmem.StoreBytes += c.store.Load()
+			o.Pmem.NTBytes += c.nt.Load()
+			o.Pmem.Flushes += c.flushes.Load()
+			o.Pmem.Fences += c.fences.Load()
+		}
+	}
+	return s
+}
+
+// Sub returns the snapshot diff s-base: per-op counters, shard stats
+// (matched by name) and device totals all scoped to the window between the
+// two snapshots.
+func (s Snapshot) Sub(base Snapshot) Snapshot {
+	out := Snapshot{SamplePeriod: s.SamplePeriod, Device: s.Device.Sub(base.Device)}
+	for op := Op(0); op < NumOps; op++ {
+		out.Ops[op] = s.Ops[op].Sub(base.Ops[op])
+	}
+	baseShards := make(map[string]ShardStat, len(base.Shards))
+	for _, b := range base.Shards {
+		baseShards[b.Name] = b
+	}
+	for _, sh := range s.Shards {
+		b := baseShards[sh.Name]
+		out.Shards = append(out.Shards, ShardStat{
+			Name: sh.Name, Gets: sh.Gets - b.Gets, Contended: sh.Contended - b.Contended,
+		})
+	}
+	return out
+}
+
+// Add returns the field-wise sum s+o, merging shard stats by name. Use it
+// to accumulate windows from several runs into one table.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	out := Snapshot{SamplePeriod: s.SamplePeriod, Device: s.Device.Add(o.Device)}
+	if out.SamplePeriod < o.SamplePeriod {
+		out.SamplePeriod = o.SamplePeriod
+	}
+	for op := Op(0); op < NumOps; op++ {
+		out.Ops[op] = s.Ops[op].Add(o.Ops[op])
+	}
+	merged := make(map[string]int, len(s.Shards))
+	for _, sh := range s.Shards {
+		merged[sh.Name] = len(out.Shards)
+		out.Shards = append(out.Shards, sh)
+	}
+	for _, sh := range o.Shards {
+		if i, ok := merged[sh.Name]; ok {
+			out.Shards[i].Gets += sh.Gets
+			out.Shards[i].Contended += sh.Contended
+		} else {
+			out.Shards = append(out.Shards, sh)
+		}
+	}
+	return out
+}
+
+// TotalCalls returns the number of operations across all classes.
+func (s Snapshot) TotalCalls() uint64 {
+	var n uint64
+	for op := Op(0); op < NumOps; op++ {
+		n += s.Ops[op].Calls
+	}
+	return n
+}
+
+// TotalLatNs returns the extrapolated total in-FS latency across all
+// classes in nanoseconds.
+func (s Snapshot) TotalLatNs() uint64 {
+	var n uint64
+	for op := Op(0); op < NumOps; op++ {
+		n += s.Ops[op].EstTotalLatNs()
+	}
+	return n
+}
+
+func fmtNs(ns uint64) string {
+	return time.Duration(ns).Round(10 * time.Nanosecond).String()
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fM", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fK", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}
+
+// WriteTable renders the snapshot as the per-op breakdown table (the Fig
+// 10-style view): calls, errors, mean/p99 latency, and per-call flush,
+// fence and non-temporal-byte attribution, plus the share of total in-FS
+// time. Classes with zero calls are omitted.
+func (s Snapshot) WriteTable(w io.Writer) {
+	totalLat := s.TotalLatNs()
+	fmt.Fprintf(w, "%-10s %10s %7s %10s %10s %9s %9s %9s %7s\n",
+		"op", "calls", "errs", "mean", "p99", "flush/op", "fence/op", "nt/op", "fs%")
+	for op := Op(0); op < NumOps; op++ {
+		o := s.Ops[op]
+		if o.Calls == 0 {
+			continue
+		}
+		share := 0.0
+		if totalLat > 0 {
+			share = 100 * float64(o.EstTotalLatNs()) / float64(totalLat)
+		}
+		fmt.Fprintf(w, "%-10s %10d %7d %10s %10s %9.2f %9.2f %9s %6.1f%%\n",
+			op, o.Calls, o.Errors,
+			fmtNs(o.MeanNs()), fmtNs(o.Hist.Quantile(0.99)),
+			o.PerCall(o.Pmem.Flushes), o.PerCall(o.Pmem.Fences),
+			fmtBytes(o.PerCall(o.Pmem.NTBytes)), share)
+	}
+	fmt.Fprintf(w, "total: %d calls, %s in-FS", s.TotalCalls(), fmtNs(totalLat))
+	if s.SamplePeriod > 1 {
+		fmt.Fprintf(w, " (latency/pmem sampled 1/%d)", s.SamplePeriod)
+	}
+	fmt.Fprintln(w)
+	if len(s.Shards) > 0 {
+		fmt.Fprintf(w, "shards:")
+		for _, sh := range s.Shards {
+			pct := 0.0
+			if sh.Gets > 0 {
+				pct = 100 * float64(sh.Contended) / float64(sh.Gets)
+			}
+			fmt.Fprintf(w, " %s=%d/%d contended (%.2f%%)", sh.Name, sh.Contended, sh.Gets, pct)
+		}
+		fmt.Fprintln(w)
+	}
+	if s.Device != (Delta{}) {
+		fmt.Fprintf(w, "device: %d flushes, %d fences, %s NT, %s stored, %s loaded\n",
+			s.Device.Flushes, s.Device.Fences,
+			fmtBytes(float64(s.Device.NTBytes)), fmtBytes(float64(s.Device.StoreBytes)),
+			fmtBytes(float64(s.Device.LoadBytes)))
+	}
+}
+
+// Counter is one labeled value in a phase report.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Phase is a named counter snapshot taken at one boundary of a multi-step
+// job (a recovery pass, an fsck stage). It reuses the snapshot vocabulary —
+// plain diffable values plus an attributed NVMM traffic Delta — so offline
+// tools report with the same types the live FS exposes.
+type Phase struct {
+	Name     string
+	Elapsed  time.Duration
+	Counters []Counter
+	Pmem     Delta
+}
+
+// WritePhases renders a phase report, one block per phase, skipping
+// zero-valued counters.
+func WritePhases(w io.Writer, phases []Phase) {
+	for _, p := range phases {
+		fmt.Fprintf(w, "%-10s %12v", p.Name, p.Elapsed.Round(time.Microsecond))
+		for _, c := range p.Counters {
+			if c.Value != 0 {
+				fmt.Fprintf(w, "  %s=%d", c.Name, c.Value)
+			}
+		}
+		if p.Pmem != (Delta{}) {
+			fmt.Fprintf(w, "  [%d flushes, %d fences, %s NT]",
+				p.Pmem.Flushes, p.Pmem.Fences, fmtBytes(float64(p.Pmem.NTBytes)))
+		}
+		fmt.Fprintln(w)
+	}
+}

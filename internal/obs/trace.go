@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceEvent is one deep-sampled operation captured by the trace ring.
+type TraceEvent struct {
+	Op    Op
+	Start time.Time
+	LatNs uint64
+	Err   bool
+}
+
+// traceRing is a bounded ring buffer of recent deep-sampled operations.
+// Disabled (zero capacity) by default; when enabled, appends take a short
+// mutex — tracing is a debugging aid, not a hot-path feature, and sampled
+// ops are already rate-limited by the sample period.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next uint64 // total events recorded; next%len(buf) is the write slot
+}
+
+func (t *traceRing) record(op Op, start time.Time, latNs uint64, failed bool) {
+	t.mu.Lock()
+	if len(t.buf) > 0 {
+		t.buf[t.next%uint64(len(t.buf))] = TraceEvent{Op: op, Start: start, LatNs: latNs, Err: failed}
+		t.next++
+	}
+	t.mu.Unlock()
+}
+
+// EnableTrace turns the trace ring on with the given capacity (0 disables
+// and drops any captured events).
+func (r *Registry) EnableTrace(capacity int) {
+	if r == nil {
+		return
+	}
+	r.trace.mu.Lock()
+	if capacity <= 0 {
+		r.trace.buf = nil
+	} else {
+		r.trace.buf = make([]TraceEvent, capacity)
+	}
+	r.trace.next = 0
+	r.trace.mu.Unlock()
+}
+
+// Trace returns the captured events, oldest first. At most the ring's
+// capacity of most recent events is retained.
+func (r *Registry) Trace() []TraceEvent {
+	if r == nil {
+		return nil
+	}
+	t := &r.trace
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.buf) == 0 || t.next == 0 {
+		return nil
+	}
+	n := t.next
+	capU := uint64(len(t.buf))
+	count := n
+	if count > capU {
+		count = capU
+	}
+	out := make([]TraceEvent, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, t.buf[i%capU])
+	}
+	return out
+}

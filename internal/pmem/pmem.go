@@ -66,6 +66,41 @@ type Stats struct {
 	Fences     atomic.Uint64
 }
 
+// StatsSnapshot is a plain-value copy of Stats at one instant. Snapshots
+// taken at the boundaries of an operation window and diffed with Sub
+// attribute the device traffic of that window (the per-op accounting the
+// observability layer is built on).
+type StatsSnapshot struct {
+	LoadBytes  uint64
+	StoreBytes uint64
+	NTBytes    uint64
+	Flushes    uint64
+	Fences     uint64
+}
+
+// Snapshot reads all counters atomically (individually, not as one cut —
+// fine for monotonic counters).
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		LoadBytes:  s.LoadBytes.Load(),
+		StoreBytes: s.StoreBytes.Load(),
+		NTBytes:    s.NTBytes.Load(),
+		Flushes:    s.Flushes.Load(),
+		Fences:     s.Fences.Load(),
+	}
+}
+
+// Sub returns the field-wise difference s-base.
+func (s StatsSnapshot) Sub(base StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		LoadBytes:  s.LoadBytes - base.LoadBytes,
+		StoreBytes: s.StoreBytes - base.StoreBytes,
+		NTBytes:    s.NTBytes - base.NTBytes,
+		Flushes:    s.Flushes - base.Flushes,
+		Fences:     s.Fences - base.Fences,
+	}
+}
+
 // Latency models the timing of the NVMM persistence primitives. Plain
 // cached loads/stores are not charged (they hit the CPU cache, and the
 // arena already runs at DRAM speed); flushes, fences and non-temporal
@@ -120,6 +155,9 @@ func New(size uint64) *Device {
 
 // Size returns the device capacity in bytes.
 func (d *Device) Size() uint64 { return d.size }
+
+// StatsSnapshot copies the device's traffic counters at this instant.
+func (d *Device) StatsSnapshot() StatsSnapshot { return d.Stats.Snapshot() }
 
 // Prefault touches every page of the arena so the host kernel materializes
 // it up front. Benchmarks call this once per device: otherwise first-touch

@@ -22,6 +22,7 @@ import (
 	"simurgh/internal/core"
 	"simurgh/internal/cost"
 	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
 	"simurgh/internal/pmem"
 )
 
@@ -145,6 +146,21 @@ func (v *Volume) Maintain() MaintainStats { return v.fs.Maintain() }
 
 // MaintainStats reports what a maintenance pass reclaimed.
 type MaintainStats = core.MaintainStats
+
+// StatsSnapshot is a point-in-time view of the volume's per-operation
+// observability counters: call/error counts, latency histograms and NVMM
+// flush/fence/byte attribution per operation class. Diff two snapshots
+// with Sub to scope them to an interval, or render one with WriteTable.
+type StatsSnapshot = obs.Snapshot
+
+// Stats snapshots the volume's per-operation counters.
+func (v *Volume) Stats() StatsSnapshot { return v.fs.Stats() }
+
+// SetStatsSamplePeriod sets how often operations are deep-sampled for
+// latency and NVMM attribution: every period-th call (rounded up to a
+// power of two; 1 samples every call). Call/error counts are always
+// exact. The default period is obs.DefaultSamplePeriod.
+func (v *Volume) SetStatsSamplePeriod(period int) { v.fs.Obs().SetSamplePeriod(period) }
 
 // Device exposes the underlying emulated NVMM device.
 func (v *Volume) Device() *pmem.Device { return v.dev }
