@@ -10,6 +10,7 @@
 //	simurghbench tar [flags]          tar pack/unpack (Fig 11)
 //	simurghbench git [flags]          git add/commit/reset (Fig 12)
 //	simurghbench recovery [flags]     full-crash recovery time (§5.5)
+//	simurghbench serve [flags]        run a live workload and export metrics
 //	simurghbench all                  everything at default scale
 //
 // Results are throughput series/tables in the paper's shape; absolute
@@ -18,12 +19,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"simurgh/internal/apps/gitbench"
@@ -32,6 +36,7 @@ import (
 	"simurgh/internal/core"
 	"simurgh/internal/corpus"
 	"simurgh/internal/cost"
+	"simurgh/internal/export"
 	"simurgh/internal/filebench"
 	"simurgh/internal/fsapi"
 	"simurgh/internal/fxmark"
@@ -67,6 +72,8 @@ func main() {
 		err = runGit(args)
 	case "recovery":
 		err = runRecovery(args)
+	case "serve":
+		err = runServe(args)
 	case "ablation":
 		err = runAblation(args)
 	case "all":
@@ -82,7 +89,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: simurghbench <isa|micro|fig6|filebench|ycsb|breakdown|tar|git|recovery|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: simurghbench <isa|micro|fig6|filebench|ycsb|breakdown|tar|git|recovery|serve|all> [flags]`)
 }
 
 func parseThreads(s string) []int {
@@ -130,6 +137,7 @@ func runMicro(args []string) error {
 	dur := fs.Duration("duration", 500*time.Millisecond, "measurement time per point")
 	reps := fs.Int("reps", 1, "repetitions per point (best kept; raises noise immunity)")
 	fsList := fs.String("fs", "all", "file systems (comma separated)")
+	jsonOut := fs.String("json", "", "also write results as JSON to this file")
 	fs.Parse(args)
 
 	ws := fxmark.All()
@@ -153,6 +161,7 @@ func runMicro(args []string) error {
 		"overwrite-shared": "Fig 7k overwrite, shared file", "write-private": "Fig 7l write, private files",
 	}
 	ths := parseThreads(*threads)
+	var doc []microJSON
 	for _, name := range names {
 		w := ws[name]
 		fsNames := parseFS(*fsList)
@@ -183,8 +192,64 @@ func runMicro(args []string) error {
 		inMB := strings.HasPrefix(name, "read") || strings.HasPrefix(name, "write") ||
 			strings.HasPrefix(name, "overwrite") || strings.HasPrefix(name, "append")
 		bench.PrintSeries(os.Stdout, figs[name], results, inMB)
+		doc = append(doc, microJSON{Bench: name, Fig: figs[name], Results: toPoints(results)})
+	}
+	if *jsonOut != "" {
+		if err := writeMicroJSON(*jsonOut, *dur, *reps, doc); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *jsonOut)
 	}
 	return nil
+}
+
+// microJSON is the machine-readable form of one workload's result series,
+// for regression baselines (BENCH_*.json).
+type microJSON struct {
+	Bench   string      `json:"bench"`
+	Fig     string      `json:"fig"`
+	Results []pointJSON `json:"results"`
+}
+
+type pointJSON struct {
+	FS        string  `json:"fs"`
+	Threads   int     `json:"threads"`
+	Ops       uint64  `json:"ops"`
+	Bytes     uint64  `json:"bytes,omitempty"`
+	ElapsedNs int64   `json:"elapsed_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	MBPerSec  float64 `json:"mb_per_sec,omitempty"`
+}
+
+func toPoints(results []bench.Result) []pointJSON {
+	out := make([]pointJSON, 0, len(results))
+	for _, r := range results {
+		out = append(out, pointJSON{
+			FS: r.FS, Threads: r.Threads, Ops: r.Ops, Bytes: r.Bytes,
+			ElapsedNs: r.Elapsed.Nanoseconds(),
+			OpsPerSec: r.OpsPerSec(), MBPerSec: r.MBPerSec(),
+		})
+	}
+	return out
+}
+
+func writeMicroJSON(path string, dur time.Duration, reps int, doc []microJSON) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(struct {
+		Suite      string      `json:"suite"`
+		DurationMs int64       `json:"duration_ms"`
+		Reps       int         `json:"reps"`
+		Benches    []microJSON `json:"benches"`
+	}{Suite: "micro", DurationMs: dur.Milliseconds(), Reps: reps, Benches: doc})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // runFig6 compares the original (cache-hot) FxMark read with the adapted
@@ -309,7 +374,7 @@ func runYCSB(args []string) error {
 // snapshotting the per-op counters and forcing full sampling.
 type statsFS interface {
 	fsapi.StatsProvider
-	Obs() *obs.Registry
+	fsapi.ObsProvider
 }
 
 // observe prepares fsi for an attributed phase, returning a closure that
@@ -676,4 +741,92 @@ func runAll(args []string) error {
 		return err
 	}
 	return runRecovery([]string{"-trees", "5", "-scale", "1"})
+}
+
+// runServe formats a fresh in-memory volume, drives a continuous mixed
+// metadata/data workload over it, and exports live metrics over HTTP —
+// the target for simurghtop, Prometheus scrapes, and the CI smoke test.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9180", "metrics listen address (host:port, port 0 picks one)")
+	size := fs.Uint64("size", 256<<20, "volume size in bytes")
+	threads := fs.Int("threads", 2, "workload threads")
+	dur := fs.Duration("duration", 0, "how long to serve (0 = until interrupted)")
+	traceCap := fs.Int("trace", 4096, "flight-recorder capacity in spans (0 = off)")
+	fs.Parse(args)
+
+	reg := obs.NewRegistry()
+	reg.SetSamplePeriod(1) // serve is an observability target, not a speed run
+	if *traceCap > 0 {
+		reg.EnableTrace(*traceCap)
+	}
+	dev := pmem.New(*size)
+	vol, err := core.Format(dev, fsapi.Root, core.Options{Obs: reg})
+	if err != nil {
+		return err
+	}
+	srv, err := export.Serve(*addr, vol.Stats, reg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving metrics on %s  (/metrics /stats.json /trace.json /debug/vars)\n", srv.URL)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for t := 0; t < *threads; t++ {
+		c, aerr := vol.Attach(fsapi.Root)
+		if aerr != nil {
+			return aerr
+		}
+		wg.Add(1)
+		go func(t int, c fsapi.Client) {
+			defer wg.Done()
+			churn(c, t, stop)
+		}(t, c)
+	}
+	if *dur > 0 {
+		time.Sleep(*dur)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		fmt.Println("\nshutting down")
+	}
+	close(stop)
+	wg.Wait()
+	srv.Close()
+	vol.Unmount()
+	return nil
+}
+
+// churn runs a steady mixed workload in a private directory: create,
+// write, stat, read back, and periodically unlink, so every instrumented
+// path (locks, allocator, directory probes) stays warm without filling
+// the volume.
+func churn(c fsapi.Client, t int, stop <-chan struct{}) {
+	dir := fmt.Sprintf("/serve%d", t)
+	c.Mkdir(dir, 0o755)
+	buf := make([]byte, 4096)
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		name := fmt.Sprintf("%s/f%d", dir, i%64)
+		fd, err := c.Open(name, fsapi.OCreate|fsapi.OWronly|fsapi.OTrunc, 0o644)
+		if err != nil {
+			continue
+		}
+		c.Write(fd, buf)
+		c.Close(fd)
+		c.Stat(name)
+		if fd, err := c.Open(name, fsapi.ORdonly, 0); err == nil {
+			c.Read(fd, buf)
+			c.Close(fd)
+		}
+		if i%8 == 7 {
+			c.Unlink(name)
+		}
+	}
 }

@@ -3,11 +3,13 @@
 //
 //	simurghsh                      fresh in-memory volume
 //	simurghsh -image vol.img       open (and on exit save) an image file
+//	simurghsh -metrics host:port   also serve live metrics over HTTP
 //
 // Commands: ls [path], cat <file>, write <file> <text...>, append <file>
 // <text...>, mkdir <dir>, rm <file>, rmdir <dir>, mv <old> <new>,
 // ln -s <target> <link>, ln <old> <new>, stat <path>, chmod <perm> <path>,
-// tree [path], df, stats [reset], crashdemo, su <uid> <gid>, help, exit.
+// tree [path], df, stats [reset], trace <on [n]|off|dump <file>>,
+// crashdemo, su <uid> <gid>, help, exit.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"strings"
 
 	"simurgh/internal/core"
+	"simurgh/internal/export"
 	"simurgh/internal/fsapi"
 	"simurgh/internal/obs"
 	"simurgh/internal/pmem"
@@ -27,6 +30,7 @@ import (
 func main() {
 	image := flag.String("image", "", "volume image to open and save on exit")
 	size := flag.Uint64("size", 256<<20, "volume size for fresh volumes")
+	metrics := flag.String("metrics", "", "serve live metrics on this host:port (e.g. 127.0.0.1:9180)")
 	flag.Parse()
 
 	// The shell is interactive, so sample every operation: exact latency
@@ -61,6 +65,15 @@ func main() {
 			fatal(err)
 		}
 		fs = formatted
+	}
+
+	if *metrics != "" {
+		srv, err := export.Serve(*metrics, fs.Stats, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on %s  (/metrics /stats.json /trace.json /debug/vars)\n", srv.URL)
 	}
 
 	cred := fsapi.Root
@@ -114,7 +127,7 @@ func (s *shell) exec(line string) {
 	var err error
 	switch cmd {
 	case "help":
-		fmt.Println("ls cat write append mkdir rm rmdir mv ln stat chmod tree df stats maintain crashdemo su exit")
+		fmt.Println("ls cat write append mkdir rm rmdir mv ln stat chmod tree df stats trace maintain crashdemo su exit")
 	case "ls":
 		path := "/"
 		if len(rest) > 0 {
@@ -242,6 +255,8 @@ func (s *shell) exec(line string) {
 			break
 		}
 		s.fs.Stats().Sub(s.base).WriteTable(os.Stdout)
+	case "trace":
+		err = s.trace(rest)
 	case "maintain":
 		st := s.fs.Maintain()
 		fmt.Printf("visited %d dirs, freed %d hash blocks\n", st.DirsVisited, st.BlocksFreed)
@@ -276,6 +291,51 @@ func (s *shell) exec(line string) {
 	if err != nil {
 		fmt.Println("error:", err)
 	}
+}
+
+// trace drives the flight recorder: `trace on [spans]` arms it,
+// `trace off` disarms it, `trace dump <file>` writes the recorded spans
+// as Chrome trace-event JSON for ui.perfetto.dev.
+func (s *shell) trace(rest []string) error {
+	if len(rest) == 0 {
+		return errUsage("trace <on [spans]|off|dump <file>>")
+	}
+	reg := s.fs.Obs()
+	switch rest[0] {
+	case "on":
+		capacity := 4096
+		if len(rest) > 1 {
+			n, err := strconv.Atoi(rest[1])
+			if err != nil || n <= 0 {
+				return errUsage("trace on [spans]")
+			}
+			capacity = n
+		}
+		reg.EnableTrace(capacity)
+		fmt.Printf("flight recorder on (%d spans)\n", capacity)
+	case "off":
+		reg.EnableTrace(0)
+		fmt.Println("flight recorder off")
+	case "dump":
+		if len(rest) < 2 {
+			return errUsage("trace dump <file>")
+		}
+		f, err := os.Create(rest[1])
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s — open it in ui.perfetto.dev or chrome://tracing\n", rest[1])
+	default:
+		return errUsage("trace <on [spans]|off|dump <file>>")
+	}
+	return nil
 }
 
 func (s *shell) tree(path string, depth int) {

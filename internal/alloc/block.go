@@ -84,6 +84,7 @@ type BlockAlloc struct {
 	segs       []*segment
 	maxHold    time.Duration
 	steals     atomic.Uint64
+	onSteal    func()
 }
 
 // NewBlockAlloc creates an allocator over blocks
@@ -188,6 +189,9 @@ func (s *segment) lockSeg(a *BlockAlloc) {
 		}
 		if spins > 64 && s.lock.stealIfStale(a.maxHold) {
 			a.steals.Add(1)
+			if a.onSteal != nil {
+				a.onSteal()
+			}
 			return
 		}
 		if spins&0xff == 0xff {

@@ -1,0 +1,75 @@
+package alloc
+
+// SegStat describes one block-allocator segment's occupancy.
+type SegStat struct {
+	Lo   uint64 // first block owned
+	Hi   uint64 // one past last block owned
+	Free uint64 // free blocks
+}
+
+// SegStats returns per-segment occupancy (locking each segment briefly).
+func (a *BlockAlloc) SegStats() []SegStat {
+	out := make([]SegStat, len(a.segs))
+	for i, s := range a.segs {
+		s.lockSeg(a)
+		out[i] = SegStat{Lo: s.lo, Hi: s.hi, Free: s.freeN}
+		s.lock.unlock()
+	}
+	return out
+}
+
+// SetStealHook installs fn to be called whenever a stale segment lock is
+// stolen from a presumed-crashed holder (nil removes it). Install before
+// the allocator sees concurrent traffic; the field is not synchronized.
+func (a *BlockAlloc) SetStealHook(fn func()) { a.onSteal = fn }
+
+// ClassStat summarizes one slab class's persistent and volatile state at a
+// point in time. Valid and Dirty count flag bits independently (an
+// allocated-but-uncommitted object is both); Free counts slots whose flags
+// word is exactly zero.
+type ClassStat struct {
+	Segments   uint64 // persistent segments in the chain
+	Objects    uint64 // object slots across all segments
+	Valid      uint64 // slots with the valid bit set
+	Dirty      uint64 // slots with the dirty bit set
+	Free       uint64 // slots with zero flags
+	FreeListed uint64 // slots on the volatile free lists
+}
+
+// ClassStats counts the flag states of one class by walking its persistent
+// segment chain — exact but O(objects), so it belongs on polling paths
+// (FS.Stats, exporters), not in operations. Unlike scanClass (recovery
+// time, no concurrent writers) the walk uses atomic loads throughout,
+// because it races with live flag transitions by design.
+func (a *ObjAlloc) ClassStats(class int) ClassStat {
+	var st ClassStat
+	cs := a.classes[class]
+	for seg := a.dev.AtomicLoad64(cs.cfg.HeadOff); seg != 0; seg = a.dev.AtomicLoad64(seg + 8) {
+		for i := uint64(0); i < cs.objsPerSeg; i++ {
+			flags := a.dev.AtomicLoad64(seg + segHeaderLen + i*cs.cfg.ObjSize)
+			st.Objects++
+			if flags&FlagValid != 0 {
+				st.Valid++
+			}
+			if flags&FlagDirty != 0 {
+				st.Dirty++
+			}
+			if flags == 0 {
+				st.Free++
+			}
+		}
+	}
+	if cs.objsPerSeg > 0 {
+		st.Segments = st.Objects / cs.objsPerSeg
+	}
+	for i := range cs.shards {
+		sh := &cs.shards[i]
+		sh.mu.Lock()
+		st.FreeListed += uint64(len(sh.free))
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// NumClasses returns how many object classes the allocator manages.
+func (a *ObjAlloc) NumClasses() int { return len(a.classes) }

@@ -1,0 +1,100 @@
+package alloc
+
+import (
+	"testing"
+
+	"simurgh/internal/pmem"
+)
+
+func TestSegStatsOccupancy(t *testing.T) {
+	dev := pmem.New(4 << 20)
+	ba := NewBlockAlloc(dev, 4096, 1, dev.Size()/4096-1, 4)
+	stats := ba.SegStats()
+	if len(stats) != 4 {
+		t.Fatalf("got %d segments, want 4", len(stats))
+	}
+	var free uint64
+	for _, s := range stats {
+		if s.Free != s.Hi-s.Lo {
+			t.Errorf("fresh segment [%d,%d) free=%d, want %d", s.Lo, s.Hi, s.Free, s.Hi-s.Lo)
+		}
+		free += s.Free
+	}
+	if free != ba.FreeBlocks() {
+		t.Fatalf("SegStats total free %d != FreeBlocks %d", free, ba.FreeBlocks())
+	}
+	b, err := ba.Alloc(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sumFree(ba.SegStats()); got != free-8 {
+		t.Fatalf("free after alloc = %d, want %d", got, free-8)
+	}
+	ba.Free(b, 8)
+	if got := sumFree(ba.SegStats()); got != free {
+		t.Fatalf("free after free = %d, want %d", got, free)
+	}
+}
+
+func sumFree(stats []SegStat) uint64 {
+	var n uint64
+	for _, s := range stats {
+		n += s.Free
+	}
+	return n
+}
+
+func TestClassStatsCountsFlagStates(t *testing.T) {
+	_, _, oa := slabWorld(t)
+	if st := oa.ClassStats(0); st.Objects != 0 || st.Segments != 0 {
+		t.Fatalf("empty class stats = %+v", st)
+	}
+	p1, err := oa.Alloc(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := oa.Alloc(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa.ClearDirty(p1) // p1 live; p2 still valid+dirty
+	st := oa.ClassStats(0)
+	if st.Segments != 1 {
+		t.Errorf("segments = %d, want 1", st.Segments)
+	}
+	if st.Valid != 2 || st.Dirty != 1 {
+		t.Errorf("valid/dirty = %d/%d, want 2/1", st.Valid, st.Dirty)
+	}
+	if st.Free != st.Objects-2 {
+		t.Errorf("free = %d, want %d", st.Free, st.Objects-2)
+	}
+	if st.FreeListed != st.Objects-2 {
+		t.Errorf("free-listed = %d, want %d", st.FreeListed, st.Objects-2)
+	}
+	oa.Free(0, p2)
+	st = oa.ClassStats(0)
+	if st.Valid != 1 || st.Dirty != 0 || st.Free != st.Objects-1 {
+		t.Errorf("after free: %+v", st)
+	}
+	if oa.NumClasses() != 2 {
+		t.Errorf("NumClasses = %d, want 2", oa.NumClasses())
+	}
+}
+
+func TestStealHookFires(t *testing.T) {
+	dev := pmem.New(1 << 20)
+	ba := NewBlockAlloc(dev, 4096, 1, dev.Size()/4096-1, 1)
+	ba.SetMaxHold(0)
+	fired := 0
+	ba.SetStealHook(func() { fired++ })
+	// Jam the only segment's lock, then allocate: the caller must steal it.
+	if !ba.segs[0].lock.tryLock() {
+		t.Fatal("could not jam segment lock")
+	}
+	if _, err := ba.Alloc(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ba.Steals() == 0 || fired == 0 {
+		t.Fatalf("steals=%d hook fired=%d, want both > 0", ba.Steals(), fired)
+	}
+}

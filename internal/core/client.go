@@ -252,7 +252,7 @@ func (c *Client) open(path string, flags fsapi.OpenFlag, perm uint32) (fsapi.FD,
 	}
 	if flags&fsapi.OTrunc != 0 && fsapi.IsRegular(mode) && flags&(fsapi.OWronly|fsapi.ORdwr) != 0 {
 		l := fs.fileLock(ino)
-		l.Lock()
+		fs.lockFileExcl(l)
 		err := fs.truncate(ino, 0)
 		l.Unlock()
 		if err != nil {
@@ -330,7 +330,7 @@ func (c *Client) Pread(fd fsapi.FD, p []byte, off uint64) (n int, err error) {
 
 func (c *Client) readLocked(ino pmem.Ptr, p []byte, off uint64) int {
 	l := c.fs.fileLock(ino)
-	l.RLock()
+	c.fs.lockFileShared(l)
 	n := c.fs.readAt(ino, p, off)
 	l.RUnlock()
 	return n
@@ -351,7 +351,7 @@ func (c *Client) Write(fd fsapi.FD, p []byte) (n int, err error) {
 		// Appends are exclusive regardless of the relaxed-write setting:
 		// the position is defined by the current size.
 		l := fs.fileLock(of.ino)
-		l.Lock()
+		fs.lockFileExcl(l)
 		pos := fs.inoSize(of.ino)
 		n, err := fs.writeAt(of.ino, p, pos)
 		l.Unlock()
@@ -385,7 +385,7 @@ func (c *Client) writeLocked(ino pmem.Ptr, p []byte, off uint64) (int, error) {
 		return fs.writeAt(ino, p, off)
 	}
 	l := fs.fileLock(ino)
-	l.Lock()
+	fs.lockFileExcl(l)
 	n, err := fs.writeAt(ino, p, off)
 	l.Unlock()
 	return n, err
@@ -436,7 +436,7 @@ func (c *Client) Ftruncate(fd fsapi.FD, size uint64) (err error) {
 		return err
 	}
 	l := c.fs.fileLock(of.ino)
-	l.Lock()
+	c.fs.lockFileExcl(l)
 	defer l.Unlock()
 	return c.fs.truncate(of.ino, size)
 }
@@ -452,7 +452,7 @@ func (c *Client) Fallocate(fd fsapi.FD, size uint64) (err error) {
 	// Extent growth must be exclusive with writers (the write path also
 	// extends the mapping under this lock).
 	l := c.fs.fileLock(of.ino)
-	l.Lock()
+	c.fs.lockFileExcl(l)
 	defer l.Unlock()
 	if err := c.fs.ensureCapacity(of.ino, size); err != nil {
 		return err

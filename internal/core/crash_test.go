@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
 	"simurgh/internal/pmem"
 )
 
@@ -122,6 +123,37 @@ func TestCrashDuringCreateRecoveredByNextAccessor(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("line never recovered")
+	}
+	// The lookup above repaired the entry lock-free; the dead holder's busy
+	// bit is still set. A mutation on the same line must time out, perform
+	// the waiter-side recovery, and all of it must be visible in the
+	// instrumentation.
+	line := lineOf(fnv32("lazy"))
+	sibling := ""
+	for i := 0; sibling == ""; i++ {
+		if cand := fmt.Sprintf("lazy-sibling-%d", i); lineOf(fnv32(cand)) == line {
+			sibling = "/" + cand
+		}
+	}
+	done2 := make(chan error, 1)
+	go func() { _, err := c2.Create(sibling, 0o644); done2 <- err }()
+	select {
+	case err := <-done2:
+		if err != nil {
+			t.Fatalf("create on jammed line: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("jammed line never recovered for the mutation")
+	}
+	s := fs.Stats()
+	if s.Events[obs.EvLineLockTimeout] == 0 {
+		t.Error("line-lock timeout not counted")
+	}
+	if s.Events[obs.EvWaiterRecovery] == 0 {
+		t.Error("waiter-performs-recovery not counted")
+	}
+	if s.LockWaits[obs.LockLine].Waits == 0 {
+		t.Error("contended line wait not counted")
 	}
 }
 
@@ -267,7 +299,7 @@ func TestCrashDuringCrossDirRenameAfterInsert(t *testing.T) {
 	if err := c.Rename("/s2/file", "/d2/file"); !errors.Is(err, ErrCrashed) {
 		t.Fatalf("err = %v", err)
 	}
-	_, stats, c2 := remount(t, dev)
+	fs2, stats, c2 := remount(t, dev)
 	if _, err := c2.Stat("/d2/file"); err != nil {
 		t.Fatalf("destination lost in rolled-forward rename: %v", err)
 	}
@@ -276,6 +308,14 @@ func TestCrashDuringCrossDirRenameAfterInsert(t *testing.T) {
 	}
 	if stats.FixedLogs == 0 {
 		t.Fatal("rename log not processed")
+	}
+	// Mount-time recovery must show up in the remounted registry too.
+	s := fs2.Stats()
+	if s.Events[obs.EvRenameLogRecovered] == 0 {
+		t.Error("rename-log recovery not counted")
+	}
+	if s.Events[obs.EvMountRecovery] == 0 {
+		t.Error("mount recovery not counted")
 	}
 }
 
@@ -340,6 +380,13 @@ func TestWaiterRecoversStuckLineDirectly(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("waiter never recovered the stuck line lock")
+	}
+	s := fs.Stats()
+	if s.Events[obs.EvLineLockTimeout] == 0 {
+		t.Error("busy-flag timeout not counted")
+	}
+	if s.Events[obs.EvWaiterRecovery] == 0 {
+		t.Error("waiter recovery not counted")
 	}
 }
 

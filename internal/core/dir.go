@@ -6,6 +6,7 @@ import (
 
 	"simurgh/internal/alloc"
 	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
 	"simurgh/internal/pmem"
 )
 
@@ -30,14 +31,28 @@ type entryRef struct {
 // lockLine acquires the busy bit of a line, performing waiter-side crash
 // recovery if the holder exceeds the timeout (§4.3 crash recovery: "the
 // waiting process performs the recovery corresponding to this lock").
+// The uncontended path is one load and one CAS with no clock reads;
+// contended acquisitions are timed into the line lock-wait histogram.
 func (fs *FS) lockLine(first pmem.Ptr, line int) {
 	bit := uint64(1) << uint(line)
 	off := uint64(first) + dirBusyOff
-	deadline := time.Now().Add(fs.lineTimeout)
+	old := fs.dev.AtomicLoad64(off)
+	if old&bit == 0 && fs.dev.CompareAndSwap64(off, old, old|bit) {
+		return
+	}
+	fs.lockLineSlow(first, line, bit, off)
+}
+
+func (fs *FS) lockLineSlow(first pmem.Ptr, line int, bit, off uint64) {
+	start := time.Now()
+	deadline := start.Add(fs.lineTimeout)
 	for spins := 0; ; spins++ {
 		old := fs.dev.AtomicLoad64(off)
 		if old&bit == 0 {
 			if fs.dev.CompareAndSwap64(off, old, old|bit) {
+				ns := uint64(time.Since(start).Nanoseconds())
+				fs.obsR.LockWait(obs.LockLine, ns)
+				fs.obsR.Span(obs.SpanLockWait, 0, start, ns, false)
 				return
 			}
 			continue
@@ -45,6 +60,7 @@ func (fs *FS) lockLine(first pmem.Ptr, line int) {
 		if spins&0x3f == 0x3f {
 			runtime.Gosched()
 			if time.Now().After(deadline) {
+				fs.obsR.Event(obs.EvLineLockTimeout)
 				fs.recoverStuckLine(first, line)
 				deadline = time.Now().Add(fs.lineTimeout)
 			}
@@ -230,9 +246,18 @@ func (fs *FS) lookupEntry(first pmem.Ptr, name string) (entryRef, error) {
 	return entryRef{}, fsapi.ErrNotExist
 }
 
+// dirProbeSpan records the elapsed time since start as a dir-probe span
+// (deferred with start evaluated at entry).
+func (fs *FS) dirProbeSpan(start time.Time) {
+	fs.obsR.Span(obs.SpanDirProbe, 0, start, uint64(time.Since(start).Nanoseconds()), false)
+}
+
 // lookupLineSlow scans the persistent line (used only while the line's busy
 // bit is set and the index may lag the NVMM state).
 func (fs *FS) lookupLineSlow(first pmem.Ptr, line int, hash uint32, name string) (entryRef, error) {
+	if fs.obsR.TraceEnabled() {
+		defer fs.dirProbeSpan(time.Now())
+	}
 	for b := first; fs.plausible(b, DirBlockSize); b = fs.nextBlock(b) {
 		for s := 0; s < SlotsPerLine; s++ {
 			so := slotOff(b, line, s)

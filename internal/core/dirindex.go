@@ -3,8 +3,10 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"simurgh/internal/alloc"
+	"simurgh/internal/obs"
 	"simurgh/internal/pmem"
 )
 
@@ -106,6 +108,9 @@ func (fs *FS) ensureIndex(first pmem.Ptr) *dirState {
 // buildIndex scans the persistent chain, performing the same idempotent
 // repair-on-access fixes a lookup would (completing crashed deletes).
 func (fs *FS) buildIndex(first pmem.Ptr, ds *dirState) {
+	if fs.obsR.TraceEnabled() {
+		defer fs.dirProbeSpan(time.Now())
+	}
 	d := fs.dev
 	ds.blocks = ds.blocks[:0]
 	for b := first; !b.IsNull(); b = fs.nextBlock(b) {
@@ -159,6 +164,7 @@ func (fs *FS) extendChain(first pmem.Ptr, ds *dirState, line int) (uint64, error
 	if err != nil {
 		return 0, err
 	}
+	fs.obsR.Event(obs.EvDirChainExtend)
 	fs.oa.ClearDirty(nb)
 	if fs.crash("dir.extend") {
 		return 0, ErrCrashed

@@ -246,6 +246,8 @@ func newFS(dev *pmem.Device, opts Options) (*FS, error) {
 	if obsR == nil {
 		obsR = obs.NewRegistry()
 	}
+	dev.SetFenceObserver(obsR)
+	ba.SetStealHook(func() { obsR.Event(obs.EvSegLockSteal) })
 	fs := &FS{
 		dev:           dev,
 		ba:            ba,
@@ -412,13 +414,62 @@ func (fs *FS) FreeBlocks() uint64 { return fs.ba.FreeBlocks() }
 func (fs *FS) Obs() *obs.Registry { return fs.obsR }
 
 // Stats snapshots the per-operation observability counters together with
-// volatile-shard contention and the device-global NVMM traffic totals.
-// Snapshots are plain values; diff two with Sub to scope them to a window.
+// volatile-shard contention, the device-global NVMM traffic totals, and
+// point-in-time subsystem gauges (block-segment occupancy, slab flag
+// counts, device levels). Snapshots are plain values; diff two with Sub to
+// scope them to a window. The gauges walk the slab chains, so Stats
+// belongs on polling paths, not inside operations.
 func (fs *FS) Stats() obs.Snapshot {
 	s := fs.obsR.Snapshot()
 	s.Shards = []obs.ShardStat{fs.locks.stats(), fs.open.stats(), fs.dirs.stats()}
 	s.Device = toDelta(fs.dev.StatsSnapshot())
+	s.Gauges = fs.gauges()
 	return s
+}
+
+var className = [numClasses]string{
+	ClassInode: "inode", ClassDirBlock: "dirblock", ClassFileEntry: "fentry",
+	ClassExtent: "extent", ClassBlob: "blob",
+}
+
+// gauges assembles the subsystem levels: block-allocator occupancy
+// (aggregate plus the worst-occupied segment), per-class slab flag counts,
+// segment-lock steals, and device levels.
+func (fs *FS) gauges() []obs.Gauge {
+	g := make([]obs.Gauge, 0, 8+6*numClasses)
+	_, nBlocks := fs.ba.Range()
+	segs := fs.ba.SegStats()
+	var free, minFree uint64
+	minFree = ^uint64(0)
+	for _, seg := range segs {
+		free += seg.Free
+		if seg.Free < minFree {
+			minFree = seg.Free
+		}
+	}
+	g = append(g,
+		obs.Gauge{Name: "alloc.blocks_total", Value: nBlocks},
+		obs.Gauge{Name: "alloc.blocks_free", Value: free},
+		obs.Gauge{Name: "alloc.segments", Value: uint64(len(segs))},
+		obs.Gauge{Name: "alloc.seg_min_free_blocks", Value: minFree},
+		obs.Gauge{Name: "alloc.seg_lock_steals", Value: fs.ba.Steals()},
+	)
+	for class := 0; class < numClasses; class++ {
+		st := fs.oa.ClassStats(class)
+		p := "slab." + className[class] + "."
+		g = append(g,
+			obs.Gauge{Name: p + "segments", Value: st.Segments},
+			obs.Gauge{Name: p + "objects", Value: st.Objects},
+			obs.Gauge{Name: p + "valid", Value: st.Valid},
+			obs.Gauge{Name: p + "dirty", Value: st.Dirty},
+			obs.Gauge{Name: p + "free", Value: st.Free},
+			obs.Gauge{Name: p + "free_listed", Value: st.FreeListed},
+		)
+	}
+	for _, dg := range fs.dev.Gauges() {
+		g = append(g, obs.Gauge{Name: "pmem." + dg.Name, Value: dg.Value})
+	}
+	return g
 }
 
 // toDelta converts a device stats snapshot into the obs traffic type.
@@ -435,6 +486,32 @@ func toDelta(s pmem.StatsSnapshot) obs.Delta {
 // fileLock returns the volatile read/write lock of an inode.
 func (fs *FS) fileLock(ino pmem.Ptr) *sync.RWMutex {
 	return fs.locks.get(ino)
+}
+
+// lockFileExcl takes l exclusively, timing the wait if the first try does
+// not succeed. Uncontended acquisitions cost one TryLock (a single CAS, as
+// cheap as the plain Lock fast path) and record nothing.
+func (fs *FS) lockFileExcl(l *sync.RWMutex) {
+	if l.TryLock() {
+		return
+	}
+	start := time.Now()
+	l.Lock()
+	ns := uint64(time.Since(start).Nanoseconds())
+	fs.obsR.LockWait(obs.LockFile, ns)
+	fs.obsR.Span(obs.SpanLockWait, 0, start, ns, false)
+}
+
+// lockFileShared is lockFileExcl for read locks.
+func (fs *FS) lockFileShared(l *sync.RWMutex) {
+	if l.TryRLock() {
+		return
+	}
+	start := time.Now()
+	l.RLock()
+	ns := uint64(time.Since(start).Nanoseconds())
+	fs.obsR.LockWait(obs.LockFile, ns)
+	fs.obsR.Span(obs.SpanLockWait, 0, start, ns, false)
 }
 
 // dropFileLock forgets the volatile lock of a deleted inode.

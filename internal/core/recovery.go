@@ -5,6 +5,7 @@ import (
 
 	"simurgh/internal/alloc"
 	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
 	"simurgh/internal/pmem"
 )
 
@@ -78,13 +79,17 @@ func (fs *FS) recoverStuckLine(first pmem.Ptr, line int) {
 	defer fs.recoveryMu.Unlock()
 	bit := uint64(1) << uint(line)
 	if fs.dev.AtomicLoad64(uint64(first)+dirBusyOff)&bit == 0 {
+		fs.obsR.Event(obs.EvWaiterRecoveryNoop)
 		return // holder released while we waited for the recovery mutex
 	}
+	fs.obsR.Event(obs.EvWaiterRecovery)
+	start := time.Now()
 	fs.repairLine(first, line, nil)
 	if fs.dev.AtomicLoad64(uint64(first)+dirMetaOff)&dirLogDirtyBit != 0 {
 		fs.recoverRenameLog(first, nil)
 	}
 	fs.unlockLine(first, line)
+	fs.obsR.Span(obs.SpanRecovery, 0, start, uint64(time.Since(start).Nanoseconds()), false)
 }
 
 // repairLine walks one line and fixes every half-done operation it finds,
@@ -259,6 +264,7 @@ func (fs *FS) recoverRenameLog(srcFirst pmem.Ptr, st *RecoveryStats) {
 		}
 	}
 	fs.clearRenameLog(srcFirst)
+	fs.obsR.Event(obs.EvRenameLogRecovered)
 	if st != nil {
 		st.FixedLogs++
 	}
@@ -282,8 +288,12 @@ func (fs *FS) recoverAll(fix bool) (*RecoveryStats, error) {
 	start := time.Now()
 	st := &RecoveryStats{WasClean: !fix}
 	if fix {
+		fs.obsR.Event(obs.EvMountRecovery)
 		fs.recStats.Store(st)
 		defer fs.recStats.Store((*RecoveryStats)(nil))
+		defer func() {
+			fs.obsR.Span(obs.SpanRecovery, 0, start, uint64(time.Since(start).Nanoseconds()), false)
+		}()
 	}
 	ms := &markState{
 		inodes:    map[pmem.Ptr]bool{},

@@ -1,0 +1,255 @@
+package export
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"simurgh/internal/obs"
+)
+
+// loadedRegistry builds a registry with representative traffic in every
+// metric family the exporter serves.
+func loadedRegistry(t *testing.T) *obs.Registry {
+	t.Helper()
+	r := obs.NewRegistry()
+	r.EnableTrace(64)
+	start := time.Now()
+	for i := 0; i < 40; i++ {
+		r.Enter(obs.OpStat)
+		r.Sample(obs.OpStat, start, 1500, obs.Delta{Flushes: 1, StoreBytes: 64}, false)
+	}
+	r.Enter(obs.OpCreate)
+	r.Error(obs.OpCreate)
+	r.Sample(obs.OpCreate, start, 9000, obs.Delta{Fences: 2}, true)
+	r.Event(obs.EvWaiterRecovery)
+	r.Event(obs.EvLineLockTimeout)
+	r.LockWait(obs.LockLine, 2500)
+	r.LockWait(obs.LockFile, 800)
+	r.Span(obs.SpanRecovery, 0, start, 4000, false)
+	return r
+}
+
+func testSource(r *obs.Registry) Source {
+	return func() obs.Snapshot {
+		s := r.Snapshot()
+		s.Gauges = []obs.Gauge{
+			{Name: "alloc.blocks_free", Value: 123},
+			{Name: "slab.inode.valid", Value: 7},
+		}
+		s.Shards = []obs.ShardStat{{Name: "locks", Gets: 10, Contended: 3}}
+		s.Device = obs.Delta{LoadBytes: 4096, StoreBytes: 2560, Flushes: 40, Fences: 2}
+		return s
+	}
+}
+
+// promLine matches a sample line of the text exposition format:
+// metric_name{labels} value (labels optional).
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (?:[0-9]+(?:\.[0-9]+)?|\+Inf|NaN)$`)
+
+// TestMetricsEndpointServesValidExposition scrapes /metrics and validates
+// every line against the Prometheus text format (acceptance criterion).
+func TestMetricsEndpointServesValidExposition(t *testing.T) {
+	r := loadedRegistry(t)
+	ts := httptest.NewServer(NewHandler(testSource(r), r))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lines := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("malformed comment line: %q", line)
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+		seen[strings.FieldsFunc(line, func(r rune) bool { return r == '{' || r == ' ' })[0]] = true
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("no sample lines in /metrics")
+	}
+	for _, want := range []string{
+		"simurgh_sample_period",
+		"simurgh_op_calls_total",
+		"simurgh_op_errors_total",
+		"simurgh_op_latency_ns_bucket",
+		"simurgh_op_latency_ns_sum",
+		"simurgh_op_latency_ns_count",
+		"simurgh_lock_wait_ns_bucket",
+		"simurgh_events_total",
+		"simurgh_shard_gets_total",
+		"simurgh_device_total",
+		"simurgh_gauge",
+	} {
+		if !seen[want] {
+			t.Errorf("metric family %s missing from /metrics", want)
+		}
+	}
+	if !strings.Contains(text, `simurgh_op_calls_total{op="stat"} 40`) {
+		t.Errorf("stat calls not exported:\n%s", text)
+	}
+	if !strings.Contains(text, `simurgh_events_total{event="waiter_recovery"} 1`) {
+		t.Errorf("waiter_recovery event not exported")
+	}
+	if !strings.Contains(text, `le="+Inf"`) {
+		t.Errorf("histogram missing +Inf bucket")
+	}
+}
+
+// TestStatsJSONEndpointParses decodes /stats.json and checks the named
+// snapshot content (acceptance criterion: parse both endpoints).
+func TestStatsJSONEndpointParses(t *testing.T) {
+	r := loadedRegistry(t)
+	ts := httptest.NewServer(NewHandler(testSource(r), r))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/stats.json")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	var js JSONSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		t.Fatalf("decode /stats.json: %v", err)
+	}
+	lo := js.Ops["stat"]
+	if lo.Calls != 40 || lo.Sampled != 40 {
+		t.Errorf("lookup = %+v, want 40 calls/sampled", lo)
+	}
+	if lo.P50Ns == 0 || lo.P99Ns < lo.P50Ns {
+		t.Errorf("percentiles not populated: p50=%d p99=%d", lo.P50Ns, lo.P99Ns)
+	}
+	if js.Ops["create"].Errors != 1 {
+		t.Errorf("create errors = %d, want 1", js.Ops["create"].Errors)
+	}
+	if js.Events["line_lock_timeout"] != 1 {
+		t.Errorf("events = %v, want line_lock_timeout=1", js.Events)
+	}
+	if js.LockWaits["line"].Waits != 1 || js.LockWaits["line"].MeanNs != 2500 {
+		t.Errorf("lock_waits = %+v", js.LockWaits)
+	}
+	if js.Gauges["alloc.blocks_free"] != 123 {
+		t.Errorf("gauges = %v", js.Gauges)
+	}
+	if js.Device.Flushes != 40 {
+		t.Errorf("device flushes = %d, want 40", js.Device.Flushes)
+	}
+}
+
+// TestTraceJSONEndpoint checks /trace.json serves Chrome trace-event JSON.
+func TestTraceJSONEndpoint(t *testing.T) {
+	r := loadedRegistry(t)
+	ts := httptest.NewServer(NewHandler(testSource(r), r))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/trace.json")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	var events []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatalf("decode /trace.json: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no trace events")
+	}
+	found := false
+	for _, e := range events {
+		if e["cat"] == "recovery" {
+			found = true
+		}
+		if e["ph"] != "X" {
+			t.Errorf("event ph = %v, want X", e["ph"])
+		}
+	}
+	if !found {
+		t.Error("recovery span missing from trace")
+	}
+}
+
+// TestJSONSnapshotSub checks windowed diffing for simurghtop: counters
+// difference, gauges stay levels, percentiles recompute on the window.
+func TestJSONSnapshotSub(t *testing.T) {
+	r := obs.NewRegistry()
+	start := time.Now()
+	r.Enter(obs.OpRead)
+	r.Sample(obs.OpRead, start, 1000, obs.Delta{}, false)
+	base := ToJSON(r.Snapshot())
+	for i := 0; i < 9; i++ {
+		r.Enter(obs.OpRead)
+		r.Sample(obs.OpRead, start, 100000, obs.Delta{}, false)
+	}
+	r.Event(obs.EvSegLockSteal)
+	r.LockWait(obs.LockFile, 5000)
+	cur := ToJSON(r.Snapshot())
+	cur.Gauges = map[string]uint64{"alloc.blocks_free": 99}
+
+	d := cur.Sub(base)
+	if got := d.Ops["read"].Calls; got != 9 {
+		t.Errorf("window read calls = %d, want 9", got)
+	}
+	if d.Ops["read"].MeanNs != 100000 {
+		t.Errorf("window mean = %d, want 100000", d.Ops["read"].MeanNs)
+	}
+	if p50 := d.Ops["read"].P50Ns; p50 <= 1000 {
+		t.Errorf("window p50 = %d, should reflect only the slow window samples", p50)
+	}
+	if d.Events["seg_lock_steal"] != 1 {
+		t.Errorf("window events = %v", d.Events)
+	}
+	if d.LockWaits["file"].Waits != 1 {
+		t.Errorf("window lock waits = %v", d.LockWaits)
+	}
+	if d.Gauges["alloc.blocks_free"] != 99 {
+		t.Errorf("gauges should pass through as levels: %v", d.Gauges)
+	}
+}
+
+// TestServeListensAndCloses exercises the Serve helper end to end.
+func TestServeListensAndCloses(t *testing.T) {
+	r := loadedRegistry(t)
+	s, err := Serve("127.0.0.1:0", testSource(r), r)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	resp, err := http.Get(s.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}

@@ -187,6 +187,14 @@ type StatsProvider interface {
 	Stats() obs.Snapshot
 }
 
+// ObsProvider is implemented by file systems that expose their live obs
+// registry, for tools that need more than snapshots: adjusting the sample
+// period, enabling the flight recorder, exporting Chrome traces.
+type ObsProvider interface {
+	// Obs returns the live observability registry.
+	Obs() *obs.Registry
+}
+
 // SplitPath canonicalizes path into components, rejecting empty and
 // overlong names. "." and ".." are resolved lexically ( ".." never escapes
 // the root).

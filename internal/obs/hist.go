@@ -30,6 +30,18 @@ func BucketUpperNs(i int) uint64 {
 	return 64 << i
 }
 
+// BucketLowerNs returns the inclusive lower bound of bucket i in
+// nanoseconds.
+func BucketLowerNs(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= NumBuckets-1 {
+		return 64 << (NumBuckets - 2)
+	}
+	return 64 << (i - 1)
+}
+
 // Histogram is a diffed, plain-value latency histogram (counts per bucket).
 type Histogram [NumBuckets]uint64
 
@@ -65,6 +77,47 @@ func (h Histogram) Quantile(q float64) uint64 {
 		}
 	}
 	return BucketUpperNs(NumBuckets - 1)
+}
+
+// Percentile returns an interpolated estimate of the q-quantile (0 < q <=
+// 1) in nanoseconds. Where Quantile reports the crossing bucket's upper
+// bound (a safe but coarse overestimate — power-of-two buckets make it up
+// to 2x high), Percentile interpolates linearly within the crossing
+// bucket, treating the bucket's k-th sample as sitting at the center of
+// its 1/count slice; a single-sample bucket therefore estimates its
+// midpoint. The last bucket is unbounded and reports its lower bound.
+// Returns 0 for an empty histogram.
+func (h Histogram) Percentile(q float64) uint64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	want := uint64(math.Ceil(q * float64(total)))
+	if want < 1 {
+		want = 1
+	}
+	if want > total {
+		want = total
+	}
+	var cum uint64
+	for i, c := range h {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum < want {
+			continue
+		}
+		lo := BucketLowerNs(i)
+		hi := BucketUpperNs(i)
+		if hi <= lo { // unbounded tail bucket
+			return lo
+		}
+		rank := want - (cum - c) // 1-based rank within this bucket
+		frac := (float64(rank) - 0.5) / float64(c)
+		return lo + uint64(frac*float64(hi-lo))
+	}
+	return BucketLowerNs(NumBuckets - 1)
 }
 
 // Add returns the bucket-wise sum h+b.

@@ -1,0 +1,83 @@
+package obs
+
+import "testing"
+
+func TestBucketLowerNs(t *testing.T) {
+	cases := []struct {
+		i    int
+		want uint64
+	}{
+		{0, 0}, {1, 64}, {2, 128}, {3, 256},
+		{NumBuckets - 1, 64 << (NumBuckets - 2)},
+	}
+	for _, c := range cases {
+		if got := BucketLowerNs(c.i); got != c.want {
+			t.Errorf("BucketLowerNs(%d) = %d, want %d", c.i, got, c.want)
+		}
+	}
+	for i := 1; i < NumBuckets; i++ {
+		if BucketLowerNs(i) != BucketUpperNs(i-1) {
+			t.Errorf("bucket %d lower %d != bucket %d upper %d",
+				i, BucketLowerNs(i), i-1, BucketUpperNs(i-1))
+		}
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Percentile(0.99); got != 0 {
+		t.Fatalf("empty histogram percentile = %d, want 0", got)
+	}
+}
+
+func TestPercentileSingleSampleIsMidpoint(t *testing.T) {
+	var h Histogram
+	h[3] = 1 // bucket 3 covers [256, 512)
+	want := uint64(384)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Percentile(q); got != want {
+			t.Errorf("Percentile(%v) = %d, want midpoint %d", q, got, want)
+		}
+	}
+}
+
+func TestPercentileInterpolatesWithinBucket(t *testing.T) {
+	var h Histogram
+	h[1] = 100 // bucket 1 covers [64, 128)
+	// rank 50 of 100 sits at 64 + (50-0.5)/100*64 = 95.68 -> 95.
+	if got := h.Percentile(0.50); got != 95 {
+		t.Errorf("p50 = %d, want 95", got)
+	}
+	if got := h.Percentile(0.01); got < 64 || got >= 66 {
+		t.Errorf("p1 = %d, want near lower bound 64", got)
+	}
+	if got := h.Percentile(1); got < 126 || got >= 128 {
+		t.Errorf("p100 = %d, want near upper bound 128", got)
+	}
+}
+
+func TestPercentileMonotonicAndBelowQuantile(t *testing.T) {
+	var h Histogram
+	h[1], h[4], h[8], h[12] = 500, 300, 150, 50
+	p50 := h.Percentile(0.50)
+	p95 := h.Percentile(0.95)
+	p99 := h.Percentile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("percentiles not monotonic: p50=%d p95=%d p99=%d", p50, p95, p99)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if h.Percentile(q) > h.Quantile(q) {
+			t.Errorf("Percentile(%v)=%d exceeds bucket upper bound Quantile=%d",
+				q, h.Percentile(q), h.Quantile(q))
+		}
+	}
+}
+
+func TestPercentileTailBucket(t *testing.T) {
+	var h Histogram
+	h[NumBuckets-1] = 10
+	want := BucketLowerNs(NumBuckets - 1)
+	if got := h.Percentile(0.99); got != want {
+		t.Fatalf("tail-bucket percentile = %d, want lower bound %d", got, want)
+	}
+}

@@ -147,6 +147,15 @@ type regShard struct {
 	ops [NumOps]opCounters
 }
 
+// lockWaitCounters accumulates timed contended waits for one lock class.
+// Waits are already a slow path (the caller just blocked), so plain shared
+// atomics are fine here.
+type lockWaitCounters struct {
+	waits atomic.Uint64
+	ns    atomic.Uint64
+	hist  [NumBuckets]atomic.Uint64
+}
+
 // Registry is the live observability sink of one mounted file system.
 // All methods are safe for concurrent use and nil-safe (a nil Registry
 // records nothing), so optional instrumentation costs one branch.
@@ -156,6 +165,8 @@ type Registry struct {
 	hintCtr    atomic.Uint32
 	sampleMask atomic.Uint64
 	trace      traceRing
+	events     [NumEvents]atomic.Uint64
+	lockWait   [NumLockClasses]lockWaitCounters
 }
 
 // NewRegistry creates a Registry sized for the host's parallelism, deep-
@@ -286,5 +297,16 @@ func (r *Registry) SampleAt(hint uint32, op Op, start time.Time, latNs uint64, d
 	if d.Fences != 0 {
 		c.fences.Add(d.Fences)
 	}
-	r.trace.record(op, start, latNs, failed)
+	r.trace.record(SpanOp, op, start, latNs, failed)
+}
+
+// ObserveFence implements the pmem-device fence observer: it records one
+// device fence as a pmem-flush span in the flight recorder. The device
+// only times fences while TraceEnabled reports true, so an idle recorder
+// adds one atomic load per fence.
+func (r *Registry) ObserveFence(start time.Time, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	r.trace.record(SpanPmemFlush, 0, start, uint64(dur.Nanoseconds()), false)
 }

@@ -77,9 +77,45 @@ type ShardStat struct {
 	Contended uint64
 }
 
+// LockWaitStat is the accumulated contended-wait state of one lock class:
+// how many acquisitions blocked, for how long in total, and the wait-time
+// distribution. Uncontended acquisitions are not counted.
+type LockWaitStat struct {
+	Waits   uint64
+	TotalNs uint64
+	Hist    Histogram
+}
+
+// MeanNs returns the mean contended wait in nanoseconds.
+func (l LockWaitStat) MeanNs() uint64 {
+	if l.Waits == 0 {
+		return 0
+	}
+	return l.TotalNs / l.Waits
+}
+
+// Add returns the field-wise sum l+b.
+func (l LockWaitStat) Add(b LockWaitStat) LockWaitStat {
+	return LockWaitStat{Waits: l.Waits + b.Waits, TotalNs: l.TotalNs + b.TotalNs, Hist: l.Hist.Add(b.Hist)}
+}
+
+// Sub returns the field-wise difference l-b.
+func (l LockWaitStat) Sub(b LockWaitStat) LockWaitStat {
+	return LockWaitStat{Waits: l.Waits - b.Waits, TotalNs: l.TotalNs - b.TotalNs, Hist: l.Hist.Sub(b.Hist)}
+}
+
+// Gauge is one named point-in-time level (allocator occupancy, dirty
+// lines): a current value, not a monotonic counter, so Sub keeps the later
+// snapshot's reading instead of differencing.
+type Gauge struct {
+	Name  string
+	Value uint64
+}
+
 // Snapshot is a point-in-time copy of a Registry (plus, when taken through
-// FS.Stats, shard contention and device-global traffic). Snapshots are
-// plain values: diff two with Sub to scope counters to a window.
+// FS.Stats, shard contention, device-global traffic, and subsystem
+// gauges). Snapshots are plain values: diff two with Sub to scope counters
+// to a window.
 type Snapshot struct {
 	// SamplePeriod is the registry's deep-sampling period at snapshot time.
 	SamplePeriod uint64
@@ -89,6 +125,13 @@ type Snapshot struct {
 	Shards []ShardStat
 	// Device holds the device-global traffic totals (optional).
 	Device Delta
+	// Events holds the rare-event counters, indexed by Event.
+	Events [NumEvents]uint64
+	// LockWaits holds contended-wait stats, indexed by LockClass.
+	LockWaits [NumLockClasses]LockWaitStat
+	// Gauges holds point-in-time subsystem levels (optional; set by
+	// FS.Stats). Levels, not counters: Sub passes them through.
+	Gauges []Gauge
 }
 
 // Snapshot sums the registry's shards into a consistent-enough point-in-time
@@ -119,6 +162,18 @@ func (r *Registry) Snapshot() Snapshot {
 			o.Pmem.Fences += c.fences.Load()
 		}
 	}
+	for e := Event(0); e < NumEvents; e++ {
+		s.Events[e] = r.events[e].Load()
+	}
+	for c := LockClass(0); c < NumLockClasses; c++ {
+		lw := &r.lockWait[c]
+		st := &s.LockWaits[c]
+		st.Waits = lw.waits.Load()
+		st.TotalNs = lw.ns.Load()
+		for b := 0; b < NumBuckets; b++ {
+			st.Hist[b] = lw.hist[b].Load()
+		}
+	}
 	return s
 }
 
@@ -126,9 +181,15 @@ func (r *Registry) Snapshot() Snapshot {
 // (matched by name) and device totals all scoped to the window between the
 // two snapshots.
 func (s Snapshot) Sub(base Snapshot) Snapshot {
-	out := Snapshot{SamplePeriod: s.SamplePeriod, Device: s.Device.Sub(base.Device)}
+	out := Snapshot{SamplePeriod: s.SamplePeriod, Device: s.Device.Sub(base.Device), Gauges: s.Gauges}
 	for op := Op(0); op < NumOps; op++ {
 		out.Ops[op] = s.Ops[op].Sub(base.Ops[op])
+	}
+	for e := Event(0); e < NumEvents; e++ {
+		out.Events[e] = s.Events[e] - base.Events[e]
+	}
+	for c := LockClass(0); c < NumLockClasses; c++ {
+		out.LockWaits[c] = s.LockWaits[c].Sub(base.LockWaits[c])
 	}
 	baseShards := make(map[string]ShardStat, len(base.Shards))
 	for _, b := range base.Shards {
@@ -152,6 +213,24 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	}
 	for op := Op(0); op < NumOps; op++ {
 		out.Ops[op] = s.Ops[op].Add(o.Ops[op])
+	}
+	for e := Event(0); e < NumEvents; e++ {
+		out.Events[e] = s.Events[e] + o.Events[e]
+	}
+	for c := LockClass(0); c < NumLockClasses; c++ {
+		out.LockWaits[c] = s.LockWaits[c].Add(o.LockWaits[c])
+	}
+	gm := make(map[string]int, len(s.Gauges))
+	for _, g := range s.Gauges {
+		gm[g.Name] = len(out.Gauges)
+		out.Gauges = append(out.Gauges, g)
+	}
+	for _, g := range o.Gauges {
+		if i, ok := gm[g.Name]; ok {
+			out.Gauges[i].Value += g.Value
+		} else {
+			out.Gauges = append(out.Gauges, g)
+		}
 	}
 	merged := make(map[string]int, len(s.Shards))
 	for _, sh := range s.Shards {
@@ -204,13 +283,14 @@ func fmtBytes(b float64) string {
 }
 
 // WriteTable renders the snapshot as the per-op breakdown table (the Fig
-// 10-style view): calls, errors, mean/p99 latency, and per-call flush,
-// fence and non-temporal-byte attribution, plus the share of total in-FS
-// time. Classes with zero calls are omitted.
+// 10-style view): calls, errors, mean/p50/p99 latency (interpolated
+// percentiles), and per-call flush, fence and non-temporal-byte
+// attribution, plus the share of total in-FS time. Classes with zero calls
+// are omitted.
 func (s Snapshot) WriteTable(w io.Writer) {
 	totalLat := s.TotalLatNs()
-	fmt.Fprintf(w, "%-10s %10s %7s %10s %10s %9s %9s %9s %7s\n",
-		"op", "calls", "errs", "mean", "p99", "flush/op", "fence/op", "nt/op", "fs%")
+	fmt.Fprintf(w, "%-10s %10s %7s %10s %10s %10s %9s %9s %9s %7s\n",
+		"op", "calls", "errs", "mean", "p50", "p99", "flush/op", "fence/op", "nt/op", "fs%")
 	for op := Op(0); op < NumOps; op++ {
 		o := s.Ops[op]
 		if o.Calls == 0 {
@@ -220,9 +300,9 @@ func (s Snapshot) WriteTable(w io.Writer) {
 		if totalLat > 0 {
 			share = 100 * float64(o.EstTotalLatNs()) / float64(totalLat)
 		}
-		fmt.Fprintf(w, "%-10s %10d %7d %10s %10s %9.2f %9.2f %9s %6.1f%%\n",
+		fmt.Fprintf(w, "%-10s %10d %7d %10s %10s %10s %9.2f %9.2f %9s %6.1f%%\n",
 			op, o.Calls, o.Errors,
-			fmtNs(o.MeanNs()), fmtNs(o.Hist.Quantile(0.99)),
+			fmtNs(o.MeanNs()), fmtNs(o.Hist.Percentile(0.50)), fmtNs(o.Hist.Percentile(0.99)),
 			o.PerCall(o.Pmem.Flushes), o.PerCall(o.Pmem.Fences),
 			fmtBytes(o.PerCall(o.Pmem.NTBytes)), share)
 	}
@@ -247,6 +327,39 @@ func (s Snapshot) WriteTable(w io.Writer) {
 			s.Device.Flushes, s.Device.Fences,
 			fmtBytes(float64(s.Device.NTBytes)), fmtBytes(float64(s.Device.StoreBytes)),
 			fmtBytes(float64(s.Device.LoadBytes)))
+	}
+	anyWait := false
+	for c := LockClass(0); c < NumLockClasses; c++ {
+		if s.LockWaits[c].Waits > 0 {
+			anyWait = true
+		}
+	}
+	if anyWait {
+		fmt.Fprintf(w, "lock-wait:")
+		for c := LockClass(0); c < NumLockClasses; c++ {
+			lw := s.LockWaits[c]
+			if lw.Waits == 0 {
+				continue
+			}
+			fmt.Fprintf(w, " %s=%d waits (mean %s, p99 %s)",
+				c, lw.Waits, fmtNs(lw.MeanNs()), fmtNs(lw.Hist.Percentile(0.99)))
+		}
+		fmt.Fprintln(w)
+	}
+	anyEvent := false
+	for e := Event(0); e < NumEvents; e++ {
+		if s.Events[e] > 0 {
+			anyEvent = true
+		}
+	}
+	if anyEvent {
+		fmt.Fprintf(w, "events:")
+		for e := Event(0); e < NumEvents; e++ {
+			if s.Events[e] > 0 {
+				fmt.Fprintf(w, " %s=%d", e, s.Events[e])
+			}
+		}
+		fmt.Fprintln(w)
 	}
 }
 

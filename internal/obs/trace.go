@@ -1,39 +1,93 @@
 package obs
 
 import (
+	"bufio"
+	"fmt"
+	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// TraceEvent is one deep-sampled operation captured by the trace ring.
+// SpanKind tags a trace event with the phase of work it covers. Whole
+// operations are SpanOp; the other kinds are sub-operation phases recorded
+// by the subsystems (lock spinning, slow directory probes, recovery work,
+// device fences) so a trace shows where inside an operation the time went.
+type SpanKind uint8
+
+const (
+	// SpanOp is one whole deep-sampled operation.
+	SpanOp SpanKind = iota
+	// SpanLockWait is a contended wait for a busy-flag line or file lock.
+	SpanLockWait
+	// SpanDirProbe is a slow-path directory probe or index build.
+	SpanDirProbe
+	// SpanRecovery is waiter- or mount-performed recovery work.
+	SpanRecovery
+	// SpanPmemFlush is a fence/flush barrier executed by the device.
+	SpanPmemFlush
+	// NumSpanKinds bounds the SpanKind enum.
+	NumSpanKinds
+)
+
+var spanKindNames = [NumSpanKinds]string{
+	SpanOp: "op", SpanLockWait: "lock-wait", SpanDirProbe: "dir-probe",
+	SpanRecovery: "recovery", SpanPmemFlush: "pmem-flush",
+}
+
+// String returns the span kind name.
+func (k SpanKind) String() string {
+	if k < NumSpanKinds {
+		return spanKindNames[k]
+	}
+	return "unknown"
+}
+
+// TraceEvent is one phase-tagged span captured by the flight recorder.
 type TraceEvent struct {
-	Op    Op
+	Kind  SpanKind
+	Op    Op // the operation class; meaningful for SpanOp spans
 	Start time.Time
 	LatNs uint64
 	Err   bool
 }
 
-// traceRing is a bounded ring buffer of recent deep-sampled operations.
+// Name returns the display name of the span: the op name for whole-op
+// spans, the phase name otherwise.
+func (e TraceEvent) Name() string {
+	if e.Kind == SpanOp {
+		return e.Op.String()
+	}
+	return e.Kind.String()
+}
+
+// traceRing is a bounded ring buffer of recent spans — the flight recorder.
 // Disabled (zero capacity) by default; when enabled, appends take a short
-// mutex — tracing is a debugging aid, not a hot-path feature, and sampled
-// ops are already rate-limited by the sample period.
+// mutex — tracing is a debugging aid, not a hot-path feature, and op spans
+// are already rate-limited by the sample period. The `on` flag mirrors
+// "capacity > 0" so the disabled fast path is a single atomic load with no
+// lock traffic.
 type traceRing struct {
+	on   atomic.Bool
 	mu   sync.Mutex
 	buf  []TraceEvent
 	next uint64 // total events recorded; next%len(buf) is the write slot
 }
 
-func (t *traceRing) record(op Op, start time.Time, latNs uint64, failed bool) {
+func (t *traceRing) record(kind SpanKind, op Op, start time.Time, latNs uint64, failed bool) {
+	if !t.on.Load() {
+		return
+	}
 	t.mu.Lock()
 	if len(t.buf) > 0 {
-		t.buf[t.next%uint64(len(t.buf))] = TraceEvent{Op: op, Start: start, LatNs: latNs, Err: failed}
+		t.buf[t.next%uint64(len(t.buf))] = TraceEvent{Kind: kind, Op: op, Start: start, LatNs: latNs, Err: failed}
 		t.next++
 	}
 	t.mu.Unlock()
 }
 
-// EnableTrace turns the trace ring on with the given capacity (0 disables
-// and drops any captured events).
+// EnableTrace turns the flight recorder on with the given capacity (0
+// disables and drops any captured events).
 func (r *Registry) EnableTrace(capacity int) {
 	if r == nil {
 		return
@@ -45,7 +99,28 @@ func (r *Registry) EnableTrace(capacity int) {
 		r.trace.buf = make([]TraceEvent, capacity)
 	}
 	r.trace.next = 0
+	r.trace.on.Store(capacity > 0)
 	r.trace.mu.Unlock()
+}
+
+// TraceEnabled reports whether the flight recorder is currently capturing.
+// Instrumentation sites that need extra clock reads to produce a span check
+// this first so a disabled recorder costs one atomic load.
+func (r *Registry) TraceEnabled() bool {
+	if r == nil {
+		return false
+	}
+	return r.trace.on.Load()
+}
+
+// Span records a phase-tagged span into the flight recorder. op is ignored
+// for non-SpanOp kinds except as trace metadata. Nil-safe and cheap when
+// tracing is off.
+func (r *Registry) Span(kind SpanKind, op Op, start time.Time, latNs uint64, failed bool) {
+	if r == nil {
+		return
+	}
+	r.trace.record(kind, op, start, latNs, failed)
 }
 
 // Trace returns the captured events, oldest first. At most the ring's
@@ -71,4 +146,32 @@ func (r *Registry) Trace() []TraceEvent {
 		out = append(out, t.buf[i%capU])
 	}
 	return out
+}
+
+// WriteChromeTrace writes the captured spans as a Chrome trace-event JSON
+// array of complete ("X") events with microsecond timestamps, loadable by
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Each span kind renders as
+// its own thread lane; timestamps are relative to the earliest captured
+// span.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	events := r.Trace()
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[")
+	var epoch time.Time
+	for _, e := range events {
+		if epoch.IsZero() || e.Start.Before(epoch) {
+			epoch = e.Start
+		}
+	}
+	for i, e := range events {
+		if i > 0 {
+			bw.WriteString(",\n ")
+		}
+		ts := float64(e.Start.Sub(epoch).Nanoseconds()) / 1e3
+		dur := float64(e.LatNs) / 1e3
+		fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"err":%t}}`,
+			e.Name(), e.Kind.String(), ts, dur, int(e.Kind)+1, e.Err)
+	}
+	bw.WriteString("]\n")
+	return bw.Flush()
 }

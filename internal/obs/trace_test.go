@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanKindsRecorded(t *testing.T) {
+	r := NewRegistry()
+	if r.TraceEnabled() {
+		t.Fatal("fresh registry should have tracing off")
+	}
+	start := time.Now()
+	r.Span(SpanLockWait, OpCreate, start, 100, false) // dropped: disabled
+	r.EnableTrace(8)
+	if !r.TraceEnabled() {
+		t.Fatal("EnableTrace did not enable")
+	}
+	r.Span(SpanLockWait, OpCreate, start, 100, false)
+	r.Span(SpanRecovery, 0, start.Add(time.Microsecond), 2000, false)
+	r.Span(SpanPmemFlush, 0, start.Add(2*time.Microsecond), 50, false)
+	r.SetSamplePeriod(1)
+	r.Sample(OpMkdir, start.Add(3*time.Microsecond), 700, Delta{}, true)
+	ev := r.Trace()
+	if len(ev) != 4 {
+		t.Fatalf("got %d events, want 4", len(ev))
+	}
+	wantKinds := []SpanKind{SpanLockWait, SpanRecovery, SpanPmemFlush, SpanOp}
+	for i, e := range ev {
+		if e.Kind != wantKinds[i] {
+			t.Errorf("event %d kind = %v, want %v", i, e.Kind, wantKinds[i])
+		}
+	}
+	if ev[0].Name() != "lock-wait" {
+		t.Errorf("lock-wait span name = %q", ev[0].Name())
+	}
+	if ev[3].Name() != "mkdir" || !ev[3].Err {
+		t.Errorf("op span name/err = %q/%v, want mkdir/true", ev[3].Name(), ev[3].Err)
+	}
+}
+
+func TestObserveFenceFeedsRecorder(t *testing.T) {
+	r := NewRegistry()
+	r.EnableTrace(4)
+	r.ObserveFence(time.Now(), 250*time.Nanosecond)
+	ev := r.Trace()
+	if len(ev) != 1 || ev[0].Kind != SpanPmemFlush || ev[0].LatNs != 250 {
+		t.Fatalf("unexpected fence span: %+v", ev)
+	}
+}
+
+func TestWriteChromeTraceIsValidJSON(t *testing.T) {
+	r := NewRegistry()
+	r.EnableTrace(16)
+	base := time.Now()
+	r.Span(SpanOp, OpCreate, base, 900, false)
+	r.Span(SpanLockWait, OpCreate, base.Add(100*time.Nanosecond), 300, false)
+	r.Span(SpanRecovery, 0, base.Add(time.Millisecond), 5000, true)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d JSON events, want 3", len(events))
+	}
+	for i, e := range events {
+		if e["ph"] != "X" {
+			t.Errorf("event %d ph = %v, want X", i, e["ph"])
+		}
+		for _, k := range []string{"name", "cat", "ts", "dur", "pid", "tid"} {
+			if _, ok := e[k]; !ok {
+				t.Errorf("event %d missing field %q", i, k)
+			}
+		}
+	}
+	if events[0]["name"] != "create" || events[1]["cat"] != "lock-wait" {
+		t.Errorf("unexpected name/cat: %v / %v", events[0]["name"], events[1]["cat"])
+	}
+	// Empty recorder still produces a valid (empty) array.
+	var empty bytes.Buffer
+	r2 := NewRegistry()
+	if err := r2.WriteChromeTrace(&empty); err != nil {
+		t.Fatal(err)
+	}
+	var none []map[string]any
+	if err := json.Unmarshal(empty.Bytes(), &none); err != nil || len(none) != 0 {
+		t.Fatalf("empty trace invalid: %v %q", err, empty.String())
+	}
+}
+
+func TestEventAndLockWaitCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Event(EvWaiterRecovery)
+	r.Event(EvWaiterRecovery)
+	r.Event(EvLineLockTimeout)
+	r.LockWait(LockLine, 1000)
+	r.LockWait(LockLine, 3000)
+	r.LockWait(LockFile, 200)
+	s := r.Snapshot()
+	if s.Events[EvWaiterRecovery] != 2 || s.Events[EvLineLockTimeout] != 1 {
+		t.Fatalf("events = %v", s.Events)
+	}
+	lw := s.LockWaits[LockLine]
+	if lw.Waits != 2 || lw.TotalNs != 4000 || lw.MeanNs() != 2000 || lw.Hist.Count() != 2 {
+		t.Fatalf("line lock-wait = %+v", lw)
+	}
+	if s.LockWaits[LockFile].Waits != 1 {
+		t.Fatalf("file lock-wait = %+v", s.LockWaits[LockFile])
+	}
+
+	// Sub scopes events and waits to a window and passes gauges through.
+	s.Gauges = []Gauge{{Name: "alloc.blocks_free", Value: 7}}
+	d := s.Sub(r.Snapshot().Sub(s)) // s - 0
+	r.Event(EvWaiterRecovery)
+	r.LockWait(LockLine, 500)
+	s2 := r.Snapshot()
+	win := s2.Sub(s)
+	if win.Events[EvWaiterRecovery] != 1 || win.LockWaits[LockLine].Waits != 1 {
+		t.Fatalf("window diff wrong: events=%v waits=%+v", win.Events, win.LockWaits[LockLine])
+	}
+	if len(d.Gauges) != 1 || d.Gauges[0].Value != 7 {
+		t.Fatalf("gauges not passed through Sub: %+v", d.Gauges)
+	}
+
+	// Add merges.
+	sum := win.Add(win)
+	if sum.Events[EvWaiterRecovery] != 2 || sum.LockWaits[LockLine].Waits != 2 {
+		t.Fatalf("Add wrong: %v %+v", sum.Events, sum.LockWaits[LockLine])
+	}
+}
+
+func TestEventNamesComplete(t *testing.T) {
+	for e := Event(0); e < NumEvents; e++ {
+		if e.String() == "" || e.String() == "unknown" {
+			t.Errorf("event %d has no name", e)
+		}
+	}
+	for k := SpanKind(0); k < NumSpanKinds; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Errorf("span kind %d has no name", k)
+		}
+	}
+	for c := LockClass(0); c < NumLockClasses; c++ {
+		if c.String() == "" || c.String() == "unknown" {
+			t.Errorf("lock class %d has no name", c)
+		}
+	}
+}
+
+func TestNilRegistryNewSurfacesSafe(t *testing.T) {
+	var r *Registry
+	r.Event(EvWaiterRecovery)
+	r.LockWait(LockLine, 10)
+	r.Span(SpanRecovery, 0, time.Time{}, 1, false)
+	r.ObserveFence(time.Now(), time.Nanosecond)
+	if r.TraceEnabled() {
+		t.Fatal("nil registry reports tracing enabled")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

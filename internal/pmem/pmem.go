@@ -33,6 +33,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 )
 
@@ -138,8 +139,24 @@ type Device struct {
 	pending map[uint64]struct{} // line offsets written but not flushed
 	staged  map[uint64]struct{} // line offsets flushed, awaiting fence
 
+	fenceObs FenceObserver
+
 	Stats Stats
 }
+
+// FenceObserver receives the wall-clock duration of device fences for the
+// flight recorder. The device only reads the clock around a fence while
+// TraceEnabled reports true, so an installed-but-idle observer costs one
+// interface call and one atomic load per fence.
+type FenceObserver interface {
+	TraceEnabled() bool
+	ObserveFence(start time.Time, dur time.Duration)
+}
+
+// SetFenceObserver installs o as the device's fence observer (nil removes
+// it). Install before the device sees concurrent traffic; the field is not
+// synchronized.
+func (d *Device) SetFenceObserver(o FenceObserver) { d.fenceObs = o }
 
 // New creates a device of the given size (rounded up to a cache line).
 // The arena is zero-filled, which doubles as the "freshly formatted" state.
@@ -398,6 +415,16 @@ func (d *Device) Flush(off, n uint64) {
 // Fence issues an sfence: all previously flushed or non-temporally written
 // lines become durable (are copied to the shadow persistent image).
 func (d *Device) Fence() {
+	if o := d.fenceObs; o != nil && o.TraceEnabled() {
+		start := time.Now()
+		d.fence()
+		o.ObserveFence(start, time.Since(start))
+		return
+	}
+	d.fence()
+}
+
+func (d *Device) fence() {
 	d.Stats.Fences.Add(1)
 	d.charge(d.lat.FenceNs)
 	if !d.tracked() {
@@ -498,4 +525,25 @@ func (d *Device) DirtyLines() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.pending) + len(d.staged)
+}
+
+// Gauge is one named point-in-time device measurement for the
+// observability exporters.
+type Gauge struct {
+	Name  string
+	Value uint64
+}
+
+// Gauges reports the device's current levels: arena size, persistence
+// mode, and (in tracked mode) the number of not-yet-durable lines.
+func (d *Device) Gauges() []Gauge {
+	g := []Gauge{
+		{Name: "arena_bytes", Value: d.size},
+		{Name: "mode_tracked", Value: 0},
+	}
+	if d.tracked() {
+		g[1].Value = 1
+		g = append(g, Gauge{Name: "dirty_lines", Value: uint64(d.DirtyLines())})
+	}
+	return g
 }
