@@ -11,6 +11,7 @@
 //	simurghbench git [flags]          git add/commit/reset (Fig 12)
 //	simurghbench recovery [flags]     full-crash recovery time (§5.5)
 //	simurghbench serve [flags]        run a live workload and export metrics
+//	simurghbench net [flags]          wire-protocol throughput/latency grid
 //	simurghbench all                  everything at default scale
 //
 // Results are throughput series/tables in the paper's shape; absolute
@@ -74,6 +75,8 @@ func main() {
 		err = runRecovery(args)
 	case "serve":
 		err = runServe(args)
+	case "net":
+		err = runNet(args)
 	case "ablation":
 		err = runAblation(args)
 	case "all":
@@ -89,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: simurghbench <isa|micro|fig6|filebench|ycsb|breakdown|tar|git|recovery|serve|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: simurghbench <isa|micro|fig6|filebench|ycsb|breakdown|tar|git|recovery|serve|net|all> [flags]`)
 }
 
 func parseThreads(s string) []int {

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"simurgh/internal/core"
+	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
+	"simurgh/internal/pmem"
+	"simurgh/internal/server"
+	"simurgh/internal/wire"
+	"simurgh/internal/wire/client"
+)
+
+// runNet measures the wire protocol: ops/s and batch round-trip latency
+// percentiles across a connection-count × batch-size grid, quantifying the
+// AnyCall-style amortization (one network crossing per batch instead of one
+// per call). By default it spins an in-process simurghd over loopback so
+// the numbers isolate protocol overhead; -addr points it at a live server
+// instead.
+func runNet(args []string) error {
+	fs := flag.NewFlagSet("net", flag.ExitOnError)
+	addr := fs.String("addr", "", "benchmark a running simurghd at this host:port (default: in-process loopback server)")
+	connsFlag := fs.String("conns", "1,8,64", "comma-separated concurrent connection counts")
+	batchFlag := fs.String("batch", "1,8,32", "comma-separated batch sizes (requests per Submit)")
+	dur := fs.Duration("duration", time.Second, "measurement time per grid point")
+	files := fs.Int("files", 64, "files the stat workload cycles over")
+	jsonOut := fs.String("json", "", "also write results as JSON to this file")
+	fs.Parse(args)
+
+	connCounts := parseThreads(*connsFlag)
+	batchSizes := parseThreads(*batchFlag)
+
+	target := *addr
+	if target == "" {
+		dev := pmem.New(256 << 20)
+		vol, err := core.Format(dev, fsapi.Root, core.Options{})
+		if err != nil {
+			return err
+		}
+		srv, err := server.New(server.Config{FS: vol})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go srv.Serve(ln)
+		defer srv.Shutdown()
+		target = ln.Addr().String()
+		fmt.Printf("## Wire protocol (in-process simurghd on %s)\n", target)
+	} else {
+		fmt.Printf("## Wire protocol (remote simurghd on %s)\n", target)
+	}
+
+	remote, err := client.Dial(target, client.Options{})
+	if err != nil {
+		return err
+	}
+	defer remote.Close()
+
+	paths, err := netPopulate(remote, *files)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%6s %6s %12s %10s %10s %10s\n", "conns", "batch", "ops/s", "p50", "p95", "p99")
+	var points []netPointJSON
+	for _, conns := range connCounts {
+		var base float64 // batch-1 throughput at this connection count
+		for _, batch := range batchSizes {
+			pt, err := netPoint(remote, paths, conns, batch, *dur)
+			if err != nil {
+				return err
+			}
+			speedup := ""
+			if batch == batchSizes[0] {
+				base = pt.OpsPerSec
+			} else if base > 0 {
+				speedup = fmt.Sprintf("  %.1fx vs batch-%d", pt.OpsPerSec/base, batchSizes[0])
+			}
+			fmt.Printf("%6d %6d %12.0f %10s %10s %10s%s\n",
+				conns, batch, pt.OpsPerSec,
+				fmtNs(pt.P50Ns), fmtNs(pt.P95Ns), fmtNs(pt.P99Ns), speedup)
+			points = append(points, pt)
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(struct {
+			Suite      string         `json:"suite"`
+			DurationMs int64          `json:"duration_ms"`
+			Points     []netPointJSON `json:"points"`
+		}{Suite: "net", DurationMs: dur.Milliseconds(), Points: points})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// netPointJSON is one grid point of the net suite: latencies are batch
+// round-trip times (a batch's RTT covers all its ops).
+type netPointJSON struct {
+	Conns     int     `json:"conns"`
+	Batch     int     `json:"batch"`
+	Ops       uint64  `json:"ops"`
+	ElapsedNs int64   `json:"elapsed_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Ns     uint64  `json:"p50_ns"`
+	P95Ns     uint64  `json:"p95_ns"`
+	P99Ns     uint64  `json:"p99_ns"`
+}
+
+// netPopulate creates the files the stat workload cycles over.
+func netPopulate(remote *client.Remote, files int) ([]string, error) {
+	c, err := remote.Attach(fsapi.Root)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Detach()
+	if err := c.Mkdir("/bench", 0o755); err != nil {
+		return nil, err
+	}
+	paths := make([]string, files)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/bench/f%03d", i)
+		fd, err := c.Create(paths[i], 0o644)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.Write(fd, []byte("x")); err != nil {
+			return nil, err
+		}
+		if err := c.Close(fd); err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}
+
+// netPoint drives conns sessions, each submitting explicit batches of the
+// given size, for roughly dur, and aggregates throughput and RTT
+// percentiles.
+func netPoint(remote *client.Remote, paths []string, conns, batch int, dur time.Duration) (netPointJSON, error) {
+	sessions := make([]*client.Session, conns)
+	for i := range sessions {
+		c, err := remote.Attach(fsapi.Cred{UID: 1000, GID: 1000})
+		if err != nil {
+			return netPointJSON{}, err
+		}
+		sessions[i] = c.(*client.Session)
+		defer sessions[i].Detach()
+	}
+
+	type connResult struct {
+		ops  uint64
+		hist obs.Histogram
+		err  error
+	}
+	results := make([]connResult, conns)
+
+	run := func(stopAt time.Time, record bool) {
+		var wg sync.WaitGroup
+		for ci := range sessions {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				sess, res := sessions[ci], &results[ci]
+				reqs := make([]wire.Request, batch)
+				i := ci // stagger the path cycle across connections
+				for time.Now().Before(stopAt) {
+					for j := range reqs {
+						reqs[j] = wire.Request{Op: wire.OpStat, Path: paths[i%len(paths)]}
+						i++
+					}
+					t0 := time.Now()
+					resps, err := sess.Submit(reqs)
+					if err != nil {
+						res.err = err
+						return
+					}
+					if record {
+						res.hist.Observe(uint64(time.Since(t0)))
+						res.ops += uint64(len(resps))
+					}
+				}
+			}(ci)
+		}
+		wg.Wait()
+	}
+
+	// Brief warmup settles connection buffers and the server's worker pool
+	// before the timed window.
+	run(time.Now().Add(dur/10), false)
+	start := time.Now()
+	run(start.Add(dur), true)
+	elapsed := time.Since(start)
+
+	pt := netPointJSON{Conns: conns, Batch: batch, ElapsedNs: elapsed.Nanoseconds()}
+	var hist obs.Histogram
+	for i := range results {
+		if results[i].err != nil {
+			return netPointJSON{}, results[i].err
+		}
+		pt.Ops += results[i].ops
+		hist = hist.Add(results[i].hist)
+	}
+	pt.OpsPerSec = float64(pt.Ops) / elapsed.Seconds()
+	pt.P50Ns = hist.Percentile(0.50)
+	pt.P95Ns = hist.Percentile(0.95)
+	pt.P99Ns = hist.Percentile(0.99)
+	return pt, nil
+}
+
+// fmtNs renders a latency compactly (µs below 10ms, ms above).
+func fmtNs(ns uint64) string {
+	if ns >= 10_000_000 {
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	}
+	return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+}

@@ -1,0 +1,147 @@
+// Command simurghd serves a Simurgh volume to remote clients over the wire
+// protocol — the network face of the paper's shared-NVMM volume. Each
+// connection is one attached process with its own open-file table; clients
+// batch operations AnyCall-style so many small calls share one round trip.
+//
+//	simurghd                                fresh in-memory volume on :9190
+//	simurghd -image vol.img                 open (and on exit save) an image
+//	simurghd -metrics 127.0.0.1:9180        also export /metrics over HTTP
+//	simurghd -duration 30s                  exit (gracefully) after 30s
+//
+// SIGINT/SIGTERM drain gracefully: in-flight batches reply, then the
+// process exits (saving the image if one was given).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"simurgh/internal/core"
+	"simurgh/internal/export"
+	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
+	"simurgh/internal/pmem"
+	"simurgh/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9190", "listen address for the wire protocol")
+	size := flag.Uint64("size", 256<<20, "volume size for fresh volumes")
+	image := flag.String("image", "", "volume image to open and save on exit")
+	metrics := flag.String("metrics", "", "serve /metrics (volume + server series) on this host:port")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "batch-execution worker pool size")
+	maxConns := flag.Int("max-conns", 256, "maximum concurrent client connections")
+	deadline := flag.Duration("deadline", 5*time.Second, "queue-admission deadline before a batch is refused as overloaded")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown wait before stragglers are cut")
+	duration := flag.Duration("duration", 0, "serve for this long then drain and exit (0 = until signalled)")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+
+	var dev *pmem.Device
+	var fs *core.FS
+	if *image != "" {
+		if f, err := os.Open(*image); err == nil {
+			d, err := pmem.ReadImage(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			mounted, stats, err := core.Mount(d, core.Options{Obs: reg})
+			if err != nil {
+				fatal(err)
+			}
+			if !stats.WasClean {
+				log.Printf("recovered unclean volume in %v (%d repairs)",
+					stats.Elapsed, stats.FixedSlots+stats.FixedCreates+stats.FixedRenames+stats.FixedLogs)
+			}
+			dev, fs = d, mounted
+		}
+	}
+	if fs == nil {
+		dev = pmem.New(*size)
+		formatted, err := core.Format(dev, fsapi.Root, core.Options{Obs: reg})
+		if err != nil {
+			fatal(err)
+		}
+		fs = formatted
+	}
+
+	srv, err := server.New(server.Config{
+		FS:             fs,
+		Workers:        *workers,
+		MaxConns:       *maxConns,
+		RequestTimeout: *deadline,
+		DrainTimeout:   *drain,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *metrics != "" {
+		msrv, err := export.Serve(*metrics, fs.Stats, reg, srv.WriteMetrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer msrv.Close()
+		log.Printf("metrics on %s/metrics", msrv.URL)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("serving %s on %s (%d workers, %d conns max)",
+		fs.Name(), ln.Addr(), *workers, *maxConns)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	var timerC <-chan time.Time
+	if *duration > 0 {
+		timerC = time.After(*duration)
+	}
+	drained := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-sigc:
+			log.Printf("%v: draining (%v grace)", sig, *drain)
+		case <-timerC:
+			log.Printf("duration elapsed: draining (%v grace)", *drain)
+		}
+		srv.Shutdown()
+		close(drained)
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		fatal(err)
+	}
+	<-drained
+
+	fs.Unmount()
+	if *image != "" {
+		f, err := os.Create(*image)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := dev.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		log.Printf("saved volume to %s", *image)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simurghd:", err)
+	os.Exit(1)
+}

@@ -4,6 +4,7 @@
 //	simurghsh                      fresh in-memory volume
 //	simurghsh -image vol.img       open (and on exit save) an image file
 //	simurghsh -metrics host:port   also serve live metrics over HTTP
+//	simurghsh -connect host:port   drive a remote simurghd volume instead
 //
 // Commands: ls [path], cat <file>, write <file> <text...>, append <file>
 // <text...>, mkdir <dir>, rm <file>, rmdir <dir>, mv <old> <new>,
@@ -25,13 +26,36 @@ import (
 	"simurgh/internal/fsapi"
 	"simurgh/internal/obs"
 	"simurgh/internal/pmem"
+	"simurgh/internal/wire/client"
 )
 
 func main() {
 	image := flag.String("image", "", "volume image to open and save on exit")
 	size := flag.Uint64("size", 256<<20, "volume size for fresh volumes")
 	metrics := flag.String("metrics", "", "serve live metrics on this host:port (e.g. 127.0.0.1:9180)")
+	connect := flag.String("connect", "", "drive a remote simurghd at this host:port instead of a local volume")
 	flag.Parse()
+
+	if *connect != "" {
+		if *image != "" || *metrics != "" {
+			fatal(fmt.Errorf("-connect is exclusive with -image and -metrics (those need a local volume)"))
+		}
+		remote, err := client.Dial(*connect, client.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		cred := fsapi.Root
+		c, err := remote.Attach(cred)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("connected to %s at %s\n", remote.Name(), *connect)
+		sh := &shell{fsys: remote, c: c, cred: cred}
+		repl(sh)
+		c.Detach()
+		remote.Close()
+		return
+	}
 
 	// The shell is interactive, so sample every operation: exact latency
 	// and NVMM attribution matter more than per-call overhead here.
@@ -77,25 +101,9 @@ func main() {
 	}
 
 	cred := fsapi.Root
-	client, _ := fs.Attach(cred)
-	sh := &shell{fs: fs, dev: dev, c: client, cred: cred, base: fs.Stats()}
-
-	fmt.Println("simurghsh — type 'help' for commands, 'exit' to quit")
-	scanner := bufio.NewScanner(os.Stdin)
-	for {
-		fmt.Printf("simurgh[uid=%d]> ", sh.cred.UID)
-		if !scanner.Scan() {
-			break
-		}
-		line := strings.TrimSpace(scanner.Text())
-		if line == "" {
-			continue
-		}
-		if line == "exit" || line == "quit" {
-			break
-		}
-		sh.exec(line)
-	}
+	c, _ := fs.Attach(cred)
+	sh := &shell{fsys: fs, fs: fs, dev: dev, c: c, cred: cred, base: fs.Stats()}
+	repl(sh)
 	fs.Unmount()
 	if *image != "" {
 		f, err := os.Create(*image)
@@ -113,12 +121,38 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// repl runs the interactive loop until EOF or exit.
+func repl(sh *shell) {
+	fmt.Println("simurghsh — type 'help' for commands, 'exit' to quit")
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Printf("simurgh[uid=%d]> ", sh.cred.UID)
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "exit" || line == "quit" {
+			break
+		}
+		sh.exec(line)
+	}
+}
+
 type shell struct {
-	fs   *core.FS
+	fsys fsapi.FileSystem // what su re-attaches through (local or remote)
+	fs   *core.FS         // nil when driving a remote volume over -connect
 	dev  *pmem.Device
 	c    fsapi.Client
 	cred fsapi.Cred
 	base obs.Snapshot // stats baseline; `stats reset` moves it
+}
+
+// errRemote reports commands that need the volume in-process.
+func errRemote(cmd string) error {
+	return fmt.Errorf("%s needs a local volume (not available over -connect)", cmd)
 }
 
 func (s *shell) exec(line string) {
@@ -245,10 +279,18 @@ func (s *shell) exec(line string) {
 		}
 		s.tree(path, 0)
 	case "df":
+		if s.fs == nil {
+			err = errRemote(cmd)
+			break
+		}
 		free := s.fs.FreeBlocks()
 		total := s.dev.Size() / core.BlockSize
 		fmt.Printf("%d / %d blocks free (%.1f%%)\n", free, total, 100*float64(free)/float64(total))
 	case "stats":
+		if s.fs == nil {
+			err = errRemote(cmd)
+			break
+		}
 		if len(rest) > 0 && rest[0] == "reset" {
 			s.base = s.fs.Stats()
 			fmt.Println("stats baseline reset")
@@ -256,11 +298,23 @@ func (s *shell) exec(line string) {
 		}
 		s.fs.Stats().Sub(s.base).WriteTable(os.Stdout)
 	case "trace":
+		if s.fs == nil {
+			err = errRemote(cmd)
+			break
+		}
 		err = s.trace(rest)
 	case "maintain":
+		if s.fs == nil {
+			err = errRemote(cmd)
+			break
+		}
 		st := s.fs.Maintain()
 		fmt.Printf("visited %d dirs, freed %d hash blocks\n", st.DirsVisited, st.BlocksFreed)
 	case "crashdemo":
+		if s.fs == nil {
+			err = errRemote(cmd)
+			break
+		}
 		// Abandon a create mid-flight, then show recovery-on-access.
 		s.fs.SetHooks(core.Hooks{CrashPoint: func(p string) bool { return p == "create.after-slot" }})
 		_, cerr := s.c.Create("/crashdemo-file", 0o644)
@@ -284,7 +338,7 @@ func (s *shell) exec(line string) {
 			break
 		}
 		s.cred = fsapi.Cred{UID: uint32(uid), GID: uint32(gid)}
-		s.c, err = s.fs.Attach(s.cred)
+		s.c, err = s.fsys.Attach(s.cred)
 	default:
 		err = fmt.Errorf("unknown command %q (try 'help')", cmd)
 	}

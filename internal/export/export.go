@@ -280,14 +280,23 @@ func publishExpvar(src Source) {
 	})
 }
 
+// Extra appends additional Prometheus series to each /metrics scrape, for
+// subsystems whose counters live outside the obs snapshot (the network
+// server's simurgh_server_*/simurgh_wire_* series).
+type Extra func(w io.Writer)
+
 // NewHandler builds the exporter's HTTP mux. reg (optional) enables
-// /trace.json from the registry's flight recorder.
-func NewHandler(src Source, reg *obs.Registry) http.Handler {
+// /trace.json from the registry's flight recorder; extra appenders are
+// invoked after the snapshot on every /metrics scrape.
+func NewHandler(src Source, reg *obs.Registry, extra ...Extra) http.Handler {
 	publishExpvar(src)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WritePrometheus(w, src())
+		for _, e := range extra {
+			e(w)
+		}
 	})
 	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -325,7 +334,7 @@ type Server struct {
 
 // Serve starts the exporter on addr (host:port; port 0 picks a free one)
 // and returns once the listener is accepting.
-func Serve(addr string, src Source, reg *obs.Registry) (*Server, error) {
+func Serve(addr string, src Source, reg *obs.Registry, extra ...Extra) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -333,7 +342,7 @@ func Serve(addr string, src Source, reg *obs.Registry) (*Server, error) {
 	s := &Server{
 		URL: "http://" + ln.Addr().String(),
 		ln:  ln,
-		srv: &http.Server{Handler: NewHandler(src, reg)},
+		srv: &http.Server{Handler: NewHandler(src, reg, extra...)},
 	}
 	go s.srv.Serve(ln)
 	return s, nil

@@ -21,6 +21,12 @@ func bucketOf(ns uint64) int {
 	return b
 }
 
+// BucketOf maps a latency in nanoseconds to its histogram bucket index.
+// Exported for sinks outside this package (the network server's request
+// histograms) that share the bucket layout so their series diff and render
+// with the same tools.
+func BucketOf(ns uint64) int { return bucketOf(ns) }
+
 // BucketUpperNs returns the exclusive upper bound of bucket i in
 // nanoseconds (the last bucket reports its lower bound: it is unbounded).
 func BucketUpperNs(i int) uint64 {
@@ -44,6 +50,11 @@ func BucketLowerNs(i int) uint64 {
 
 // Histogram is a diffed, plain-value latency histogram (counts per bucket).
 type Histogram [NumBuckets]uint64
+
+// Observe records one latency sample of ns nanoseconds. Not safe for
+// concurrent use — single-goroutine accumulators (bench harnesses) only;
+// concurrent recording goes through a Registry.
+func (h *Histogram) Observe(ns uint64) { h[bucketOf(ns)]++ }
 
 // Count returns the total number of recorded samples.
 func (h Histogram) Count() uint64 {

@@ -1,0 +1,501 @@
+// Package server serves a mounted Simurgh volume over TCP using the wire
+// protocol. One connection is one attached process: the handshake performs
+// fsapi.FileSystem.Attach and the resulting fsapi.Client — which owns the
+// connection's open-file table, exactly like a preloaded process in the
+// paper — executes every operation the connection sends.
+//
+// Batches are the unit of scheduling: a KindBatch frame is decoded by the
+// connection's reader goroutine and handed to a bounded worker pool; the
+// worker executes the batch's operations sequentially in order (so a client
+// may batch dependent calls like create→write→close) and writes one
+// KindReply frame. Concurrency comes from connections and from pipelining:
+// a client may send further batches before earlier replies arrive, and
+// independent batches of one connection may execute on different workers.
+//
+// Backpressure is explicit: when the worker queue stays full past
+// Config.RequestTimeout the batch is answered with CodeOverload instead of
+// stalling the connection forever, and connections beyond Config.MaxConns
+// are refused with a KindErr frame at accept. Shutdown drains: the listener
+// closes, idle readers are nudged off their blocking reads, in-flight
+// batches finish and flush their replies, and only stragglers past
+// Config.DrainTimeout are cut.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simurgh/internal/fsapi"
+	"simurgh/internal/wire"
+)
+
+// Config parameterizes a Server. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// FS is the volume to serve. Required.
+	FS fsapi.FileSystem
+	// MaxConns bounds concurrently open connections; further accepts are
+	// refused with a KindErr frame. Default 256.
+	MaxConns int
+	// Workers is the batch-execution pool size. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds batches waiting for a worker across all
+	// connections. Default 1024.
+	QueueDepth int
+	// RequestTimeout bounds how long a decoded batch may wait for a free
+	// queue slot before it is refused with CodeOverload, and how long the
+	// attach handshake may take. Default 5s.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds Shutdown's wait for in-flight connections before
+	// force-closing them. Default 5s.
+	DrainTimeout time.Duration
+	// Logf receives connection-level diagnostics. Default: discard.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Server accepts wire-protocol connections and executes their batches
+// against one fsapi.FileSystem.
+type Server struct {
+	cfg      Config
+	m        metrics
+	work     chan *job
+	draining atomic.Bool
+	drainCh  chan struct{} // closed when Shutdown starts
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+
+	connWG       sync.WaitGroup
+	workerWG     sync.WaitGroup
+	shutdownOnce sync.Once
+}
+
+// job is one decoded batch queued for execution.
+type job struct {
+	sess *session
+	reqs []wire.Request
+	enq  time.Time
+}
+
+// session is the server half of one attached connection.
+type session struct {
+	srv    *Server
+	conn   net.Conn
+	client fsapi.Client
+
+	wmu  sync.Mutex
+	bufw *bufWriter
+
+	inflight sync.WaitGroup // batches queued or executing
+}
+
+// bufWriter is the minimal buffered-writer surface session needs; split out
+// so tests can substitute a failing writer.
+type bufWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+func newBufWriter(w io.Writer) *bufWriter {
+	return &bufWriter{w: w, buf: make([]byte, 0, 64<<10)}
+}
+
+func (b *bufWriter) Write(p []byte) (int, error) {
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+
+func (b *bufWriter) Flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	_, err := b.w.Write(b.buf)
+	b.buf = b.buf[:0]
+	return err
+}
+
+// New builds a Server for cfg. Call Serve to start accepting.
+func New(cfg Config) (*Server, error) {
+	if cfg.FS == nil {
+		return nil, errors.New("server: Config.FS is required")
+	}
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:     cfg,
+		work:    make(chan *job, cfg.QueueDepth),
+		drainCh: make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It returns nil
+// after a drain-initiated stop, or the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.m.connsAccepted.Add(1)
+		s.mu.Lock()
+		over := len(s.conns) >= s.cfg.MaxConns || s.draining.Load()
+		if !over {
+			s.conns[conn] = struct{}{}
+		}
+		s.mu.Unlock()
+		if over {
+			s.m.connsRejected.Add(1)
+			s.refuse(conn, wire.ErrOverload)
+			continue
+		}
+		s.m.connsActive.Add(1)
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// refuse answers an over-limit connection with a KindErr frame and closes
+// it without admitting it to the connection table.
+func (s *Server) refuse(conn net.Conn, reason error) {
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	wire.WriteFrame(conn, wire.KindErr, wire.AppendErrFrame(nil, reason))
+	conn.Close()
+}
+
+// handleConn runs one connection: handshake, then the batch read loop.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.m.connsActive.Add(-1)
+		conn.Close()
+	}()
+
+	cc := countingConn{inner: conn, m: &s.m}
+	fr := wire.NewFrameReader(cc)
+	sess := &session{srv: s, conn: conn, bufw: newBufWriter(cc)}
+
+	// The handshake must arrive promptly; afterwards the connection may
+	// idle indefinitely between batches.
+	conn.SetReadDeadline(time.Now().Add(s.cfg.RequestTimeout))
+	if err := s.handshake(fr, sess); err != nil {
+		s.m.attachErrors.Add(1)
+		s.cfg.Logf("server: attach from %s failed: %v", conn.RemoteAddr(), err)
+		s.writeErrFrame(sess, err)
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	s.m.sessions.Add(1)
+
+	err := s.readLoop(fr, sess)
+	// Let queued and executing batches flush their replies before the
+	// deferred close; their responses are the last frames of the session.
+	sess.inflight.Wait()
+	sess.client.Detach()
+	if err != nil && !errors.Is(err, io.EOF) && !s.draining.Load() {
+		s.m.protoErrors.Add(1)
+		s.cfg.Logf("server: conn %s: %v", conn.RemoteAddr(), err)
+		s.writeErrFrame(sess, err)
+	}
+}
+
+// handshake expects the KindAttach frame, attaches to the volume, and
+// acknowledges with the file system name.
+func (s *Server) handshake(fr *wire.FrameReader, sess *session) error {
+	kind, payload, err := fr.Next()
+	if err != nil {
+		return fmt.Errorf("reading attach: %w", err)
+	}
+	s.m.framesRead.Add(1)
+	if kind != wire.KindAttach {
+		return fmt.Errorf("%w: expected attach, got kind %d", wire.ErrBadMessage, kind)
+	}
+	cred, err := wire.ParseAttach(payload)
+	if err != nil {
+		return err
+	}
+	client, err := s.cfg.FS.Attach(cred)
+	if err != nil {
+		return err
+	}
+	sess.client = client
+	sess.wmu.Lock()
+	defer sess.wmu.Unlock()
+	if err := wire.WriteFrame(sess.bufw, wire.KindAttachOK, []byte(s.cfg.FS.Name())); err != nil {
+		return err
+	}
+	s.m.framesWritten.Add(1)
+	return sess.bufw.Flush()
+}
+
+// readLoop decodes batch frames and submits them to the worker pool until
+// the connection errors, the client disconnects, or drain nudges the read.
+func (s *Server) readLoop(fr *wire.FrameReader, sess *session) error {
+	for {
+		kind, payload, err := fr.Next()
+		if err != nil {
+			return err
+		}
+		s.m.framesRead.Add(1)
+		if kind != wire.KindBatch {
+			return fmt.Errorf("%w: expected batch, got kind %d", wire.ErrBadMessage, kind)
+		}
+		reqs, err := wire.DecodeBatch(payload)
+		if err != nil {
+			return err
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		s.m.observeBatch(len(reqs))
+		if err := s.submit(sess, reqs); err != nil {
+			return err
+		}
+	}
+}
+
+// submit queues one batch, answering with CodeOverload (or CodeShutdown
+// while draining) if no queue slot frees up within RequestTimeout.
+func (s *Server) submit(sess *session, reqs []wire.Request) error {
+	j := &job{sess: sess, reqs: reqs, enq: time.Now()}
+	sess.inflight.Add(1)
+	timer := time.NewTimer(s.cfg.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case s.work <- j:
+		return nil
+	case <-s.drainCh:
+		sess.inflight.Done()
+		return s.rejectBatch(sess, reqs, wire.ErrShutdown)
+	case <-timer.C:
+		sess.inflight.Done()
+		return s.rejectBatch(sess, reqs, wire.ErrOverload)
+	}
+}
+
+// rejectBatch replies to every request of an unadmitted batch with the
+// rejection error.
+func (s *Server) rejectBatch(sess *session, reqs []wire.Request, reason error) error {
+	code := wire.CodeOf(reason)
+	s.m.overloads.Add(uint64(len(reqs)))
+	var payload []byte
+	for i := range reqs {
+		resp := wire.Response{ID: reqs[i].ID, Op: reqs[i].Op, Code: code}
+		payload = wire.AppendResponse(payload, &resp)
+	}
+	return s.writeReply(sess, payload)
+}
+
+// worker executes queued batches until the work channel closes.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.work {
+		s.runBatch(j)
+	}
+}
+
+// runBatch executes one batch's operations in order against the session's
+// client and writes the single reply frame.
+func (s *Server) runBatch(j *job) {
+	defer j.sess.inflight.Done()
+	var payload []byte
+	for i := range j.reqs {
+		resp := execute(j.sess.client, &j.reqs[i])
+		ns := uint64(time.Since(j.enq))
+		s.m.requestNs.observe(ns)
+		s.m.requests.Add(1)
+		if resp.Code != wire.CodeOK {
+			s.m.requestErrors.Add(1)
+		}
+		payload = wire.AppendResponse(payload, &resp)
+	}
+	if err := s.writeReply(j.sess, payload); err != nil {
+		s.cfg.Logf("server: reply to %s failed: %v", j.sess.conn.RemoteAddr(), err)
+		j.sess.conn.Close() // unwedge the reader; the session is dead
+	}
+}
+
+// writeReply frames and flushes one KindReply payload under the session's
+// write lock.
+func (s *Server) writeReply(sess *session, payload []byte) error {
+	sess.wmu.Lock()
+	defer sess.wmu.Unlock()
+	if err := wire.WriteFrame(sess.bufw, wire.KindReply, payload); err != nil {
+		return err
+	}
+	s.m.framesWritten.Add(1)
+	return sess.bufw.Flush()
+}
+
+// writeErrFrame best-effort reports a connection-level error to the peer.
+func (s *Server) writeErrFrame(sess *session, err error) {
+	sess.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	sess.wmu.Lock()
+	defer sess.wmu.Unlock()
+	if wire.WriteFrame(sess.bufw, wire.KindErr, wire.AppendErrFrame(nil, err)) == nil {
+		s.m.framesWritten.Add(1)
+		sess.bufw.Flush()
+	}
+}
+
+// Shutdown gracefully drains the server: stop accepting, nudge idle
+// readers, let in-flight batches reply, force-close stragglers after
+// DrainTimeout, then stop the worker pool. Idempotent; later calls return
+// once the first drain completes.
+func (s *Server) Shutdown() {
+	s.shutdownOnce.Do(s.shutdown)
+}
+
+func (s *Server) shutdown() {
+	s.draining.Store(true)
+	close(s.drainCh)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		// Knock blocked readers off their reads; their handlers then wait
+		// for in-flight batches and exit.
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	// All connection handlers have returned, so nothing can submit; the
+	// queue can close and the workers run it dry.
+	close(s.work)
+	s.workerWG.Wait()
+}
+
+// execute runs one decoded request against the session's client and builds
+// its response. Unknown sizes were already bounded by the decoder.
+func execute(c fsapi.Client, req *wire.Request) wire.Response {
+	resp := wire.Response{ID: req.ID, Op: req.Op}
+	var err error
+	switch req.Op {
+	case wire.OpCreate:
+		resp.FD, err = c.Create(req.Path, req.Perm)
+	case wire.OpOpen:
+		resp.FD, err = c.Open(req.Path, fsapi.OpenFlag(req.Flags), req.Perm)
+	case wire.OpClose:
+		err = c.Close(req.FD)
+	case wire.OpRead:
+		p := make([]byte, req.Size)
+		var n int
+		n, err = c.Read(req.FD, p)
+		resp.Data = p[:n]
+	case wire.OpPread:
+		p := make([]byte, req.Size)
+		var n int
+		n, err = c.Pread(req.FD, p, req.Off)
+		resp.Data = p[:n]
+	case wire.OpWrite:
+		var n int
+		n, err = c.Write(req.FD, req.Data)
+		resp.N = uint32(n)
+	case wire.OpPwrite:
+		var n int
+		n, err = c.Pwrite(req.FD, req.Data, req.Off)
+		resp.N = uint32(n)
+	case wire.OpSeek:
+		resp.Off, err = c.Seek(req.FD, int64(req.Off), int(req.Flags))
+	case wire.OpFsync:
+		err = c.Fsync(req.FD)
+	case wire.OpFtruncate:
+		err = c.Ftruncate(req.FD, req.Off)
+	case wire.OpFallocate:
+		err = c.Fallocate(req.FD, req.Off)
+	case wire.OpFstat:
+		resp.Stat, err = c.Fstat(req.FD)
+	case wire.OpStat:
+		resp.Stat, err = c.Stat(req.Path)
+	case wire.OpLstat:
+		resp.Stat, err = c.Lstat(req.Path)
+	case wire.OpMkdir:
+		err = c.Mkdir(req.Path, req.Perm)
+	case wire.OpRmdir:
+		err = c.Rmdir(req.Path)
+	case wire.OpUnlink:
+		err = c.Unlink(req.Path)
+	case wire.OpRename:
+		err = c.Rename(req.Path, req.Path2)
+	case wire.OpSymlink:
+		err = c.Symlink(req.Path, req.Path2)
+	case wire.OpLink:
+		err = c.Link(req.Path, req.Path2)
+	case wire.OpReadlink:
+		resp.Str, err = c.Readlink(req.Path)
+	case wire.OpReadDir:
+		resp.Dir, err = c.ReadDir(req.Path)
+	case wire.OpChmod:
+		err = c.Chmod(req.Path, req.Perm)
+	case wire.OpUtimes:
+		err = c.Utimes(req.Path, int64(req.Off), int64(req.Off2))
+	case wire.OpDetach:
+		err = c.Detach()
+	default:
+		err = fsapi.ErrInval
+	}
+	if err != nil {
+		resp.Code = wire.CodeOf(err)
+		resp.Msg = wire.MsgFor(resp.Code, err)
+		resp.Data, resp.Str, resp.Dir = nil, "", nil
+		resp.Stat = fsapi.Stat{}
+	}
+	return resp
+}

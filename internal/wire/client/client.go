@@ -1,0 +1,689 @@
+// Package client is the remote side of the wire protocol: a Remote is an
+// fsapi.FileSystem backed by a simurghd server, and each Attach yields a
+// Session — an fsapi.Client whose calls travel the network. Sessions
+// pipeline: every call is enqueued to a writer goroutine that coalesces
+// whatever is waiting into one KindBatch frame (AnyCall-style aggregation),
+// so N goroutines issuing calls concurrently share round trips instead of
+// paying one each. Replies are matched by request ID, out of order.
+//
+// The packages above this one do not know the network exists: fstest's
+// conformance suite, simurghbench, and simurghsh run unmodified against a
+// Remote.
+package client
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simurgh/internal/fsapi"
+	"simurgh/internal/wire"
+)
+
+// ErrClosed reports use of a detached or failed session.
+var ErrClosed = errors.New("wire client: session closed")
+
+// maxCoalesce bounds the payload the writer merges into one batch frame,
+// leaving frame-header headroom under wire.MaxFrame.
+const maxCoalesce = wire.MaxFrame - 1024
+
+// Options tunes a Remote.
+type Options struct {
+	// DialTimeout bounds each TCP connect. Default 5s.
+	DialTimeout time.Duration
+	// Warm pre-dials this many idle connections at Dial time so the first
+	// attaches skip connect latency. Default 0.
+	Warm int
+}
+
+// Remote is a served volume reached over the network. It implements
+// fsapi.FileSystem: Attach opens (or reuses) a connection and performs the
+// wire handshake.
+type Remote struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	idle   []net.Conn // connected but not yet handshaken
+	name   string     // remote FS name, learned from the first AttachOK
+	closed bool
+}
+
+// Dial prepares a Remote for addr. The server is first contacted at Attach
+// (or immediately, for Options.Warm pre-dialed connections).
+func Dial(addr string, opts Options) (*Remote, error) {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	r := &Remote{addr: addr, opts: opts}
+	for i := 0; i < opts.Warm; i++ {
+		conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		r.mu.Lock()
+		r.idle = append(r.idle, conn)
+		r.mu.Unlock()
+	}
+	return r, nil
+}
+
+// Name identifies the remote file system once known ("wire(<addr>)" before
+// the first successful attach).
+func (r *Remote) Name() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.name != "" {
+		return "wire(" + r.name + ")"
+	}
+	return "wire(" + r.addr + ")"
+}
+
+// Close releases idle connections. Live sessions are unaffected; detach
+// them individually.
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	idle := r.idle
+	r.idle, r.closed = nil, true
+	r.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+	return nil
+}
+
+// conn returns a transport: a pre-dialed idle connection when one is
+// available, a fresh dial otherwise.
+func (r *Remote) conn() (net.Conn, error) {
+	r.mu.Lock()
+	if n := len(r.idle); n > 0 {
+		c := r.idle[n-1]
+		r.idle = r.idle[:n-1]
+		r.mu.Unlock()
+		return c, nil
+	}
+	r.mu.Unlock()
+	return net.DialTimeout("tcp", r.addr, r.opts.DialTimeout)
+}
+
+// Attach opens a session for cred: one connection, one server-side
+// fsapi.Client with its own open-file table — the remote equivalent of a
+// process preloading the library.
+func (r *Remote) Attach(cred fsapi.Cred) (fsapi.Client, error) {
+	conn, err := r.conn()
+	if err != nil {
+		return nil, err
+	}
+	fr := wire.NewFrameReader(conn)
+	name, err := handshake(conn, fr, cred, r.opts.DialTimeout)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	r.mu.Lock()
+	r.name = name
+	r.mu.Unlock()
+
+	s := &Session{
+		conn:    conn,
+		fr:      fr,
+		pending: make(map[uint32]chan wire.Response),
+		sendq:   make(chan sendItem, 256),
+		dead:    make(chan struct{}),
+	}
+	go s.writeLoop()
+	go s.readLoop()
+	return s, nil
+}
+
+// handshake sends KindAttach and waits for KindAttachOK, returning the
+// server's file system name. fr must be the reader the session will keep
+// using, so no buffered bytes are lost across the handoff.
+func handshake(conn net.Conn, fr *wire.FrameReader, cred fsapi.Cred, timeout time.Duration) (string, error) {
+	conn.SetDeadline(time.Now().Add(timeout))
+	defer conn.SetDeadline(time.Time{})
+	if err := wire.WriteFrame(conn, wire.KindAttach, wire.AppendAttach(nil, cred)); err != nil {
+		return "", err
+	}
+	kind, payload, err := fr.Next()
+	if err != nil {
+		return "", err
+	}
+	switch kind {
+	case wire.KindAttachOK:
+		return string(payload), nil
+	case wire.KindErr:
+		return "", wire.ParseErrFrame(payload)
+	default:
+		return "", fmt.Errorf("%w: unexpected kind %d in handshake", wire.ErrBadMessage, kind)
+	}
+}
+
+// sendItem is one encoded request group queued for the writer.
+type sendItem struct {
+	payload []byte
+	n       int // requests in payload
+}
+
+// Session is one attached remote client. Safe for concurrent use; calls
+// from multiple goroutines coalesce into shared batch frames.
+type Session struct {
+	conn net.Conn
+	fr   *wire.FrameReader
+
+	seq     atomic.Uint32
+	mu      sync.Mutex
+	pending map[uint32]chan wire.Response
+
+	sendq chan sendItem
+
+	failOnce sync.Once
+	dead     chan struct{}
+	deadErr  error
+}
+
+// fail terminates the session once: records err, wakes every waiter, and
+// closes the transport.
+func (s *Session) fail(err error) {
+	s.failOnce.Do(func() {
+		s.deadErr = err
+		close(s.dead)
+		s.conn.Close()
+	})
+}
+
+// err returns the session's terminal error.
+func (s *Session) err() error {
+	select {
+	case <-s.dead:
+		if s.deadErr != nil {
+			return s.deadErr
+		}
+		return ErrClosed
+	default:
+		return nil
+	}
+}
+
+// writeLoop drains the send queue, merging everything immediately available
+// into one KindBatch frame, written with a single conn.Write per frame.
+func (s *Session) writeLoop() {
+	frame := make([]byte, 0, 64<<10)
+	var held *sendItem
+	for {
+		var first sendItem
+		if held != nil {
+			first, held = *held, nil
+		} else {
+			select {
+			case first = <-s.sendq:
+			case <-s.dead:
+				return
+			}
+		}
+		// Reserve the 5-byte frame header, patch the length afterwards.
+		frame = append(frame[:0], 0, 0, 0, 0, byte(wire.KindBatch))
+		frame = append(frame, first.payload...)
+		count := first.n
+	coalesce:
+		for count < wire.MaxBatch {
+			select {
+			case it := <-s.sendq:
+				if len(frame)-5+len(it.payload) > maxCoalesce || count+it.n > wire.MaxBatch {
+					held = &it
+					break coalesce
+				}
+				frame = append(frame, it.payload...)
+				count += it.n
+			default:
+				break coalesce
+			}
+		}
+		binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+		if _, err := s.conn.Write(frame); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+}
+
+// readLoop decodes reply frames and routes each response to its waiter.
+func (s *Session) readLoop() {
+	for {
+		kind, payload, err := s.fr.Next()
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		switch kind {
+		case wire.KindReply:
+			resps, err := wire.DecodeReply(payload)
+			if err != nil {
+				s.fail(err)
+				return
+			}
+			for i := range resps {
+				s.mu.Lock()
+				ch := s.pending[resps[i].ID]
+				delete(s.pending, resps[i].ID)
+				s.mu.Unlock()
+				if ch != nil {
+					ch <- resps[i] // buffered; never blocks
+				}
+			}
+		case wire.KindErr:
+			s.fail(wire.ParseErrFrame(payload))
+			return
+		default:
+			s.fail(fmt.Errorf("%w: unexpected kind %d", wire.ErrBadMessage, kind))
+			return
+		}
+	}
+}
+
+// Submit sends reqs as one explicit batch (IDs are assigned in place) and
+// returns the responses in request order. It is the deterministic-batch
+// interface for benchmarks; the fsapi methods use it one request at a time
+// and rely on writer coalescing instead.
+func (s *Session) Submit(reqs []wire.Request) ([]wire.Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	if len(reqs) > wire.MaxBatch {
+		return nil, fmt.Errorf("%w: %d requests > %d", wire.ErrBadMessage, len(reqs), wire.MaxBatch)
+	}
+	if err := s.err(); err != nil {
+		return nil, err
+	}
+	chans := make([]chan wire.Response, len(reqs))
+	var payload []byte
+	s.mu.Lock()
+	for i := range reqs {
+		reqs[i].ID = s.seq.Add(1)
+		chans[i] = make(chan wire.Response, 1)
+		s.pending[reqs[i].ID] = chans[i]
+		payload = wire.AppendRequest(payload, &reqs[i])
+	}
+	s.mu.Unlock()
+	if len(payload) > maxCoalesce {
+		s.unregister(reqs)
+		return nil, wire.ErrFrameTooLarge
+	}
+	select {
+	case s.sendq <- sendItem{payload: payload, n: len(reqs)}:
+	case <-s.dead:
+		s.unregister(reqs)
+		return nil, s.err()
+	}
+	out := make([]wire.Response, len(reqs))
+	for i := range chans {
+		resp, err := s.wait(chans[i])
+		if err != nil {
+			s.unregister(reqs[i:])
+			return nil, err
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
+// unregister removes reqs' pending entries after a failed submit.
+func (s *Session) unregister(reqs []wire.Request) {
+	s.mu.Lock()
+	for i := range reqs {
+		delete(s.pending, reqs[i].ID)
+	}
+	s.mu.Unlock()
+}
+
+// wait blocks for one response, preferring a delivered response over the
+// session's death (the reply may have raced the failure).
+func (s *Session) wait(ch chan wire.Response) (wire.Response, error) {
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-s.dead:
+		select {
+		case r := <-ch:
+			return r, nil
+		default:
+		}
+		return wire.Response{}, s.err()
+	}
+}
+
+// call performs one request/response round trip.
+func (s *Session) call(req wire.Request) (wire.Response, error) {
+	one := [1]wire.Request{req}
+	resps, err := s.Submit(one[:])
+	if err != nil {
+		return wire.Response{}, err
+	}
+	return resps[0], nil
+}
+
+// --- fsapi.Client ---------------------------------------------------------
+
+// Create creates a regular file and opens it for writing.
+func (s *Session) Create(path string, perm uint32) (fsapi.FD, error) {
+	resp, err := s.call(wire.Request{Op: wire.OpCreate, Path: path, Perm: perm})
+	if err != nil {
+		return -1, err
+	}
+	if err := resp.Err(); err != nil {
+		return -1, err
+	}
+	return resp.FD, nil
+}
+
+// Open opens an existing file (or creates with OCreate).
+func (s *Session) Open(path string, flags fsapi.OpenFlag, perm uint32) (fsapi.FD, error) {
+	resp, err := s.call(wire.Request{Op: wire.OpOpen, Path: path, Flags: uint32(flags), Perm: perm})
+	if err != nil {
+		return -1, err
+	}
+	if err := resp.Err(); err != nil {
+		return -1, err
+	}
+	return resp.FD, nil
+}
+
+// Close releases the descriptor.
+func (s *Session) Close(fd fsapi.FD) error {
+	resp, err := s.call(wire.Request{Op: wire.OpClose, FD: fd})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Read reads from the descriptor's current position, chunking requests
+// larger than wire.MaxIO into sequential wire reads.
+func (s *Session) Read(fd fsapi.FD, p []byte) (int, error) {
+	total := 0
+	for {
+		ask := len(p) - total
+		if ask > wire.MaxIO {
+			ask = wire.MaxIO
+		}
+		resp, err := s.call(wire.Request{Op: wire.OpRead, FD: fd, Size: uint32(ask)})
+		if err == nil {
+			err = resp.Err()
+		}
+		if err != nil {
+			if total > 0 {
+				return total, nil
+			}
+			return 0, err
+		}
+		n := copy(p[total:], resp.Data)
+		total += n
+		if n < ask || total == len(p) {
+			return total, nil
+		}
+	}
+}
+
+// Pread reads at an explicit offset without moving the position.
+func (s *Session) Pread(fd fsapi.FD, p []byte, off uint64) (int, error) {
+	total := 0
+	for {
+		ask := len(p) - total
+		if ask > wire.MaxIO {
+			ask = wire.MaxIO
+		}
+		resp, err := s.call(wire.Request{Op: wire.OpPread, FD: fd, Size: uint32(ask), Off: off + uint64(total)})
+		if err == nil {
+			err = resp.Err()
+		}
+		if err != nil {
+			if total > 0 {
+				return total, nil
+			}
+			return 0, err
+		}
+		n := copy(p[total:], resp.Data)
+		total += n
+		if n < ask || total == len(p) {
+			return total, nil
+		}
+	}
+}
+
+// Write writes at the descriptor's current position, chunking payloads
+// larger than wire.MaxIO.
+func (s *Session) Write(fd fsapi.FD, p []byte) (int, error) {
+	total := 0
+	for {
+		chunk := p[total:]
+		if len(chunk) > wire.MaxIO {
+			chunk = chunk[:wire.MaxIO]
+		}
+		resp, err := s.call(wire.Request{Op: wire.OpWrite, FD: fd, Data: chunk})
+		if err == nil {
+			err = resp.Err()
+		}
+		if err != nil {
+			if total > 0 {
+				return total, nil
+			}
+			return 0, err
+		}
+		total += int(resp.N)
+		if int(resp.N) < len(chunk) || total == len(p) {
+			return total, nil
+		}
+	}
+}
+
+// Pwrite writes at an explicit offset without moving the position.
+func (s *Session) Pwrite(fd fsapi.FD, p []byte, off uint64) (int, error) {
+	total := 0
+	for {
+		chunk := p[total:]
+		if len(chunk) > wire.MaxIO {
+			chunk = chunk[:wire.MaxIO]
+		}
+		resp, err := s.call(wire.Request{Op: wire.OpPwrite, FD: fd, Data: chunk, Off: off + uint64(total)})
+		if err == nil {
+			err = resp.Err()
+		}
+		if err != nil {
+			if total > 0 {
+				return total, nil
+			}
+			return 0, err
+		}
+		total += int(resp.N)
+		if int(resp.N) < len(chunk) || total == len(p) {
+			return total, nil
+		}
+	}
+}
+
+// Seek repositions the descriptor.
+func (s *Session) Seek(fd fsapi.FD, off int64, whence int) (int64, error) {
+	resp, err := s.call(wire.Request{Op: wire.OpSeek, FD: fd, Off: uint64(off), Flags: uint32(whence)})
+	if err != nil {
+		return 0, err
+	}
+	if err := resp.Err(); err != nil {
+		return 0, err
+	}
+	return resp.Off, nil
+}
+
+// Fsync persists outstanding updates of the file.
+func (s *Session) Fsync(fd fsapi.FD) error {
+	resp, err := s.call(wire.Request{Op: wire.OpFsync, FD: fd})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Ftruncate sets the file size.
+func (s *Session) Ftruncate(fd fsapi.FD, size uint64) error {
+	resp, err := s.call(wire.Request{Op: wire.OpFtruncate, FD: fd, Off: size})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Fallocate preallocates space for [0, size).
+func (s *Session) Fallocate(fd fsapi.FD, size uint64) error {
+	resp, err := s.call(wire.Request{Op: wire.OpFallocate, FD: fd, Off: size})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Fstat stats an open descriptor.
+func (s *Session) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
+	resp, err := s.call(wire.Request{Op: wire.OpFstat, FD: fd})
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	if err := resp.Err(); err != nil {
+		return fsapi.Stat{}, err
+	}
+	return resp.Stat, nil
+}
+
+// Stat resolves a path (following symlinks) and returns its attributes.
+func (s *Session) Stat(path string) (fsapi.Stat, error) {
+	resp, err := s.call(wire.Request{Op: wire.OpStat, Path: path})
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	if err := resp.Err(); err != nil {
+		return fsapi.Stat{}, err
+	}
+	return resp.Stat, nil
+}
+
+// Lstat is Stat without following a final symlink.
+func (s *Session) Lstat(path string) (fsapi.Stat, error) {
+	resp, err := s.call(wire.Request{Op: wire.OpLstat, Path: path})
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	if err := resp.Err(); err != nil {
+		return fsapi.Stat{}, err
+	}
+	return resp.Stat, nil
+}
+
+// Mkdir creates a directory.
+func (s *Session) Mkdir(path string, perm uint32) error {
+	resp, err := s.call(wire.Request{Op: wire.OpMkdir, Path: path, Perm: perm})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Rmdir removes an empty directory.
+func (s *Session) Rmdir(path string) error {
+	resp, err := s.call(wire.Request{Op: wire.OpRmdir, Path: path})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Unlink removes a file or symlink.
+func (s *Session) Unlink(path string) error {
+	resp, err := s.call(wire.Request{Op: wire.OpUnlink, Path: path})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Rename moves old to new.
+func (s *Session) Rename(oldPath, newPath string) error {
+	resp, err := s.call(wire.Request{Op: wire.OpRename, Path: oldPath, Path2: newPath})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Symlink creates a symbolic link at linkPath pointing to target.
+func (s *Session) Symlink(target, linkPath string) error {
+	resp, err := s.call(wire.Request{Op: wire.OpSymlink, Path: target, Path2: linkPath})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Link creates a hard link at newPath for oldPath's inode.
+func (s *Session) Link(oldPath, newPath string) error {
+	resp, err := s.call(wire.Request{Op: wire.OpLink, Path: oldPath, Path2: newPath})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Readlink returns a symlink's target.
+func (s *Session) Readlink(path string) (string, error) {
+	resp, err := s.call(wire.Request{Op: wire.OpReadlink, Path: path})
+	if err != nil {
+		return "", err
+	}
+	if err := resp.Err(); err != nil {
+		return "", err
+	}
+	return resp.Str, nil
+}
+
+// ReadDir lists a directory.
+func (s *Session) ReadDir(path string) ([]fsapi.DirEntry, error) {
+	resp, err := s.call(wire.Request{Op: wire.OpReadDir, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Err(); err != nil {
+		return nil, err
+	}
+	return resp.Dir, nil
+}
+
+// Chmod updates permission bits.
+func (s *Session) Chmod(path string, perm uint32) error {
+	resp, err := s.call(wire.Request{Op: wire.OpChmod, Path: path, Perm: perm})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Utimes sets access/modification times (unix nanoseconds).
+func (s *Session) Utimes(path string, atime, mtime int64) error {
+	resp, err := s.call(wire.Request{Op: wire.OpUtimes, Path: path, Off: uint64(atime), Off2: uint64(mtime)})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Detach releases the remote client (the server closes its open
+// descriptors) and shuts the connection down.
+func (s *Session) Detach() error {
+	resp, callErr := s.call(wire.Request{Op: wire.OpDetach})
+	s.fail(ErrClosed)
+	if callErr != nil {
+		return callErr
+	}
+	return resp.Err()
+}

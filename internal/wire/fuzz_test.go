@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"simurgh/internal/fsapi"
+)
+
+// FuzzWireDecode feeds arbitrary bytes to every decoder. Whatever the
+// input: no panic, no allocation larger than the input itself (every
+// variable-length field is validated against the remaining bytes before
+// allocating), and anything that decodes cleanly must re-encode and decode
+// back to the same value (round-trip stability for all frame types).
+func FuzzWireDecode(f *testing.F) {
+	for _, r := range sampleRequests() {
+		r := r
+		f.Add(AppendRequest(nil, &r))
+	}
+	for _, r := range sampleResponses() {
+		r := r
+		f.Add(AppendResponse(nil, &r))
+	}
+	f.Add(AppendAttach(nil, fsapi.Cred{UID: 1000, GID: 1000}))
+	f.Add(AppendErrFrame(nil, ErrOverload))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Requests.
+		if req, rest, err := DecodeRequest(data); err == nil {
+			if len(req.Data) > len(data) || len(req.Path)+len(req.Path2) > len(data) {
+				t.Fatalf("decoded request larger than input: %+v", req)
+			}
+			re := AppendRequest(nil, &req)
+			again, rest2, err := DecodeRequest(re)
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded request failed: %v", err)
+			}
+			if len(rest2) != 0 {
+				t.Fatalf("re-encoded request left %d trailing bytes", len(rest2))
+			}
+			if again.ID != req.ID || again.Op != req.Op || again.Path != req.Path ||
+				again.Path2 != req.Path2 || !bytes.Equal(again.Data, req.Data) ||
+				again.Off != req.Off || again.Off2 != req.Off2 ||
+				again.FD != req.FD || again.Flags != req.Flags ||
+				again.Perm != req.Perm || again.Size != req.Size {
+				t.Fatalf("request round trip diverged:\n in %+v\nout %+v", req, again)
+			}
+			_ = rest
+		}
+		// Responses.
+		if resp, _, err := DecodeResponse(data); err == nil {
+			if len(resp.Data) > len(data) || len(resp.Dir) > len(data) {
+				t.Fatalf("decoded response larger than input: %+v", resp)
+			}
+			re := AppendResponse(nil, &resp)
+			again, rest2, err := DecodeResponse(re)
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded response failed: %v", err)
+			}
+			if len(rest2) != 0 {
+				t.Fatalf("re-encoded response left %d trailing bytes", len(rest2))
+			}
+			if again.ID != resp.ID || again.Op != resp.Op || again.Code != resp.Code ||
+				again.Str != resp.Str || !bytes.Equal(again.Data, resp.Data) ||
+				again.Stat != resp.Stat || len(again.Dir) != len(resp.Dir) {
+				t.Fatalf("response round trip diverged:\n in %+v\nout %+v", resp, again)
+			}
+		}
+		// Batches of each direction (bounded by MaxBatch internally).
+		if reqs, err := DecodeBatch(data); err == nil && len(reqs) > len(data) {
+			t.Fatalf("batch decoded %d requests from %d bytes", len(reqs), len(data))
+		}
+		if resps, err := DecodeReply(data); err == nil && len(resps) > len(data) {
+			t.Fatalf("reply decoded %d responses from %d bytes", len(resps), len(data))
+		}
+		// Handshake and error frames.
+		if cred, err := ParseAttach(data); err == nil {
+			back := AppendAttach(nil, cred)
+			if got, err := ParseAttach(back); err != nil || got != cred {
+				t.Fatalf("attach round trip: (%+v, %v)", got, err)
+			}
+		}
+		_ = ParseErrFrame(data)
+	})
+}

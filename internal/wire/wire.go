@@ -1,0 +1,670 @@
+// Package wire defines Simurgh's client/server network protocol: a compact
+// length-prefixed binary codec for every fsapi.Client operation, plus batch
+// frames that carry many operations per network round trip (AnyCall-style
+// call aggregation — one boundary crossing amortized over N small calls).
+//
+// Framing: every message on the wire is one frame,
+//
+//	u32 LE length | u8 kind | payload (length covers kind + payload)
+//
+// A connection starts with one KindAttach frame (magic, protocol version,
+// credentials); the server answers KindAttachOK or KindErr and the
+// connection then carries only KindBatch frames from the client and
+// KindReply frames from the server. A batch payload is a concatenation of
+// encoded requests; a reply payload is a concatenation of encoded
+// responses. Requests carry a connection-unique ID that the matching
+// response echoes, so replies may be matched out of order and multiple
+// batches may be pipelined on one connection.
+//
+// Decoding is hardened for untrusted input: every length field is validated
+// against both a protocol limit and the bytes actually remaining, so
+// arbitrary bytes can never cause a panic or an allocation larger than the
+// input itself (see FuzzWireDecode).
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"simurgh/internal/fsapi"
+)
+
+// Protocol limits. Decoders reject anything beyond them; clients split or
+// refuse oversized requests before they reach the wire.
+const (
+	// MaxFrame bounds one frame's kind+payload length.
+	MaxFrame = 4 << 20
+	// MaxIO bounds a single read or write payload; the client chunks
+	// larger fsapi reads and writes into MaxIO pieces.
+	MaxIO = 1 << 20
+	// MaxBatch bounds the number of operations in one batch frame.
+	MaxBatch = 4096
+	// MaxPath bounds an encoded path, symlink target, or error message.
+	MaxPath = 4096
+)
+
+// Version is the protocol version carried in the attach handshake.
+const Version = 1
+
+// magic opens the attach frame and identifies a Simurgh wire connection.
+var magic = [4]byte{'S', 'M', 'G', 'H'}
+
+// Kind discriminates frame types.
+type Kind uint8
+
+const (
+	// KindAttach is the client's handshake: magic, version, credentials.
+	KindAttach Kind = 1
+	// KindAttachOK accepts the handshake; payload is the server FS name.
+	KindAttachOK Kind = 2
+	// KindBatch carries 1..MaxBatch encoded requests.
+	KindBatch Kind = 3
+	// KindReply carries the responses of one batch.
+	KindReply Kind = 4
+	// KindErr reports a connection-level failure (bad handshake, protocol
+	// error, overload at accept); payload is an error code and message.
+	KindErr Kind = 5
+)
+
+// Op identifies one fsapi.Client operation on the wire. Zero is invalid so
+// that an all-zero buffer never decodes as a request.
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+	OpCreate
+	OpOpen
+	OpClose
+	OpRead
+	OpPread
+	OpWrite
+	OpPwrite
+	OpSeek
+	OpFsync
+	OpFtruncate
+	OpFallocate
+	OpFstat
+	OpStat
+	OpLstat
+	OpMkdir
+	OpRmdir
+	OpUnlink
+	OpRename
+	OpSymlink
+	OpLink
+	OpReadlink
+	OpReadDir
+	OpChmod
+	OpUtimes
+	OpDetach
+	// NumOps bounds the Op enum.
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	OpInvalid: "invalid", OpCreate: "create", OpOpen: "open", OpClose: "close",
+	OpRead: "read", OpPread: "pread", OpWrite: "write", OpPwrite: "pwrite",
+	OpSeek: "seek", OpFsync: "fsync", OpFtruncate: "ftruncate",
+	OpFallocate: "fallocate", OpFstat: "fstat", OpStat: "stat",
+	OpLstat: "lstat", OpMkdir: "mkdir", OpRmdir: "rmdir", OpUnlink: "unlink",
+	OpRename: "rename", OpSymlink: "symlink", OpLink: "link",
+	OpReadlink: "readlink", OpReadDir: "readdir", OpChmod: "chmod",
+	OpUtimes: "utimes", OpDetach: "detach",
+}
+
+// String returns the operation name.
+func (o Op) String() string {
+	if o < NumOps {
+		return opNames[o]
+	}
+	return "unknown"
+}
+
+// Codec-level errors (distinct from the file-system errors carried inside
+// responses).
+var (
+	// ErrFrameTooLarge reports a frame beyond MaxFrame (or an encoded
+	// message that would not fit one).
+	ErrFrameTooLarge = errors.New("wire: frame too large")
+	// ErrTruncated reports a message shorter than its own length fields
+	// claim.
+	ErrTruncated = errors.New("wire: truncated message")
+	// ErrBadMessage reports a structurally invalid message (unknown op,
+	// limit violation, bad magic).
+	ErrBadMessage = errors.New("wire: malformed message")
+	// ErrVersion reports a protocol version mismatch in the handshake.
+	ErrVersion = errors.New("wire: protocol version mismatch")
+)
+
+// Request is one decoded operation request. Field use depends on Op:
+// Path/Path2 carry paths (old/new, target/link), Off carries offsets,
+// sizes, atime or the seek offset (int64 bits), Off2 carries mtime, Flags
+// carries open flags or the seek whence, Size is the requested read length,
+// and Data is the write payload.
+type Request struct {
+	ID    uint32
+	Op    Op
+	FD    fsapi.FD
+	Flags uint32
+	Perm  uint32
+	Off   uint64
+	Off2  uint64
+	Size  uint32
+	Path  string
+	Path2 string
+	Data  []byte
+}
+
+// Response is one decoded operation response. Op echoes the request's
+// operation so responses decode without request context. Code is zero on
+// success; Msg carries a server error detail only when it adds information
+// over the code's canonical text.
+type Response struct {
+	ID   uint32
+	Op   Op
+	Code ErrCode
+	Msg  string
+	FD   fsapi.FD
+	N    uint32
+	Off  int64
+	Stat fsapi.Stat
+	Str  string
+	Data []byte
+	Dir  []fsapi.DirEntry
+}
+
+// Err returns the response's file-system error, or nil on success.
+func (r *Response) Err() error {
+	if r.Code == CodeOK {
+		return nil
+	}
+	return r.Code.Wrap(r.Msg)
+}
+
+// --- append/consume primitives -----------------------------------------
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// appendStr encodes a length-prefixed short string (u16 length).
+func appendStr(b []byte, s string) []byte {
+	b = appendU16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// appendBytes encodes a length-prefixed byte payload (u32 length).
+func appendBytes(b, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// reader consumes a message buffer; the first failed read poisons it so
+// call sites can check err once at the end.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || len(r.b) < 2 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+// str reads a u16-length-prefixed string of at most max bytes. The string
+// conversion copies, so the result does not alias the frame buffer.
+func (r *reader) str(max int) string {
+	n := int(r.u16())
+	if r.err != nil {
+		return ""
+	}
+	if n > max {
+		r.fail(fmt.Errorf("%w: string length %d > %d", ErrBadMessage, n, max))
+		return ""
+	}
+	if n > len(r.b) {
+		r.fail(ErrTruncated)
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+// bytes reads a u32-length-prefixed payload of at most max bytes, copying
+// it out of the frame buffer (frames are reused; decoded messages must not
+// alias them).
+func (r *reader) bytes(max int) []byte {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n > max {
+		r.fail(fmt.Errorf("%w: payload length %d > %d", ErrBadMessage, n, max))
+		return nil
+	}
+	if n > len(r.b) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b)
+	r.b = r.b[n:]
+	return out
+}
+
+// --- request codec ------------------------------------------------------
+
+// AppendRequest encodes r onto dst and returns the extended slice. The
+// caller is responsible for field limits (the client validates paths and
+// chunks I/O before encoding).
+func AppendRequest(dst []byte, r *Request) []byte {
+	dst = appendU32(dst, r.ID)
+	dst = append(dst, byte(r.Op))
+	switch r.Op {
+	case OpCreate:
+		dst = appendStr(dst, r.Path)
+		dst = appendU32(dst, r.Perm)
+	case OpOpen:
+		dst = appendStr(dst, r.Path)
+		dst = appendU32(dst, r.Flags)
+		dst = appendU32(dst, r.Perm)
+	case OpClose, OpFsync, OpFstat:
+		dst = appendU32(dst, uint32(r.FD))
+	case OpRead:
+		dst = appendU32(dst, uint32(r.FD))
+		dst = appendU32(dst, r.Size)
+	case OpPread:
+		dst = appendU32(dst, uint32(r.FD))
+		dst = appendU32(dst, r.Size)
+		dst = appendU64(dst, r.Off)
+	case OpWrite:
+		dst = appendU32(dst, uint32(r.FD))
+		dst = appendBytes(dst, r.Data)
+	case OpPwrite:
+		dst = appendU32(dst, uint32(r.FD))
+		dst = appendU64(dst, r.Off)
+		dst = appendBytes(dst, r.Data)
+	case OpSeek:
+		dst = appendU32(dst, uint32(r.FD))
+		dst = appendU64(dst, r.Off)
+		dst = appendU32(dst, r.Flags)
+	case OpFtruncate, OpFallocate:
+		dst = appendU32(dst, uint32(r.FD))
+		dst = appendU64(dst, r.Off)
+	case OpStat, OpLstat, OpRmdir, OpUnlink, OpReadlink, OpReadDir:
+		dst = appendStr(dst, r.Path)
+	case OpMkdir, OpChmod:
+		dst = appendStr(dst, r.Path)
+		dst = appendU32(dst, r.Perm)
+	case OpRename, OpSymlink, OpLink:
+		dst = appendStr(dst, r.Path)
+		dst = appendStr(dst, r.Path2)
+	case OpUtimes:
+		dst = appendStr(dst, r.Path)
+		dst = appendU64(dst, r.Off)
+		dst = appendU64(dst, r.Off2)
+	case OpDetach:
+	}
+	return dst
+}
+
+// DecodeRequest decodes one request from b, returning the remaining bytes.
+func DecodeRequest(b []byte) (Request, []byte, error) {
+	rd := reader{b: b}
+	var r Request
+	r.ID = rd.u32()
+	r.Op = Op(rd.u8())
+	if rd.err == nil && (r.Op == OpInvalid || r.Op >= NumOps) {
+		return Request{}, nil, fmt.Errorf("%w: bad op %d", ErrBadMessage, r.Op)
+	}
+	switch r.Op {
+	case OpCreate:
+		r.Path = rd.str(MaxPath)
+		r.Perm = rd.u32()
+	case OpOpen:
+		r.Path = rd.str(MaxPath)
+		r.Flags = rd.u32()
+		r.Perm = rd.u32()
+	case OpClose, OpFsync, OpFstat:
+		r.FD = fsapi.FD(rd.u32())
+	case OpRead:
+		r.FD = fsapi.FD(rd.u32())
+		r.Size = rd.u32()
+	case OpPread:
+		r.FD = fsapi.FD(rd.u32())
+		r.Size = rd.u32()
+		r.Off = rd.u64()
+	case OpWrite:
+		r.FD = fsapi.FD(rd.u32())
+		r.Data = rd.bytes(MaxIO)
+	case OpPwrite:
+		r.FD = fsapi.FD(rd.u32())
+		r.Off = rd.u64()
+		r.Data = rd.bytes(MaxIO)
+	case OpSeek:
+		r.FD = fsapi.FD(rd.u32())
+		r.Off = rd.u64()
+		r.Flags = rd.u32()
+	case OpFtruncate, OpFallocate:
+		r.FD = fsapi.FD(rd.u32())
+		r.Off = rd.u64()
+	case OpStat, OpLstat, OpRmdir, OpUnlink, OpReadlink, OpReadDir:
+		r.Path = rd.str(MaxPath)
+	case OpMkdir, OpChmod:
+		r.Path = rd.str(MaxPath)
+		r.Perm = rd.u32()
+	case OpRename, OpSymlink, OpLink:
+		r.Path = rd.str(MaxPath)
+		r.Path2 = rd.str(MaxPath)
+	case OpUtimes:
+		r.Path = rd.str(MaxPath)
+		r.Off = rd.u64()
+		r.Off2 = rd.u64()
+	case OpDetach:
+	}
+	if rd.err != nil {
+		return Request{}, nil, rd.err
+	}
+	if r.Size > MaxIO {
+		return Request{}, nil, fmt.Errorf("%w: read size %d > %d", ErrBadMessage, r.Size, MaxIO)
+	}
+	return r, rd.b, nil
+}
+
+// DecodeBatch decodes a KindBatch payload into its requests (at most
+// MaxBatch).
+func DecodeBatch(payload []byte) ([]Request, error) {
+	var reqs []Request
+	for len(payload) > 0 {
+		if len(reqs) >= MaxBatch {
+			return nil, fmt.Errorf("%w: batch exceeds %d ops", ErrBadMessage, MaxBatch)
+		}
+		r, rest, err := DecodeRequest(payload)
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, r)
+		payload = rest
+	}
+	return reqs, nil
+}
+
+// --- response codec -----------------------------------------------------
+
+func appendStat(dst []byte, st *fsapi.Stat) []byte {
+	dst = appendU64(dst, st.Ino)
+	dst = appendU32(dst, st.Mode)
+	dst = appendU32(dst, st.UID)
+	dst = appendU32(dst, st.GID)
+	dst = appendU32(dst, st.Nlink)
+	dst = appendU64(dst, st.Size)
+	dst = appendU64(dst, uint64(st.Atime))
+	dst = appendU64(dst, uint64(st.Mtime))
+	dst = appendU64(dst, uint64(st.Ctime))
+	return dst
+}
+
+func (r *reader) stat() fsapi.Stat {
+	return fsapi.Stat{
+		Ino: r.u64(), Mode: r.u32(), UID: r.u32(), GID: r.u32(),
+		Nlink: r.u32(), Size: r.u64(),
+		Atime: int64(r.u64()), Mtime: int64(r.u64()), Ctime: int64(r.u64()),
+	}
+}
+
+// dirEntryMinSize is the smallest encoded directory entry (empty name):
+// u16 name length + u64 ino + u32 mode. Decoders bound entry-count
+// allocations with it.
+const dirEntryMinSize = 2 + 8 + 4
+
+// AppendResponse encodes r onto dst and returns the extended slice.
+func AppendResponse(dst []byte, r *Response) []byte {
+	dst = appendU32(dst, r.ID)
+	dst = append(dst, byte(r.Op))
+	dst = append(dst, byte(r.Code))
+	if r.Code != CodeOK {
+		return appendStr(dst, r.Msg)
+	}
+	switch r.Op {
+	case OpCreate, OpOpen:
+		dst = appendU32(dst, uint32(r.FD))
+	case OpRead, OpPread:
+		dst = appendBytes(dst, r.Data)
+	case OpWrite, OpPwrite:
+		dst = appendU32(dst, r.N)
+	case OpSeek:
+		dst = appendU64(dst, uint64(r.Off))
+	case OpFstat, OpStat, OpLstat:
+		dst = appendStat(dst, &r.Stat)
+	case OpReadlink:
+		dst = appendStr(dst, r.Str)
+	case OpReadDir:
+		dst = appendU32(dst, uint32(len(r.Dir)))
+		for i := range r.Dir {
+			dst = appendStr(dst, r.Dir[i].Name)
+			dst = appendU64(dst, r.Dir[i].Ino)
+			dst = appendU32(dst, r.Dir[i].Mode)
+		}
+	}
+	return dst
+}
+
+// DecodeResponse decodes one response from b, returning the remaining
+// bytes.
+func DecodeResponse(b []byte) (Response, []byte, error) {
+	rd := reader{b: b}
+	var r Response
+	r.ID = rd.u32()
+	r.Op = Op(rd.u8())
+	r.Code = ErrCode(rd.u8())
+	if rd.err == nil && (r.Op == OpInvalid || r.Op >= NumOps) {
+		return Response{}, nil, fmt.Errorf("%w: bad op %d", ErrBadMessage, r.Op)
+	}
+	if r.Code != CodeOK {
+		r.Msg = rd.str(MaxPath)
+		if rd.err != nil {
+			return Response{}, nil, rd.err
+		}
+		return r, rd.b, nil
+	}
+	switch r.Op {
+	case OpCreate, OpOpen:
+		r.FD = fsapi.FD(rd.u32())
+	case OpRead, OpPread:
+		r.Data = rd.bytes(MaxIO)
+	case OpWrite, OpPwrite:
+		r.N = rd.u32()
+	case OpSeek:
+		r.Off = int64(rd.u64())
+	case OpFstat, OpStat, OpLstat:
+		r.Stat = rd.stat()
+	case OpReadlink:
+		r.Str = rd.str(MaxPath)
+	case OpReadDir:
+		n := int(rd.u32())
+		if rd.err == nil && n > len(rd.b)/dirEntryMinSize {
+			return Response{}, nil, fmt.Errorf("%w: dir entry count %d beyond payload", ErrBadMessage, n)
+		}
+		if rd.err == nil && n > 0 {
+			r.Dir = make([]fsapi.DirEntry, 0, n)
+			for i := 0; i < n; i++ {
+				r.Dir = append(r.Dir, fsapi.DirEntry{
+					Name: rd.str(fsapi.MaxNameLen), Ino: rd.u64(), Mode: rd.u32(),
+				})
+			}
+		}
+	}
+	if rd.err != nil {
+		return Response{}, nil, rd.err
+	}
+	return r, rd.b, nil
+}
+
+// DecodeReply decodes a KindReply payload into its responses (at most
+// MaxBatch).
+func DecodeReply(payload []byte) ([]Response, error) {
+	var resps []Response
+	for len(payload) > 0 {
+		if len(resps) >= MaxBatch {
+			return nil, fmt.Errorf("%w: reply exceeds %d responses", ErrBadMessage, MaxBatch)
+		}
+		r, rest, err := DecodeResponse(payload)
+		if err != nil {
+			return nil, err
+		}
+		resps = append(resps, r)
+		payload = rest
+	}
+	return resps, nil
+}
+
+// --- handshake and connection-level errors ------------------------------
+
+// AppendAttach encodes the attach handshake payload.
+func AppendAttach(dst []byte, cred fsapi.Cred) []byte {
+	dst = append(dst, magic[:]...)
+	dst = append(dst, Version)
+	dst = appendU32(dst, cred.UID)
+	dst = appendU32(dst, cred.GID)
+	return dst
+}
+
+// ParseAttach validates and decodes an attach payload.
+func ParseAttach(payload []byte) (fsapi.Cred, error) {
+	rd := reader{b: payload}
+	var m [4]byte
+	m[0], m[1], m[2], m[3] = rd.u8(), rd.u8(), rd.u8(), rd.u8()
+	v := rd.u8()
+	cred := fsapi.Cred{UID: rd.u32(), GID: rd.u32()}
+	if rd.err != nil {
+		return fsapi.Cred{}, rd.err
+	}
+	if m != magic {
+		return fsapi.Cred{}, fmt.Errorf("%w: bad magic", ErrBadMessage)
+	}
+	if v != Version {
+		return fsapi.Cred{}, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+	}
+	return cred, nil
+}
+
+// AppendErrFrame encodes a KindErr payload.
+func AppendErrFrame(dst []byte, err error) []byte {
+	code := CodeOf(err)
+	dst = append(dst, byte(code))
+	return appendStr(dst, err.Error())
+}
+
+// ParseErrFrame decodes a KindErr payload into the error it carries.
+func ParseErrFrame(payload []byte) error {
+	rd := reader{b: payload}
+	code := ErrCode(rd.u8())
+	msg := rd.str(MaxPath)
+	if rd.err != nil {
+		return rd.err
+	}
+	return code.Wrap(msg)
+}
+
+// --- framing ------------------------------------------------------------
+
+// WriteFrame writes one frame (header, kind, payload) to w. Callers
+// batching many frames should hand WriteFrame a *bufio.Writer and flush
+// once per frame group.
+func WriteFrame(w io.Writer, kind Kind, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = byte(kind)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// FrameReader reads frames from a connection, reusing one payload buffer.
+type FrameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps r for frame-at-a-time reading.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next reads one frame and returns its kind and payload. The payload
+// aliases an internal buffer that the next call overwrites; decoders copy
+// variable-length fields, so decoded messages are safe to retain.
+func (fr *FrameReader) Next() (Kind, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("%w: empty frame", ErrBadMessage)
+	}
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	if uint32(cap(fr.buf)) < n {
+		fr.buf = make([]byte, n)
+	}
+	buf := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, buf); err != nil {
+		return 0, nil, err
+	}
+	return Kind(buf[0]), buf[1:], nil
+}
