@@ -13,8 +13,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	iofs "io/fs"
 	"log"
 	"net"
 	"os"
@@ -48,7 +50,15 @@ func main() {
 	var dev *pmem.Device
 	var fs *core.FS
 	if *image != "" {
-		if f, err := os.Open(*image); err == nil {
+		f, err := os.Open(*image)
+		if err != nil {
+			// Formatting fresh is only right when there is no image yet; an
+			// unreadable existing image must not be overwritten with an
+			// empty volume at exit.
+			if !errors.Is(err, iofs.ErrNotExist) {
+				fatal(err)
+			}
+		} else {
 			d, err := pmem.ReadImage(f)
 			f.Close()
 			if err != nil {

@@ -7,8 +7,10 @@
 // Batches are the unit of scheduling: a KindBatch frame is decoded by the
 // connection's reader goroutine and handed to a bounded worker pool; the
 // worker executes the batch's operations sequentially in order (so a client
-// may batch dependent calls like create→write→close) and writes one
-// KindReply frame. Concurrency comes from connections and from pipelining:
+// may batch dependent calls like create→write→close) and writes the reply
+// in one or more KindReply frames (several, when the responses — say many
+// coalesced MaxIO reads — would overflow a single frame). Concurrency comes
+// from connections and from pipelining:
 // a client may send further batches before earlier replies arrive, and
 // independent batches of one connection may execute on different workers.
 //
@@ -177,14 +179,21 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		s.m.connsAccepted.Add(1)
 		s.mu.Lock()
-		over := len(s.conns) >= s.cfg.MaxConns || s.draining.Load()
+		draining := s.draining.Load()
+		over := len(s.conns) >= s.cfg.MaxConns || draining
 		if !over {
 			s.conns[conn] = struct{}{}
 		}
 		s.mu.Unlock()
 		if over {
 			s.m.connsRejected.Add(1)
-			s.refuse(conn, wire.ErrOverload)
+			// Over-limit connections may retry; a draining server is going
+			// away, so tell those clients not to.
+			reason := error(wire.ErrOverload)
+			if draining {
+				reason = wire.ErrShutdown
+			}
+			s.refuse(conn, reason)
 			continue
 		}
 		s.m.connsActive.Add(1)
@@ -335,20 +344,44 @@ func (s *Server) worker() {
 	}
 }
 
+// replyBudget bounds one KindReply payload so the frame (kind byte plus
+// payload) always fits MaxFrame. A batch whose responses exceed it — e.g.
+// several coalesced MaxIO reads — is split across multiple reply frames;
+// request IDs let the client match each partial reply.
+const replyBudget = wire.MaxFrame - 1
+
 // runBatch executes one batch's operations in order against the session's
-// client and writes the single reply frame.
+// client and writes the reply frames, splitting whenever the accumulated
+// responses would overflow one frame.
 func (s *Server) runBatch(j *job) {
 	defer j.sess.inflight.Done()
-	var payload []byte
+	var payload, one []byte
 	for i := range j.reqs {
 		resp := execute(j.sess.client, &j.reqs[i])
-		ns := uint64(time.Since(j.enq))
-		s.m.requestNs.observe(ns)
+		one = wire.AppendResponse(one[:0], &resp)
+		if len(one) > replyBudget {
+			// A single response no frame can carry (an enormous directory
+			// listing): answer that request with an error instead of
+			// tearing the connection down on an unwritable frame.
+			code := wire.CodeOf(wire.ErrFrameTooLarge)
+			resp = wire.Response{ID: j.reqs[i].ID, Op: j.reqs[i].Op,
+				Code: code, Msg: wire.MsgFor(code, wire.ErrFrameTooLarge)}
+			one = wire.AppendResponse(one[:0], &resp)
+		}
+		s.m.requestNs.observe(uint64(time.Since(j.enq)))
 		s.m.requests.Add(1)
 		if resp.Code != wire.CodeOK {
 			s.m.requestErrors.Add(1)
 		}
-		payload = wire.AppendResponse(payload, &resp)
+		if len(payload) > 0 && len(payload)+len(one) > replyBudget {
+			if err := s.writeReply(j.sess, payload); err != nil {
+				s.cfg.Logf("server: reply to %s failed: %v", j.sess.conn.RemoteAddr(), err)
+				j.sess.conn.Close() // unwedge the reader; the session is dead
+				return
+			}
+			payload = payload[:0]
+		}
+		payload = append(payload, one...)
 	}
 	if err := s.writeReply(j.sess, payload); err != nil {
 		s.cfg.Logf("server: reply to %s failed: %v", j.sess.conn.RemoteAddr(), err)

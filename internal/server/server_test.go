@@ -187,6 +187,64 @@ func TestMetricsOutput(t *testing.T) {
 	}
 }
 
+// TestLargeBatchReplySplits verifies a batch whose responses exceed one
+// frame (five MaxIO preads: >5 MiB of reply against a 4 MiB MaxFrame) is
+// answered across multiple reply frames instead of killing the session.
+func TestLargeBatchReplySplits(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	remote, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	cl, err := remote.Attach(fsapi.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := cl.(*client.Session)
+	defer sess.Detach()
+
+	data := make([]byte, wire.MaxIO)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	wfd, err := sess.Create("/big", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Pwrite(wfd, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(wfd); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := sess.Open("/big", fsapi.ORdonly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reqs := make([]wire.Request, 5)
+	for i := range reqs {
+		reqs[i] = wire.Request{Op: wire.OpPread, FD: fd, Size: wire.MaxIO}
+	}
+	resps, err := sess.Submit(reqs)
+	if err != nil {
+		t.Fatalf("Submit of %d MaxIO preads: %v", len(reqs), err)
+	}
+	for i, r := range resps {
+		if r.Code != wire.CodeOK {
+			t.Fatalf("pread %d failed: %v", i, r.Err())
+		}
+		if len(r.Data) != wire.MaxIO || r.Data[wire.MaxIO-1] != data[wire.MaxIO-1] {
+			t.Fatalf("pread %d returned %d bytes, want %d", i, len(r.Data), wire.MaxIO)
+		}
+	}
+	// The session must still be live after the multi-frame reply.
+	if err := sess.Close(fd); err != nil {
+		t.Fatalf("session dead after split reply: %v", err)
+	}
+}
+
 // TestSequentialBatchSemantics checks a dependent create→write→close→stat
 // chain works inside one batch frame (in-order execution).
 func TestSequentialBatchSemantics(t *testing.T) {

@@ -297,6 +297,14 @@ func (s *Session) Submit(reqs []wire.Request) ([]wire.Response, error) {
 	if len(reqs) > wire.MaxBatch {
 		return nil, fmt.Errorf("%w: %d requests > %d", wire.ErrBadMessage, len(reqs), wire.MaxBatch)
 	}
+	// Oversized paths are refused here, before any bytes hit the wire: the
+	// server's decoder would reject them as a protocol error and tear down
+	// the whole connection (and paths beyond uint16 would not even encode).
+	for i := range reqs {
+		if len(reqs[i].Path) > wire.MaxPath || len(reqs[i].Path2) > wire.MaxPath {
+			return nil, fsapi.ErrNameTooLong
+		}
+	}
 	if err := s.err(); err != nil {
 		return nil, err
 	}
@@ -304,9 +312,19 @@ func (s *Session) Submit(reqs []wire.Request) ([]wire.Response, error) {
 	var payload []byte
 	s.mu.Lock()
 	for i := range reqs {
-		reqs[i].ID = s.seq.Add(1)
+		// IDs are uint32 on the wire, so a long-lived session's counter can
+		// wrap; skip past any ID still pending so a reply is never routed
+		// to the wrong waiter.
+		id := s.seq.Add(1)
+		for {
+			if _, busy := s.pending[id]; !busy {
+				break
+			}
+			id = s.seq.Add(1)
+		}
+		reqs[i].ID = id
 		chans[i] = make(chan wire.Response, 1)
-		s.pending[reqs[i].ID] = chans[i]
+		s.pending[id] = chans[i]
 		payload = wire.AppendRequest(payload, &reqs[i])
 	}
 	s.mu.Unlock()

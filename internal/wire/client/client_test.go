@@ -3,6 +3,7 @@ package client_test
 import (
 	"errors"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 
@@ -205,6 +206,33 @@ func TestLargeIOChunks(t *testing.T) {
 	}
 	if err := c.Close(fd); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestOversizedPathRejectedLocally verifies paths beyond wire.MaxPath are
+// refused client-side with ErrNameTooLong — the server's decoder would
+// treat them as a protocol error and tear down the whole connection — and
+// that the session stays usable afterwards.
+func TestOversizedPathRejectedLocally(t *testing.T) {
+	remote := serve(t)
+	c, err := remote.Attach(fsapi.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Detach()
+	// Just over the protocol limit, and beyond what a u16 length can even
+	// encode: both must fail locally without touching the connection.
+	for _, n := range []int{wire.MaxPath + 1, 1 << 17} {
+		path := "/" + strings.Repeat("x", n)
+		if _, err := c.Stat(path); !errors.Is(err, fsapi.ErrNameTooLong) {
+			t.Fatalf("Stat(len %d) = %v, want ErrNameTooLong", len(path), err)
+		}
+		if err := c.Rename("/ok", path); !errors.Is(err, fsapi.ErrNameTooLong) {
+			t.Fatalf("Rename to len %d = %v, want ErrNameTooLong", len(path), err)
+		}
+	}
+	if _, err := c.Stat("/"); err != nil {
+		t.Fatalf("session dead after local rejection: %v", err)
 	}
 }
 
