@@ -77,6 +77,8 @@ func main() {
 		err = runServe(args)
 	case "net":
 		err = runNet(args)
+	case "rep":
+		err = runRep(args)
 	case "ablation":
 		err = runAblation(args)
 	case "all":
@@ -92,7 +94,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: simurghbench <isa|micro|fig6|filebench|ycsb|breakdown|tar|git|recovery|serve|net|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: simurghbench <isa|micro|fig6|filebench|ycsb|breakdown|tar|git|recovery|serve|net|rep|all> [flags]`)
 }
 
 func parseThreads(s string) []int {
@@ -768,7 +770,7 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := export.Serve(*addr, vol.Stats, reg)
+	srv, err := export.Serve(*addr, vol.Stats, nil, reg)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,370 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"simurgh/internal/core"
+	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
+	"simurgh/internal/pmem"
+	"simurgh/internal/replica"
+	"simurgh/internal/server"
+	"simurgh/internal/wire"
+	"simurgh/internal/wire/client"
+)
+
+// runRep measures and exercises primary–backup replication. Without -addr
+// it runs the overhead comparison: the same in-process workload against a
+// standalone server and against a quorum=1 primary+backup pair, reporting
+// the replication tax on both the read-mostly net point (stat, which never
+// leaves the primary) and a pure-mutation point (pwrite, which pays a
+// quorum ack per reply flush). With -addr it drives acknowledged writes
+// against a live group and verifies, after the run (and any failover the
+// operator caused mid-run), that every acknowledged write is readable —
+// the zero-acked-write-loss check the CI smoke job kills a primary under.
+func runRep(args []string) error {
+	fs := flag.NewFlagSet("rep", flag.ExitOnError)
+	addr := fs.String("addr", "", "drive a live group at this comma-separated address list instead of in-process servers")
+	conns := fs.Int("conns", 8, "concurrent sessions")
+	batch := fs.Int("batch", 32, "requests per Submit")
+	dur := fs.Duration("duration", time.Second, "measurement time per point (in-process) or write-drive time (-addr)")
+	files := fs.Int("files", 64, "files the stat workload cycles over")
+	jsonOut := fs.String("json", "", "also write results as JSON to this file")
+	fs.Parse(args)
+
+	if *addr != "" {
+		return repLive(*addr, *conns, *dur)
+	}
+	return repOverhead(*conns, *batch, *dur, *files, *jsonOut)
+}
+
+// repVolume formats one in-process volume.
+func repVolume() (*pmem.Device, *core.FS, error) {
+	dev := pmem.New(256 << 20)
+	vol, err := core.Format(dev, fsapi.Root, core.Options{})
+	return dev, vol, err
+}
+
+// repServe starts a wire server on loopback and returns its address.
+func repServe(cfg server.Config) (*server.Server, string, error) {
+	srv, err := server.New(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+func repOverhead(conns, batch int, dur time.Duration, files int, jsonOut string) error {
+	fmt.Printf("## Replication overhead (quorum=1, in-process pair vs standalone)\n")
+
+	measure := func(target string) (stat, write netPointJSON, err error) {
+		remote, err := client.Dial(target, client.Options{})
+		if err != nil {
+			return stat, write, err
+		}
+		defer remote.Close()
+		paths, err := netPopulate(remote, files)
+		if err != nil {
+			return stat, write, err
+		}
+		if stat, err = netPoint(remote, paths, conns, batch, dur); err != nil {
+			return stat, write, err
+		}
+		write, err = repWritePoint(remote, conns, batch, dur)
+		return stat, write, err
+	}
+
+	// Standalone baseline.
+	_, vol, err := repVolume()
+	if err != nil {
+		return err
+	}
+	srv, target, err := repServe(server.Config{FS: vol})
+	if err != nil {
+		return err
+	}
+	baseStat, baseWrite, err := measure(target)
+	srv.Shutdown()
+	if err != nil {
+		return err
+	}
+
+	// Quorum=1 pair: a primary shipping to one in-process backup.
+	pdev, pvol, err := repVolume()
+	if err != nil {
+		return err
+	}
+	quiet := func(string, ...any) {}
+	pnode := replica.NewPrimary(pvol, replica.Config{
+		Quorum: 1,
+		Logf:   quiet,
+		Snapshot: func(w io.Writer) error {
+			_, err := pdev.WriteTo(w)
+			return err
+		},
+	})
+	psrv, ptarget, err := repServe(server.Config{FS: pvol, Replica: pnode})
+	if err != nil {
+		return err
+	}
+	bnode := replica.NewBackup(replica.Config{
+		PrimaryAddr: ptarget,
+		Logf:        quiet,
+		Restore: func(img []byte) (fsapi.FileSystem, error) {
+			d, err := pmem.ReadImage(bytes.NewReader(img))
+			if err != nil {
+				return nil, err
+			}
+			fs, _, err := core.Mount(d, core.Options{})
+			return fs, err
+		},
+	})
+	defer bnode.Close()
+	for deadline := time.Now().Add(10 * time.Second); pnode.Backups() == 0; {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("rep: backup never joined")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	repStat, repWrite, err := measure(ptarget)
+	psrv.Shutdown()
+	pnode.Close()
+	if err != nil {
+		return err
+	}
+
+	tax := func(base, rep float64) float64 {
+		if base <= 0 {
+			return 0
+		}
+		return (1 - rep/base) * 100
+	}
+	fmt.Printf("%-22s %12s %12s %10s\n", "point", "standalone", "replicated", "overhead")
+	fmt.Printf("%-22s %12.0f %12.0f %9.1f%%\n",
+		fmt.Sprintf("stat conns=%d batch=%d", conns, batch),
+		baseStat.OpsPerSec, repStat.OpsPerSec, tax(baseStat.OpsPerSec, repStat.OpsPerSec))
+	fmt.Printf("%-22s %12.0f %12.0f %9.1f%%\n",
+		fmt.Sprintf("pwrite conns=%d batch=%d", conns, batch),
+		baseWrite.OpsPerSec, repWrite.OpsPerSec, tax(baseWrite.OpsPerSec, repWrite.OpsPerSec))
+
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(struct {
+			Suite             string       `json:"suite"`
+			Quorum            int          `json:"quorum"`
+			DurationMs        int64        `json:"duration_ms"`
+			StandaloneStat    netPointJSON `json:"standalone_stat"`
+			ReplicatedStat    netPointJSON `json:"replicated_stat"`
+			StatOverheadPct   float64      `json:"stat_overhead_pct"`
+			StandalonePwrite  netPointJSON `json:"standalone_pwrite"`
+			ReplicatedPwrite  netPointJSON `json:"replicated_pwrite"`
+			PwriteOverheadPct float64      `json:"pwrite_overhead_pct"`
+		}{
+			Suite: "rep", Quorum: 1, DurationMs: dur.Milliseconds(),
+			StandaloneStat: baseStat, ReplicatedStat: repStat,
+			StatOverheadPct:  tax(baseStat.OpsPerSec, repStat.OpsPerSec),
+			StandalonePwrite: baseWrite, ReplicatedPwrite: repWrite,
+			PwriteOverheadPct: tax(baseWrite.OpsPerSec, repWrite.OpsPerSec),
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonOut)
+	}
+	return nil
+}
+
+// repWritePoint drives conns sessions, each submitting batches of pwrites
+// to its own file — every request is a replicated mutation, so the point
+// measures the log/quorum path with no read dilution.
+func repWritePoint(remote *client.Remote, conns, batch int, dur time.Duration) (netPointJSON, error) {
+	sessions := make([]*client.Session, conns)
+	fds := make([]fsapi.FD, conns)
+	for i := range sessions {
+		c, err := remote.Attach(fsapi.Root)
+		if err != nil {
+			return netPointJSON{}, err
+		}
+		sessions[i] = c.(*client.Session)
+		defer sessions[i].Detach()
+		fd, err := c.Create(fmt.Sprintf("/bench/wr%03d", i), 0o644)
+		if err != nil {
+			return netPointJSON{}, err
+		}
+		fds[i] = fd
+	}
+
+	type connResult struct {
+		ops  uint64
+		hist obs.Histogram
+		err  error
+	}
+	results := make([]connResult, conns)
+	run := func(stopAt time.Time, record bool) {
+		var wg sync.WaitGroup
+		for ci := range sessions {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				sess, fd, res := sessions[ci], fds[ci], &results[ci]
+				reqs := make([]wire.Request, batch)
+				payload := []byte("0123456789abcdef")
+				var off uint64
+				for time.Now().Before(stopAt) {
+					for j := range reqs {
+						reqs[j] = wire.Request{Op: wire.OpPwrite, FD: fd, Data: payload,
+							Off: (off % 4096) * uint64(len(payload))}
+						off++
+					}
+					t0 := time.Now()
+					resps, err := sess.Submit(reqs)
+					if err != nil {
+						res.err = err
+						return
+					}
+					if record {
+						res.hist.Observe(uint64(time.Since(t0)))
+						res.ops += uint64(len(resps))
+					}
+				}
+			}(ci)
+		}
+		wg.Wait()
+	}
+	run(time.Now().Add(dur/10), false)
+	start := time.Now()
+	run(start.Add(dur), true)
+	elapsed := time.Since(start)
+
+	pt := netPointJSON{Conns: conns, Batch: batch, ElapsedNs: elapsed.Nanoseconds()}
+	var hist obs.Histogram
+	for i := range results {
+		if results[i].err != nil {
+			return netPointJSON{}, results[i].err
+		}
+		pt.Ops += results[i].ops
+		hist = hist.Add(results[i].hist)
+	}
+	pt.OpsPerSec = float64(pt.Ops) / elapsed.Seconds()
+	pt.P50Ns = hist.Percentile(0.50)
+	pt.P95Ns = hist.Percentile(0.95)
+	pt.P99Ns = hist.Percentile(0.99)
+	return pt, nil
+}
+
+// repLive drives acknowledged writes against a live group for dur — the
+// operator (or CI) kills the primary mid-run — then re-reads every file
+// and fails unless each acknowledged write is present. Each worker owns
+// one file and appends monotonically numbered 8-byte records with Pwrite;
+// a record counts only once its response arrives.
+func repLive(addr string, workers int, dur time.Duration) error {
+	remote, err := client.Dial(addr, client.Options{FailoverTimeout: 30 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer remote.Close()
+
+	setup, err := remote.Attach(fsapi.Root)
+	if err != nil {
+		return err
+	}
+	if err := setup.Mkdir("/replive", 0o755); err != nil && err != fsapi.ErrExist {
+		return err
+	}
+	setup.Detach()
+
+	type result struct {
+		acked uint64
+		err   error
+	}
+	results := make([]result, workers)
+	stopAt := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			res := &results[wi]
+			c, err := remote.Attach(fsapi.Root)
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer c.Detach()
+			fd, err := c.Open(fmt.Sprintf("/replive/w%03d", wi), fsapi.OCreate|fsapi.ORdwr, 0o644)
+			if err != nil {
+				res.err = err
+				return
+			}
+			var rec [8]byte
+			for time.Now().Before(stopAt) {
+				binary.LittleEndian.PutUint64(rec[:], res.acked)
+				if _, err := c.Pwrite(fd, rec[:], res.acked*8); err != nil {
+					res.err = fmt.Errorf("write %d: %w", res.acked, err)
+					return
+				}
+				res.acked++
+			}
+		}(wi)
+	}
+	wg.Wait()
+
+	var totalAcked, totalLost uint64
+	verify, err := remote.Attach(fsapi.Root)
+	if err != nil {
+		return err
+	}
+	defer verify.Detach()
+	for wi := 0; wi < workers; wi++ {
+		if results[wi].err != nil {
+			return fmt.Errorf("worker %d: %w", wi, results[wi].err)
+		}
+		totalAcked += results[wi].acked
+		fd, err := verify.Open(fmt.Sprintf("/replive/w%03d", wi), fsapi.ORdonly, 0)
+		if err != nil {
+			return fmt.Errorf("verify open w%03d: %w", wi, err)
+		}
+		buf := make([]byte, results[wi].acked*8)
+		n, err := verify.Pread(fd, buf, 0)
+		if err != nil {
+			return fmt.Errorf("verify read w%03d: %w", wi, err)
+		}
+		for rec := uint64(0); rec < results[wi].acked; rec++ {
+			if uint64(n) < (rec+1)*8 ||
+				binary.LittleEndian.Uint64(buf[rec*8:]) != rec {
+				totalLost++
+			}
+		}
+		verify.Close(fd)
+	}
+
+	st := remote.Stats()
+	fmt.Printf("acked=%d lost=%d failovers=%d replays=%d redirects=%d\n",
+		totalAcked, totalLost, st.Failovers, st.Replays, st.Redirects)
+	if totalLost > 0 {
+		return fmt.Errorf("rep: %d acknowledged writes lost", totalLost)
+	}
+	return nil
+}

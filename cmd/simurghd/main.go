@@ -5,23 +5,34 @@
 //
 //	simurghd                                fresh in-memory volume on :9190
 //	simurghd -image vol.img                 open (and on exit save) an image
-//	simurghd -metrics 127.0.0.1:9180        also export /metrics over HTTP
+//	simurghd -metrics 127.0.0.1:9180        also export /metrics and /healthz
 //	simurghd -duration 30s                  exit (gracefully) after 30s
+//
+// Replicated serving: a second daemon started with -join enlists as a
+// backup — it receives a snapshot, follows the primary's log, and promotes
+// itself when the primary's heartbeats stop. Clients dial the whole group
+// ("addr1,addr2") and fail over automatically.
+//
+//	simurghd -addr :9190                            the primary
+//	simurghd -addr :9191 -join 127.0.0.1:9190       a backup
 //
 // SIGINT/SIGTERM drain gracefully: in-flight batches reply, then the
 // process exits (saving the image if one was given).
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	iofs "io/fs"
 	"log"
 	"net"
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -30,6 +41,7 @@ import (
 	"simurgh/internal/fsapi"
 	"simurgh/internal/obs"
 	"simurgh/internal/pmem"
+	"simurgh/internal/replica"
 	"simurgh/internal/server"
 )
 
@@ -37,80 +49,179 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:9190", "listen address for the wire protocol")
 	size := flag.Uint64("size", 256<<20, "volume size for fresh volumes")
 	image := flag.String("image", "", "volume image to open and save on exit")
-	metrics := flag.String("metrics", "", "serve /metrics (volume + server series) on this host:port")
+	metrics := flag.String("metrics", "", "serve /metrics and /healthz on this host:port")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "batch-execution worker pool size")
 	maxConns := flag.Int("max-conns", 256, "maximum concurrent client connections")
 	deadline := flag.Duration("deadline", 5*time.Second, "queue-admission deadline before a batch is refused as overloaded")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown wait before stragglers are cut")
 	duration := flag.Duration("duration", 0, "serve for this long then drain and exit (0 = until signalled)")
+	join := flag.String("join", "", "run as a backup of this primary (host:port)")
+	advertise := flag.String("advertise", "", "address clients and backups reach this node at (default -addr)")
+	quorum := flag.Int("quorum", 1, "backups that must apply a write before the client is acknowledged")
+	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "primary heartbeat interval")
+	failover := flag.Duration("failover", 2*time.Second, "backup promotes itself after this long without primary contact")
+	noAutoPromote := flag.Bool("no-auto-promote", false, "backups wait for an explicit promote instead of self-promoting")
+	noReplication := flag.Bool("no-replication", false, "serve standalone: no replication layer, no joins accepted")
 	flag.Parse()
+
+	if *advertise == "" {
+		*advertise = *addr
+	}
+	if *join != "" && *image != "" {
+		fatal(errors.New("-image cannot be combined with -join: a backup's volume arrives with the snapshot"))
+	}
+	if *join != "" && *noReplication {
+		fatal(errors.New("-join requires the replication layer"))
+	}
 
 	reg := obs.NewRegistry()
 
-	var dev *pmem.Device
-	var fs *core.FS
-	if *image != "" {
-		f, err := os.Open(*image)
-		if err != nil {
-			// Formatting fresh is only right when there is no image yet; an
-			// unreadable existing image must not be overwritten with an
-			// empty volume at exit.
-			if !errors.Is(err, iofs.ErrNotExist) {
-				fatal(err)
+	// curDev/curFS track the live volume: the formatted/opened one on a
+	// primary, the latest restored snapshot on a backup. The replication
+	// callbacks and the exporter read through them.
+	var curDev atomic.Pointer[pmem.Device]
+	var curFS atomic.Pointer[core.FS]
+
+	openVolume := func() {
+		var dev *pmem.Device
+		var fs *core.FS
+		if *image != "" {
+			f, err := os.Open(*image)
+			if err != nil {
+				// Formatting fresh is only right when there is no image yet;
+				// an unreadable existing image must not be overwritten with
+				// an empty volume at exit.
+				if !errors.Is(err, iofs.ErrNotExist) {
+					fatal(err)
+				}
+			} else {
+				d, err := pmem.ReadImage(f)
+				f.Close()
+				if err != nil {
+					fatal(err)
+				}
+				mounted, stats, err := core.Mount(d, core.Options{Obs: reg})
+				if err != nil {
+					fatal(err)
+				}
+				if !stats.WasClean {
+					log.Printf("recovered unclean volume in %v (%d repairs)",
+						stats.Elapsed, stats.FixedSlots+stats.FixedCreates+stats.FixedRenames+stats.FixedLogs)
+				}
+				dev, fs = d, mounted
 			}
-		} else {
-			d, err := pmem.ReadImage(f)
-			f.Close()
+		}
+		if fs == nil {
+			dev = pmem.New(*size)
+			formatted, err := core.Format(dev, fsapi.Root, core.Options{Obs: reg})
 			if err != nil {
 				fatal(err)
 			}
-			mounted, stats, err := core.Mount(d, core.Options{Obs: reg})
-			if err != nil {
-				fatal(err)
-			}
-			if !stats.WasClean {
-				log.Printf("recovered unclean volume in %v (%d repairs)",
-					stats.Elapsed, stats.FixedSlots+stats.FixedCreates+stats.FixedRenames+stats.FixedLogs)
-			}
-			dev, fs = d, mounted
+			fs = formatted
 		}
-	}
-	if fs == nil {
-		dev = pmem.New(*size)
-		formatted, err := core.Format(dev, fsapi.Root, core.Options{Obs: reg})
-		if err != nil {
-			fatal(err)
-		}
-		fs = formatted
+		curDev.Store(dev)
+		curFS.Store(fs)
 	}
 
-	srv, err := server.New(server.Config{
-		FS:             fs,
+	repCfg := replica.Config{
+		Advertise:         *advertise,
+		Quorum:            *quorum,
+		PrimaryAddr:       *join,
+		HeartbeatInterval: *heartbeat,
+		FailoverGrace:     *failover,
+		AutoPromote:       !*noAutoPromote,
+		Logf:              log.Printf,
+		Snapshot: func(w io.Writer) error {
+			_, err := curDev.Load().WriteTo(w)
+			return err
+		},
+		Restore: func(img []byte) (fsapi.FileSystem, error) {
+			d, err := pmem.ReadImage(bytes.NewReader(img))
+			if err != nil {
+				return nil, err
+			}
+			fs, _, err := core.Mount(d, core.Options{Obs: reg})
+			if err != nil {
+				return nil, err
+			}
+			if old := curFS.Load(); old != nil {
+				old.Unmount()
+			}
+			curDev.Store(d)
+			curFS.Store(fs)
+			return fs, nil
+		},
+	}
+
+	var node *replica.Node
+	scfg := server.Config{
 		Workers:        *workers,
 		MaxConns:       *maxConns,
 		RequestTimeout: *deadline,
 		DrainTimeout:   *drain,
 		Logf:           log.Printf,
-	})
+	}
+	switch {
+	case *noReplication:
+		openVolume()
+		scfg.FS = curFS.Load()
+	case *join != "":
+		node = replica.NewBackup(repCfg)
+		scfg.Replica = node
+	default:
+		openVolume()
+		node = replica.NewPrimary(curFS.Load(), repCfg)
+		scfg.FS = curFS.Load()
+		scfg.Replica = node
+	}
+
+	srv, err := server.New(scfg)
 	if err != nil {
 		fatal(err)
 	}
 
 	if *metrics != "" {
-		msrv, err := export.Serve(*metrics, fs.Stats, reg, srv.WriteMetrics)
+		src := func() obs.Snapshot {
+			if fs := curFS.Load(); fs != nil {
+				return fs.Stats()
+			}
+			return obs.Snapshot{}
+		}
+		health := func() string {
+			if srv.Draining() {
+				return "draining"
+			}
+			if node != nil {
+				return node.Health()
+			}
+			return "serving"
+		}
+		extras := []export.Extra{srv.WriteMetrics}
+		if node != nil {
+			extras = append(extras, node.WriteMetrics)
+		}
+		msrv, err := export.Serve(*metrics, src, health, reg, extras...)
 		if err != nil {
 			fatal(err)
 		}
 		defer msrv.Close()
-		log.Printf("metrics on %s/metrics", msrv.URL)
+		log.Printf("metrics on %s/metrics, health on %s/healthz", msrv.URL, msrv.URL)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("serving %s on %s (%d workers, %d conns max)",
-		fs.Name(), ln.Addr(), *workers, *maxConns)
+	switch {
+	case *join != "":
+		log.Printf("backup of %s on %s (promotes after %v silence)", *join, ln.Addr(), *failover)
+	case node != nil:
+		log.Printf("serving %s on %s as primary (%d workers, quorum %d)",
+			curFS.Load().Name(), ln.Addr(), *workers, *quorum)
+	default:
+		log.Printf("serving %s on %s (%d workers, %d conns max)",
+			curFS.Load().Name(), ln.Addr(), *workers, *maxConns)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -134,14 +245,19 @@ func main() {
 		fatal(err)
 	}
 	<-drained
+	if node != nil {
+		node.Close()
+	}
 
-	fs.Unmount()
+	if fs := curFS.Load(); fs != nil {
+		fs.Unmount()
+	}
 	if *image != "" {
 		f, err := os.Create(*image)
 		if err != nil {
 			fatal(err)
 		}
-		if _, err := dev.WriteTo(f); err != nil {
+		if _, err := curDev.Load().WriteTo(f); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {

@@ -5,6 +5,7 @@
 //	simurghsh -image vol.img       open (and on exit save) an image file
 //	simurghsh -metrics host:port   also serve live metrics over HTTP
 //	simurghsh -connect host:port   drive a remote simurghd volume instead
+//	simurghsh -promote host:port   promote a backup simurghd to primary
 //
 // Commands: ls [path], cat <file>, write <file> <text...>, append <file>
 // <text...>, mkdir <dir>, rm <file>, rmdir <dir>, mv <old> <new>,
@@ -34,7 +35,17 @@ func main() {
 	size := flag.Uint64("size", 256<<20, "volume size for fresh volumes")
 	metrics := flag.String("metrics", "", "serve live metrics on this host:port (e.g. 127.0.0.1:9180)")
 	connect := flag.String("connect", "", "drive a remote simurghd at this host:port instead of a local volume")
+	promote := flag.String("promote", "", "tell the simurghd at this host:port to become the replication primary, then exit")
 	flag.Parse()
+
+	if *promote != "" {
+		epoch, err := client.Promote(*promote, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s promoted: epoch %d\n", *promote, epoch)
+		return
+	}
 
 	if *connect != "" {
 		if *image != "" || *metrics != "" {
@@ -92,7 +103,7 @@ func main() {
 	}
 
 	if *metrics != "" {
-		srv, err := export.Serve(*metrics, fs.Stats, reg)
+		srv, err := export.Serve(*metrics, fs.Stats, nil, reg)
 		if err != nil {
 			fatal(err)
 		}

@@ -183,7 +183,7 @@ func startDemo() (*export.Server, func(), error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	srv, err := export.Serve("127.0.0.1:0", vol.Stats, reg)
+	srv, err := export.Serve("127.0.0.1:0", vol.Stats, nil, reg)
 	if err != nil {
 		return nil, nil, err
 	}

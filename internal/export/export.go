@@ -285,12 +285,29 @@ func publishExpvar(src Source) {
 // server's simurgh_server_*/simurgh_wire_* series).
 type Extra func(w io.Writer)
 
-// NewHandler builds the exporter's HTTP mux. reg (optional) enables
-// /trace.json from the registry's flight recorder; extra appenders are
-// invoked after the snapshot on every /metrics scrape.
-func NewHandler(src Source, reg *obs.Registry, extra ...Extra) http.Handler {
+// HealthFunc reports the node's serving state for /healthz: "serving",
+// "draining", or "backup". Anything but "serving" answers 503 so load
+// balancers and orchestration probes steer clients at the primary only.
+type HealthFunc func() string
+
+// NewHandler builds the exporter's HTTP mux. health (optional; nil reports
+// "serving") drives /healthz; reg (optional) enables /trace.json from the
+// registry's flight recorder; extra appenders are invoked after the
+// snapshot on every /metrics scrape.
+func NewHandler(src Source, health HealthFunc, reg *obs.Registry, extra ...Extra) http.Handler {
 	publishExpvar(src)
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		state := "serving"
+		if health != nil {
+			state = health()
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if state != "serving" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(w, state)
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WritePrometheus(w, src())
@@ -318,6 +335,7 @@ func NewHandler(src Source, reg *obs.Registry, extra ...Extra) http.Handler {
 			"/metrics     Prometheus text exposition\n"+
 			"/stats.json  JSON snapshot (ops, events, lock waits, gauges)\n"+
 			"/trace.json  Chrome trace-event JSON (load in ui.perfetto.dev)\n"+
+			"/healthz     serving state (200 serving, 503 draining/backup)\n"+
 			"/debug/vars  expvar\n")
 	})
 	return mux
@@ -334,7 +352,7 @@ type Server struct {
 
 // Serve starts the exporter on addr (host:port; port 0 picks a free one)
 // and returns once the listener is accepting.
-func Serve(addr string, src Source, reg *obs.Registry, extra ...Extra) (*Server, error) {
+func Serve(addr string, src Source, health HealthFunc, reg *obs.Registry, extra ...Extra) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -342,7 +360,7 @@ func Serve(addr string, src Source, reg *obs.Registry, extra ...Extra) (*Server,
 	s := &Server{
 		URL: "http://" + ln.Addr().String(),
 		ln:  ln,
-		srv: &http.Server{Handler: NewHandler(src, reg, extra...)},
+		srv: &http.Server{Handler: NewHandler(src, health, reg, extra...)},
 	}
 	go s.srv.Serve(ln)
 	return s, nil

@@ -57,7 +57,7 @@ var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (?:[0-
 // every line against the Prometheus text format (acceptance criterion).
 func TestMetricsEndpointServesValidExposition(t *testing.T) {
 	r := loadedRegistry(t)
-	ts := httptest.NewServer(NewHandler(testSource(r), r))
+	ts := httptest.NewServer(NewHandler(testSource(r), nil, r))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/metrics")
@@ -127,7 +127,7 @@ func TestMetricsEndpointServesValidExposition(t *testing.T) {
 // snapshot content (acceptance criterion: parse both endpoints).
 func TestStatsJSONEndpointParses(t *testing.T) {
 	r := loadedRegistry(t)
-	ts := httptest.NewServer(NewHandler(testSource(r), r))
+	ts := httptest.NewServer(NewHandler(testSource(r), nil, r))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/stats.json")
@@ -166,7 +166,7 @@ func TestStatsJSONEndpointParses(t *testing.T) {
 // TestTraceJSONEndpoint checks /trace.json serves Chrome trace-event JSON.
 func TestTraceJSONEndpoint(t *testing.T) {
 	r := loadedRegistry(t)
-	ts := httptest.NewServer(NewHandler(testSource(r), r))
+	ts := httptest.NewServer(NewHandler(testSource(r), nil, r))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/trace.json")
@@ -236,7 +236,7 @@ func TestJSONSnapshotSub(t *testing.T) {
 // TestServeListensAndCloses exercises the Serve helper end to end.
 func TestServeListensAndCloses(t *testing.T) {
 	r := loadedRegistry(t)
-	s, err := Serve("127.0.0.1:0", testSource(r), r)
+	s, err := Serve("127.0.0.1:0", testSource(r), nil, r)
 	if err != nil {
 		t.Fatalf("serve: %v", err)
 	}
@@ -251,5 +251,50 @@ func TestServeListensAndCloses(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Errorf("close: %v", err)
+	}
+}
+
+// TestHealthz covers the /healthz endpoint: 200 only while serving, 503
+// with the state name while draining or running as a backup, and a
+// default of "serving" when no health source is wired.
+func TestHealthz(t *testing.T) {
+	r := loadedRegistry(t)
+	state := "serving"
+	ts := httptest.NewServer(NewHandler(testSource(r), func() string { return state }, r))
+	defer ts.Close()
+
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, strings.TrimSpace(string(body))
+	}
+
+	if code, body := get(); code != http.StatusOK || body != "serving" {
+		t.Fatalf("serving: got (%d, %q)", code, body)
+	}
+	state = "draining"
+	if code, body := get(); code != http.StatusServiceUnavailable || body != "draining" {
+		t.Fatalf("draining: got (%d, %q)", code, body)
+	}
+	state = "backup"
+	if code, body := get(); code != http.StatusServiceUnavailable || body != "backup" {
+		t.Fatalf("backup: got (%d, %q)", code, body)
+	}
+
+	// No health source: always healthy.
+	ts2 := httptest.NewServer(NewHandler(testSource(r), nil, r))
+	defer ts2.Close()
+	resp, err := http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default healthz = %d, want 200", resp.StatusCode)
 	}
 }

@@ -1,0 +1,263 @@
+package replica
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"simurgh/internal/wire"
+)
+
+// runBackup is the backup's life: join the primary, restore its snapshot,
+// apply its log, and watch its heartbeats. When the link dies it retries;
+// when the primary stays silent past FailoverGrace (and AutoPromote is on)
+// it promotes itself and exits — the node serves as primary from then on.
+func (n *Node) runBackup() {
+	defer n.wg.Done()
+	lastContact := time.Now()
+	for {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		if n.Role() == RolePrimary {
+			return
+		}
+		err := n.followPrimary(&lastContact)
+		if n.Role() == RolePrimary {
+			return
+		}
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		if err != nil {
+			n.cfg.Logf("replica: replication link: %v", err)
+		}
+		if n.cfg.AutoPromote && time.Since(lastContact) > n.cfg.FailoverGrace {
+			if _, perr := n.Promote(); perr != nil {
+				n.cfg.Logf("replica: auto-promotion failed: %v", perr)
+				// Never joined successfully; keep trying to find a primary.
+				lastContact = time.Now()
+			} else {
+				return
+			}
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// followPrimary performs one join: handshake, snapshot restore, then the
+// apply loop until the connection dies or the node is promoted/closed.
+// lastContact is advanced on every frame from the primary.
+func (n *Node) followPrimary(lastContact *time.Time) error {
+	addr, _ := n.primaryAddr.Load().(string)
+	if addr == "" {
+		addr = n.cfg.PrimaryAddr
+	}
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	n.joinConn.Store(conn)
+	defer conn.Close()
+
+	j := wire.Join{Epoch: n.Epoch(), Addr: n.cfg.Advertise}
+	conn.SetDeadline(time.Now().Add(n.cfg.DialTimeout))
+	if err := wire.WriteFrame(conn, wire.KindJoin, wire.AppendJoin(nil, &j)); err != nil {
+		return err
+	}
+	fr := wire.NewFrameReader(conn)
+	// The snapshot can be large; give the whole transfer a generous but
+	// bounded window before the per-frame grace deadline takes over.
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	kind, payload, err := fr.Next()
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case wire.KindJoinOK:
+	case wire.KindErr:
+		return wire.ParseErrFrame(payload)
+	default:
+		return fmt.Errorf("%w: unexpected kind %d joining", wire.ErrBadMessage, kind)
+	}
+	jo, err := wire.ParseJoinOK(payload)
+	if err != nil {
+		return err
+	}
+	img := make([]byte, 0, jo.SnapSize)
+	for uint64(len(img)) < jo.SnapSize {
+		kind, payload, err := fr.Next()
+		if err != nil {
+			return err
+		}
+		if kind != wire.KindSnapChunk {
+			return fmt.Errorf("%w: unexpected kind %d in snapshot", wire.ErrBadMessage, kind)
+		}
+		c, err := wire.ParseSnapChunk(payload)
+		if err != nil {
+			return err
+		}
+		if c.Off != uint64(len(img)) {
+			return fmt.Errorf("%w: snapshot chunk at %d, want %d", wire.ErrBadMessage, c.Off, len(img))
+		}
+		img = append(img, c.Data...)
+	}
+	fs, err := n.cfg.Restore(img)
+	if err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+
+	// Install the restored volume and rebuild the session table from the
+	// manifest. Sessions that existed before the snapshot get shadows with
+	// the right credentials but empty descriptor tables: descriptors they
+	// opened before this backup joined cannot be transferred, and their
+	// replayed operations are skipped (counted, and documented — join
+	// backups at daemon start for full coverage).
+	n.mu.Lock()
+	if n.closed || Role(n.role.Load()) == RolePrimary {
+		n.mu.Unlock()
+		return nil
+	}
+	n.fs = fs
+	n.seq = jo.SnapSeq
+	n.epoch.Store(jo.Epoch)
+	n.sessions = make(map[uint64]*session, len(jo.Sessions))
+	for _, si := range jo.Sessions {
+		client, err := fs.Attach(si.Cred)
+		if err != nil {
+			n.mu.Unlock()
+			return fmt.Errorf("manifest attach: %w", err)
+		}
+		n.sessions[si.Sess] = newSession(si.Sess, si.Cred, client)
+	}
+	n.mu.Unlock()
+	*lastContact = time.Now()
+	n.cfg.Logf("replica: joined %s at epoch %d, seq %d (%d MiB snapshot, %d sessions)",
+		addr, jo.Epoch, jo.SnapSeq, len(img)>>20, len(jo.Sessions))
+
+	for {
+		conn.SetDeadline(time.Now().Add(n.cfg.FailoverGrace))
+		kind, payload, err := fr.Next()
+		if err != nil {
+			return err
+		}
+		*lastContact = time.Now()
+		switch kind {
+		case wire.KindReplicate:
+			ents, err := wire.DecodeEntries(payload)
+			if err != nil {
+				return err
+			}
+			if err := n.applyEntries(ents); err != nil {
+				return err
+			}
+			a := wire.RepAck{Epoch: n.Epoch(), Seq: n.Seq()}
+			if err := wire.WriteFrame(conn, wire.KindRepAck, wire.AppendRepAck(nil, &a)); err != nil {
+				return err
+			}
+		case wire.KindHeartbeat:
+			h, err := wire.ParseHeartbeat(payload)
+			if err != nil {
+				return err
+			}
+			n.m.primarySeq.Store(h.Seq)
+			// Echo verbatim so the primary can measure the round trip.
+			if err := wire.WriteFrame(conn, wire.KindHeartbeat, payload); err != nil {
+				return err
+			}
+		case wire.KindErr:
+			return wire.ParseErrFrame(payload)
+		default:
+			return fmt.Errorf("%w: unexpected kind %d on replication link", wire.ErrBadMessage, kind)
+		}
+	}
+}
+
+// applyEntries replays a shipped batch under the log lock.
+func (n *Node) applyEntries(ents []wire.Entry) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || Role(n.role.Load()) == RolePrimary {
+		return nil
+	}
+	for i := range ents {
+		e := &ents[i]
+		if e.Seq != n.seq+1 {
+			return fmt.Errorf("%w: log gap: entry %d after %d", wire.ErrBadMessage, e.Seq, n.seq)
+		}
+		n.applyEntryLocked(e)
+		n.seq = e.Seq
+		n.m.entriesApplied.Add(1)
+	}
+	return nil
+}
+
+// applyEntryLocked replays one entry against its session's shadow. Caller
+// holds the log lock.
+func (n *Node) applyEntryLocked(e *wire.Entry) {
+	switch e.Kind {
+	case wire.EntryAttach:
+		client, err := n.fs.Attach(e.Cred)
+		if err != nil {
+			n.cfg.Logf("replica: shadow attach for session %x failed: %v", e.Sess, err)
+			n.m.replaySkipped.Add(1)
+			return
+		}
+		n.sessions[e.Sess] = newSession(e.Sess, e.Cred, client)
+	case wire.EntryOp:
+		sess := n.sessions[e.Sess]
+		if sess == nil {
+			n.m.replaySkipped.Add(1)
+			return
+		}
+		req := e.Req
+		vfd := req.FD
+		if opUsesFD(req.Op) {
+			lfd, ok := sess.lookupVFD(vfd)
+			if !ok {
+				// A descriptor opened before this backup joined: its state
+				// never transferred, so the operation cannot replay here.
+				n.m.replaySkipped.Add(1)
+				return
+			}
+			req.FD = lfd
+		}
+		resp := wire.Execute(sess.client, &req)
+		switch {
+		case (req.Op == wire.OpCreate || req.Op == wire.OpOpen) && resp.Code == wire.CodeOK:
+			sess.mapVFD(e.ResFD, resp.FD)
+			resp.FD = e.ResFD // cache the client-visible (virtual) descriptor
+		case req.Op == wire.OpClose && resp.Code == wire.CodeOK:
+			sess.unmapVFD(vfd)
+		case req.Op == wire.OpDetach && resp.Code == wire.CodeOK:
+			delete(n.sessions, e.Sess)
+			return // nothing left to cache against
+		}
+		if resp.Code != wire.CodeOK {
+			// The primary only ships successes; a failure here means the
+			// replicas diverged (or the descriptor was skipped above).
+			n.m.replayErrors.Add(1)
+			n.cfg.Logf("replica: replay of seq %d (%v) failed: %s", e.Seq, req.Op, resp.Msg)
+		}
+		sess.cacheResp(req.ID, resp, e.Seq)
+	}
+}
+
+// opUsesFD reports whether the request's FD field names a descriptor (and
+// so needs translation on replay).
+func opUsesFD(op wire.Op) bool {
+	switch op {
+	case wire.OpClose, wire.OpRead, wire.OpPread, wire.OpWrite, wire.OpPwrite,
+		wire.OpSeek, wire.OpFsync, wire.OpFtruncate, wire.OpFallocate, wire.OpFstat:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,83 @@
+package replica
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// counters are the node's replication metrics, exported as Prometheus
+// series through WriteMetrics (an export.Extra).
+type counters struct {
+	resumes        atomic.Uint64
+	dedupHits      atomic.Uint64
+	entriesShipped atomic.Uint64
+	bytesShipped   atomic.Uint64
+	entriesApplied atomic.Uint64
+	replaySkipped  atomic.Uint64
+	replayErrors   atomic.Uint64
+	snapshotBytes  atomic.Uint64
+	joins          atomic.Uint64
+	promotions     atomic.Uint64
+	heartbeatRTT   atomic.Uint64 // last measured, ns
+	primarySeq     atomic.Uint64 // last heartbeat's seq (backup role)
+}
+
+// WriteMetrics appends the simurgh_replica_* series to a /metrics scrape.
+func (n *Node) WriteMetrics(w io.Writer) {
+	role := n.Role()
+	n.mu.Lock()
+	seq := n.seq
+	backups := len(n.links)
+	sessions := len(n.sessions)
+	// Replication lag: on the primary, distance between the log head and
+	// the slowest live backup's ack (plus unshipped buffer bytes); on a
+	// backup, distance behind the primary's last advertised head.
+	var lagOps, lagBytes uint64
+	if role == RolePrimary {
+		for l := range n.links {
+			if d := seq - l.ackedSeq; d > lagOps {
+				lagOps = d
+			}
+			if uint64(l.outBytes) > lagBytes {
+				lagBytes = uint64(l.outBytes)
+			}
+		}
+	} else if ps := n.m.primarySeq.Load(); ps > seq {
+		lagOps = ps - seq
+	}
+	n.mu.Unlock()
+
+	g := func(name string, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	c := func(name string, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP simurgh_replica_role Node role (1 when active in that role).\n")
+	fmt.Fprintf(w, "# TYPE simurgh_replica_role gauge\n")
+	for _, r := range []Role{RolePrimary, RoleBackup} {
+		v := 0
+		if role == r {
+			v = 1
+		}
+		fmt.Fprintf(w, "simurgh_replica_role{role=%q} %d\n", r.String(), v)
+	}
+	g("simurgh_replica_epoch", "Replication epoch (bumped on every promotion).", n.Epoch())
+	g("simurgh_replica_seq", "Last log sequence assigned (primary) or applied (backup).", seq)
+	g("simurgh_replica_lag_ops", "Log entries the slowest live backup is behind (or this backup is behind its primary).", lagOps)
+	g("simurgh_replica_lag_bytes", "Encoded entry bytes buffered for the slowest live backup.", lagBytes)
+	g("simurgh_replica_backups", "Live backup links.", uint64(backups))
+	g("simurgh_replica_sessions", "Replicated sessions carried by this node.", uint64(sessions))
+	g("simurgh_replica_heartbeat_rtt_ns", "Last heartbeat round trip to a backup.", n.m.heartbeatRTT.Load())
+	c("simurgh_replica_entries_shipped_total", "Log entries shipped to backups.", n.m.entriesShipped.Load())
+	c("simurgh_replica_bytes_shipped_total", "Encoded log bytes shipped to backups.", n.m.bytesShipped.Load())
+	c("simurgh_replica_entries_applied_total", "Log entries applied by this backup.", n.m.entriesApplied.Load())
+	c("simurgh_replica_replay_skipped_total", "Replayed operations skipped (pre-join descriptors or sessions).", n.m.replaySkipped.Load())
+	c("simurgh_replica_replay_errors_total", "Replayed operations that failed (replica divergence).", n.m.replayErrors.Load())
+	c("simurgh_replica_dedup_hits_total", "Client retransmissions answered from the replay cache.", n.m.dedupHits.Load())
+	c("simurgh_replica_session_resumes_total", "Sessions resumed by failed-over clients.", n.m.resumes.Load())
+	c("simurgh_replica_snapshot_bytes_total", "Snapshot bytes streamed to joining backups.", n.m.snapshotBytes.Load())
+	c("simurgh_replica_joins_total", "Backups that completed a join.", n.m.joins.Load())
+	c("simurgh_replica_promotions_total", "Times this node promoted itself to primary.", n.m.promotions.Load())
+}

@@ -1,0 +1,527 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"simurgh/internal/fsapi"
+	"simurgh/internal/wire"
+)
+
+// errStaleJoin reports a join from a node that has seen a newer epoch than
+// this primary — this primary is the stale one and must not adopt it.
+var errStaleJoin = errors.New("replica: joiner has seen a newer epoch")
+
+// AttachClient routes a client attach (server.Replica). On the primary it
+// returns the session — resuming an existing one when clientID matches a
+// session the group already carries, which is how a failed-over client
+// keeps its descriptor table. On a backup it fails with wire.ErrNotPrimary
+// and the last known primary address for the redirect frame.
+func (n *Node) AttachClient(cred fsapi.Cred, clientID uint64) (fsapi.Client, uint64, string, error) {
+	if n.Role() != RolePrimary {
+		addr, _ := n.primaryAddr.Load().(string)
+		if addr == n.cfg.Advertise {
+			addr = "" // don't redirect clients back to ourselves
+		}
+		return nil, 0, addr, wire.ErrNotPrimary
+	}
+	n.mu.Lock()
+	if n.closed || n.fs == nil {
+		n.mu.Unlock()
+		return nil, 0, "", errors.New("replica: node closed")
+	}
+	if sess, ok := n.sessions[clientID]; ok && clientID != 0 {
+		if sess.cred != cred {
+			n.mu.Unlock()
+			return nil, 0, "", fsapi.ErrPerm
+		}
+		sess.attached = true
+		n.m.resumes.Add(1)
+		n.mu.Unlock()
+		return &mappedClient{inner: sess.client, s: sess}, sess.id, "", nil
+	}
+	client, err := n.fs.Attach(cred)
+	if err != nil {
+		n.mu.Unlock()
+		return nil, 0, "", err
+	}
+	id := clientID
+	if id == 0 {
+		// A pre-replication client with no resume identity: synthesize one
+		// that cannot collide with a real 64-bit random ID in practice.
+		n.anonID++
+		id = n.anonID | (1 << 63)
+		for n.sessions[id] != nil {
+			n.anonID++
+			id = n.anonID | (1 << 63)
+		}
+	}
+	sess := newSession(id, cred, client)
+	sess.attached = true
+	n.sessions[id] = sess
+	n.seq++
+	seq := n.seq
+	n.shipLocked(&wire.Entry{Seq: seq, Sess: id, Kind: wire.EntryAttach, Cred: cred})
+	n.mu.Unlock()
+	// The session must exist on the quorum before the client can use it:
+	// otherwise a failover between AttachOK and the first op would strand
+	// the client on a node that never heard of it.
+	n.WaitQuorum(seq)
+	return &mappedClient{inner: client, s: sess}, id, "", nil
+}
+
+// Apply executes one replicated operation under the log lock, ships its
+// entry, and returns the response plus the sequence WaitQuorum must cover
+// before the client may see it (server.Replica). A request ID already in
+// the session's replay cache — a client retransmission after failover —
+// is answered from the cache without re-executing.
+func (n *Node) Apply(sessID uint64, req *wire.Request, exec func() wire.Response) (wire.Response, uint64) {
+	n.mu.Lock()
+	sess := n.sessions[sessID]
+	if sess == nil {
+		n.mu.Unlock()
+		code := wire.CodeOf(fsapi.ErrBadFD)
+		return wire.Response{ID: req.ID, Op: req.Op, Code: code,
+			Msg: wire.MsgFor(code, fsapi.ErrBadFD)}, 0
+	}
+	if c, ok := sess.dedup[req.ID]; ok {
+		n.m.dedupHits.Add(1)
+		n.mu.Unlock()
+		resp := c.resp
+		resp.ID = req.ID
+		return resp, c.seq
+	}
+	resp := exec()
+	var seq uint64
+	if resp.Code == wire.CodeOK {
+		// Failed operations mutate nothing; only successes enter the log.
+		n.seq++
+		seq = n.seq
+		e := wire.Entry{Seq: seq, Sess: sessID, Kind: wire.EntryOp, Req: *req}
+		if req.Op == wire.OpCreate || req.Op == wire.OpOpen {
+			e.ResFD = resp.FD // virtual: mappedClient already translated
+		}
+		n.shipLocked(&e)
+		if req.Op == wire.OpDetach {
+			delete(n.sessions, sessID)
+		}
+	}
+	sess.cacheResp(req.ID, resp, seq)
+	n.mu.Unlock()
+	return resp, seq
+}
+
+// shipLocked appends one encoded entry to every live link's out-buffer and
+// kicks their writers. Caller holds n.mu.
+func (n *Node) shipLocked(e *wire.Entry) {
+	if len(n.links) == 0 {
+		return
+	}
+	enc := wire.AppendEntry(nil, e)
+	for l := range n.links {
+		l.out = append(l.out, enc)
+		l.outBytes += len(enc)
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
+	}
+	n.m.entriesShipped.Add(uint64(len(n.links)))
+	n.m.bytesShipped.Add(uint64(len(enc) * len(n.links)))
+}
+
+// WaitQuorum blocks until the configured quorum of live backups has
+// acknowledged seq (server.Replica). The effective quorum is capped at the
+// live link count: with no backup connected the primary acknowledges alone.
+func (n *Node) WaitQuorum(seq uint64) {
+	if seq == 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		need := n.cfg.Quorum
+		if live := len(n.links); need > live {
+			need = live
+		}
+		if need == 0 || n.closed {
+			return
+		}
+		got := 0
+		for l := range n.links {
+			if l.ackedSeq >= seq {
+				got++
+			}
+		}
+		if got >= need {
+			return
+		}
+		n.cond.Wait()
+	}
+}
+
+// ReleaseSession marks a session's connection gone without detaching it,
+// keeping it resumable for a failing-over client (server.Replica).
+func (n *Node) ReleaseSession(sessID uint64) {
+	n.mu.Lock()
+	if sess := n.sessions[sessID]; sess != nil {
+		sess.attached = false
+		sess.released = time.Now()
+	}
+	n.mu.Unlock()
+}
+
+// Promote makes this node the primary (server.Replica; also called by the
+// backup's failover watchdog). Idempotent on an existing primary.
+func (n *Node) Promote() (uint64, error) {
+	n.mu.Lock()
+	if Role(n.role.Load()) == RolePrimary {
+		ep := n.epoch.Load()
+		n.mu.Unlock()
+		return ep, nil
+	}
+	if n.fs == nil {
+		n.mu.Unlock()
+		return 0, errors.New("replica: cannot promote before a snapshot has been restored")
+	}
+	ep := n.epoch.Add(1)
+	n.role.Store(int32(RolePrimary))
+	n.primaryAddr.Store(n.cfg.Advertise)
+	n.m.promotions.Add(1)
+	n.mu.Unlock()
+	if c, ok := n.joinConn.Load().(net.Conn); ok && c != nil {
+		c.Close() // unblock the join loop; it exits on seeing the role
+	}
+	n.cond.Broadcast()
+	n.cfg.Logf("replica: promoted to primary at epoch %d", ep)
+	return ep, nil
+}
+
+// HandleJoin owns a backup's replication connection (server.Replica):
+// snapshot transfer, then log shipping and heartbeats until the link dies.
+func (n *Node) HandleJoin(conn net.Conn, fr *wire.FrameReader, payload []byte) error {
+	j, err := wire.ParseJoin(payload)
+	if err != nil {
+		return err
+	}
+	if n.Role() != RolePrimary {
+		wire.WriteFrame(conn, wire.KindErr, wire.AppendErrFrame(nil, wire.ErrNotPrimary))
+		return wire.ErrNotPrimary
+	}
+	if j.Epoch > n.Epoch() {
+		wire.WriteFrame(conn, wire.KindErr, wire.AppendErrFrame(nil, errStaleJoin))
+		return errStaleJoin
+	}
+
+	// Capture a consistent cut under the log lock: the snapshot, the log
+	// position it represents, and the session manifest. The link registers
+	// inside the same critical section, so every entry after snapSeq
+	// reaches the backup through the link and none is double-applied.
+	var img bytes.Buffer
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("replica: node closed")
+	}
+	if err := n.cfg.Snapshot(&img); err != nil {
+		n.mu.Unlock()
+		wire.WriteFrame(conn, wire.KindErr, wire.AppendErrFrame(nil, err))
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	jo := wire.JoinOK{
+		Epoch:    n.Epoch(),
+		SnapSeq:  n.seq,
+		SnapSize: uint64(img.Len()),
+	}
+	for _, sess := range n.sessions {
+		jo.Sessions = append(jo.Sessions, wire.SessionInfo{Sess: sess.id, Cred: sess.cred})
+	}
+	l := newLink(conn, j.Addr)
+	n.links[l] = struct{}{}
+	n.mu.Unlock()
+	n.m.joins.Add(1)
+	n.cond.Broadcast() // link count changed; quorum math too
+
+	detach := func() {
+		n.mu.Lock()
+		delete(n.links, l)
+		n.mu.Unlock()
+		n.cond.Broadcast()
+	}
+	if err := wire.WriteFrame(conn, wire.KindJoinOK, wire.AppendJoinOK(nil, &jo)); err != nil {
+		detach()
+		return err
+	}
+	data := img.Bytes()
+	for off := 0; off < len(data); off += wire.MaxIO {
+		end := off + wire.MaxIO
+		if end > len(data) {
+			end = len(data)
+		}
+		c := wire.SnapChunk{Off: uint64(off), Data: data[off:end]}
+		if err := wire.WriteFrame(conn, wire.KindSnapChunk, wire.AppendSnapChunk(nil, &c)); err != nil {
+			detach()
+			return err
+		}
+	}
+	n.m.snapshotBytes.Add(uint64(len(data)))
+	n.cfg.Logf("replica: backup %s joined at seq %d (%d MiB snapshot, %d sessions)",
+		j.Addr, jo.SnapSeq, len(data)>>20, len(jo.Sessions))
+
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		l.runWriter(n)
+	}()
+	err = l.runReader(n, fr)
+	conn.Close()
+	detach()
+	<-writerDone
+	n.cfg.Logf("replica: backup %s link down: %v", j.Addr, err)
+	return err
+}
+
+// link is one primary→backup replication connection.
+type link struct {
+	conn net.Conn
+	addr string
+
+	// out holds encoded entries awaiting shipment; guarded by the node's
+	// log lock. kick wakes the writer.
+	out      [][]byte
+	outBytes int
+	kick     chan struct{}
+
+	// ackedSeq is the backup's highest applied sequence; guarded by the
+	// node's log lock (quorum math reads it there).
+	ackedSeq uint64
+}
+
+func newLink(conn net.Conn, addr string) *link {
+	return &link{conn: conn, addr: addr, kick: make(chan struct{}, 1)}
+}
+
+// runWriter ships buffered entries as KindReplicate frames — whatever has
+// accumulated goes as one frame, batching under load — and emits
+// heartbeats on the configured interval.
+func (l *link) runWriter(n *Node) {
+	hb := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer hb.Stop()
+	for {
+		beat := false
+		select {
+		case <-l.kick:
+		case <-hb.C:
+			beat = true
+		case <-n.stop:
+			return
+		}
+		n.mu.Lock()
+		out := l.out
+		l.out = nil
+		l.outBytes = 0
+		_, member := n.links[l]
+		seq := n.seq
+		n.mu.Unlock()
+		if !member {
+			return
+		}
+		// Group entries into frames bounded by MaxFrame and MaxBatch.
+		var frame []byte
+		count := 0
+		flush := func() bool {
+			if count == 0 {
+				return true
+			}
+			if err := wire.WriteFrame(l.conn, wire.KindReplicate, frame); err != nil {
+				l.conn.Close()
+				return false
+			}
+			frame, count = frame[:0], 0
+			return true
+		}
+		for _, enc := range out {
+			if count == wire.MaxBatch || len(frame)+len(enc) > wire.MaxFrame-64 {
+				if !flush() {
+					return
+				}
+			}
+			frame = append(frame, enc...)
+			count++
+		}
+		if !flush() {
+			return
+		}
+		if beat {
+			h := wire.Heartbeat{Epoch: n.Epoch(), Seq: seq, SentNs: uint64(time.Now().UnixNano())}
+			if err := wire.WriteFrame(l.conn, wire.KindHeartbeat, wire.AppendHeartbeat(nil, &h)); err != nil {
+				l.conn.Close()
+				return
+			}
+		}
+	}
+}
+
+// runReader consumes the backup's acks and heartbeat echoes until the
+// connection dies.
+func (l *link) runReader(n *Node, fr *wire.FrameReader) error {
+	for {
+		kind, payload, err := fr.Next()
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case wire.KindRepAck:
+			a, err := wire.ParseRepAck(payload)
+			if err != nil {
+				return err
+			}
+			n.mu.Lock()
+			if a.Seq > l.ackedSeq {
+				l.ackedSeq = a.Seq
+			}
+			n.mu.Unlock()
+			n.cond.Broadcast()
+		case wire.KindHeartbeat:
+			h, err := wire.ParseHeartbeat(payload)
+			if err != nil {
+				return err
+			}
+			if rtt := uint64(time.Now().UnixNano()) - h.SentNs; rtt < 1<<62 {
+				n.m.heartbeatRTT.Store(rtt)
+			}
+		default:
+			return fmt.Errorf("%w: unexpected kind %d on replication link", wire.ErrBadMessage, kind)
+		}
+	}
+}
+
+// mappedClient is the fsapi.Client handed to the server for a replicated
+// session: it translates the client's virtual descriptors to this node's
+// local ones and assigns virtual descriptors to fresh opens, so descriptor
+// identity survives failover.
+type mappedClient struct {
+	inner fsapi.Client
+	s     *session
+}
+
+func (m *mappedClient) Create(path string, perm uint32) (fsapi.FD, error) {
+	lfd, err := m.inner.Create(path, perm)
+	if err != nil {
+		return -1, err
+	}
+	return m.s.allocVFD(lfd), nil
+}
+
+func (m *mappedClient) Open(path string, flags fsapi.OpenFlag, perm uint32) (fsapi.FD, error) {
+	lfd, err := m.inner.Open(path, flags, perm)
+	if err != nil {
+		return -1, err
+	}
+	return m.s.allocVFD(lfd), nil
+}
+
+func (m *mappedClient) Close(fd fsapi.FD) error {
+	lfd, ok := m.s.lookupVFD(fd)
+	if !ok {
+		return fsapi.ErrBadFD
+	}
+	if err := m.inner.Close(lfd); err != nil {
+		return err
+	}
+	m.s.unmapVFD(fd)
+	return nil
+}
+
+func (m *mappedClient) Read(fd fsapi.FD, p []byte) (int, error) {
+	lfd, ok := m.s.lookupVFD(fd)
+	if !ok {
+		return 0, fsapi.ErrBadFD
+	}
+	return m.inner.Read(lfd, p)
+}
+
+func (m *mappedClient) Pread(fd fsapi.FD, p []byte, off uint64) (int, error) {
+	lfd, ok := m.s.lookupVFD(fd)
+	if !ok {
+		return 0, fsapi.ErrBadFD
+	}
+	return m.inner.Pread(lfd, p, off)
+}
+
+func (m *mappedClient) Write(fd fsapi.FD, p []byte) (int, error) {
+	lfd, ok := m.s.lookupVFD(fd)
+	if !ok {
+		return 0, fsapi.ErrBadFD
+	}
+	return m.inner.Write(lfd, p)
+}
+
+func (m *mappedClient) Pwrite(fd fsapi.FD, p []byte, off uint64) (int, error) {
+	lfd, ok := m.s.lookupVFD(fd)
+	if !ok {
+		return 0, fsapi.ErrBadFD
+	}
+	return m.inner.Pwrite(lfd, p, off)
+}
+
+func (m *mappedClient) Seek(fd fsapi.FD, off int64, whence int) (int64, error) {
+	lfd, ok := m.s.lookupVFD(fd)
+	if !ok {
+		return 0, fsapi.ErrBadFD
+	}
+	return m.inner.Seek(lfd, off, whence)
+}
+
+func (m *mappedClient) Fsync(fd fsapi.FD) error {
+	lfd, ok := m.s.lookupVFD(fd)
+	if !ok {
+		return fsapi.ErrBadFD
+	}
+	return m.inner.Fsync(lfd)
+}
+
+func (m *mappedClient) Ftruncate(fd fsapi.FD, size uint64) error {
+	lfd, ok := m.s.lookupVFD(fd)
+	if !ok {
+		return fsapi.ErrBadFD
+	}
+	return m.inner.Ftruncate(lfd, size)
+}
+
+func (m *mappedClient) Fallocate(fd fsapi.FD, size uint64) error {
+	lfd, ok := m.s.lookupVFD(fd)
+	if !ok {
+		return fsapi.ErrBadFD
+	}
+	return m.inner.Fallocate(lfd, size)
+}
+
+func (m *mappedClient) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
+	lfd, ok := m.s.lookupVFD(fd)
+	if !ok {
+		return fsapi.Stat{}, fsapi.ErrBadFD
+	}
+	return m.inner.Fstat(lfd)
+}
+
+func (m *mappedClient) Stat(path string) (fsapi.Stat, error)  { return m.inner.Stat(path) }
+func (m *mappedClient) Lstat(path string) (fsapi.Stat, error) { return m.inner.Lstat(path) }
+func (m *mappedClient) Mkdir(path string, perm uint32) error  { return m.inner.Mkdir(path, perm) }
+func (m *mappedClient) Rmdir(path string) error               { return m.inner.Rmdir(path) }
+func (m *mappedClient) Unlink(path string) error              { return m.inner.Unlink(path) }
+func (m *mappedClient) Rename(o, p string) error              { return m.inner.Rename(o, p) }
+func (m *mappedClient) Symlink(t, l string) error             { return m.inner.Symlink(t, l) }
+func (m *mappedClient) Link(o, p string) error                { return m.inner.Link(o, p) }
+func (m *mappedClient) Readlink(path string) (string, error)  { return m.inner.Readlink(path) }
+func (m *mappedClient) ReadDir(path string) ([]fsapi.DirEntry, error) {
+	return m.inner.ReadDir(path)
+}
+func (m *mappedClient) Chmod(path string, perm uint32) error { return m.inner.Chmod(path, perm) }
+func (m *mappedClient) Utimes(path string, a, mt int64) error {
+	return m.inner.Utimes(path, a, mt)
+}
+func (m *mappedClient) Detach() error { return m.inner.Detach() }

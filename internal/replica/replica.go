@@ -1,0 +1,355 @@
+// Package replica adds primary–backup replication to the wire server. The
+// primary assigns every state-changing operation a monotonic log sequence
+// number, executes it, and ships the resulting log entry to each connected
+// backup; the client is acknowledged only after a quorum of backups has
+// applied the entry. Reads never leave the primary.
+//
+// A backup enlists with `simurghd -join <primary>`: it receives a snapshot
+// of the volume (the device image), a manifest of live sessions, and then
+// the live log, which it applies against shadow sessions of its own mount.
+// When the primary's heartbeats stop — or an admin sends the promote frame
+// — the backup bumps the epoch and starts serving as primary; clients that
+// lose their connection re-resolve the group, resume their session by
+// client ID, and replay unacknowledged requests, which the per-session
+// replay cache answers idempotently.
+//
+// Scope and guarantees (see DESIGN.md §7): with quorum ≥ 1 and a live
+// backup, no acknowledged write is lost when the primary dies uncleanly.
+// With zero connected backups the primary acknowledges alone (availability
+// over durability — the group degrades to a standalone server). Fencing of
+// a resurrected old primary and multi-node consensus are out of scope: the
+// epoch detects staleness, it does not arbitrate split brain.
+package replica
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simurgh/internal/fsapi"
+	"simurgh/internal/wire"
+)
+
+// Role is a node's place in the group.
+type Role int32
+
+const (
+	// RoleBackup applies the primary's log and serves nothing itself.
+	RoleBackup Role = iota
+	// RolePrimary serves clients and ships the log.
+	RolePrimary
+)
+
+func (r Role) String() string {
+	if r == RolePrimary {
+		return "primary"
+	}
+	return "backup"
+}
+
+// Replay-cache bounds, per session. The cache must cover every request a
+// client could still replay after a failover: clients replay only requests
+// they have no response for, and their in-flight window is far below
+// maxDedupEntries. Oversized cached responses (large reads) are bounded by
+// bytes, with an entry floor so small-op windows never collapse.
+const (
+	maxDedupEntries = 4096
+	maxDedupBytes   = 8 << 20
+	minDedupEntries = 128
+)
+
+// cachedResp is one replay-cache slot: the response as the client saw it,
+// plus the log sequence that must be quorum-covered before it is released.
+type cachedResp struct {
+	resp wire.Response
+	seq  uint64
+}
+
+// session is one client's server-side state, replicated across the group:
+// credentials, the virtual-descriptor table, and the replay cache. On the
+// node where the client is attached, client is the live fsapi session; on
+// backups it is the shadow built by log replay.
+type session struct {
+	id   uint64
+	cred fsapi.Cred
+
+	client fsapi.Client
+
+	// fdmu guards the descriptor table. Virtual descriptors are the FDs
+	// clients hold; they survive failover because log entries carry them
+	// explicitly, while the local descriptor they map to is whatever this
+	// node's mount handed out. On the first primary the mapping is the
+	// identity; after a failover it usually is not.
+	fdmu  sync.RWMutex
+	fdMap map[fsapi.FD]fsapi.FD
+	nextV fsapi.FD
+
+	// dedup answers replayed requests without re-executing them. Guarded by
+	// the node's log lock (all mutation happens under it).
+	dedup      map[uint32]cachedResp
+	dedupFIFO  []uint32
+	dedupBytes int
+
+	attached bool      // a live connection owns this session
+	released time.Time // when the owning connection went away
+}
+
+func newSession(id uint64, cred fsapi.Cred, client fsapi.Client) *session {
+	return &session{
+		id:     id,
+		cred:   cred,
+		client: client,
+		fdMap:  make(map[fsapi.FD]fsapi.FD),
+		dedup:  make(map[uint32]cachedResp),
+	}
+}
+
+// allocVFD assigns a virtual descriptor for a freshly opened local one,
+// preferring the identity so a never-failed-over group behaves exactly
+// like a standalone server.
+func (s *session) allocVFD(lfd fsapi.FD) fsapi.FD {
+	s.fdmu.Lock()
+	defer s.fdmu.Unlock()
+	v := lfd
+	if _, taken := s.fdMap[v]; taken || v < 0 {
+		v = s.nextV
+		for {
+			if _, taken := s.fdMap[v]; !taken {
+				break
+			}
+			v++
+		}
+	}
+	s.fdMap[v] = lfd
+	if v >= s.nextV {
+		s.nextV = v + 1
+	}
+	return v
+}
+
+// mapVFD installs an explicit virtual→local mapping (backup replay, where
+// the log dictates the virtual descriptor).
+func (s *session) mapVFD(vfd, lfd fsapi.FD) {
+	s.fdmu.Lock()
+	s.fdMap[vfd] = lfd
+	if vfd >= s.nextV {
+		s.nextV = vfd + 1
+	}
+	s.fdmu.Unlock()
+}
+
+// lookupVFD translates a client-held descriptor to this node's local one.
+func (s *session) lookupVFD(vfd fsapi.FD) (fsapi.FD, bool) {
+	s.fdmu.RLock()
+	lfd, ok := s.fdMap[vfd]
+	s.fdmu.RUnlock()
+	return lfd, ok
+}
+
+// unmapVFD drops a closed descriptor's mapping.
+func (s *session) unmapVFD(vfd fsapi.FD) {
+	s.fdmu.Lock()
+	delete(s.fdMap, vfd)
+	s.fdmu.Unlock()
+}
+
+// cacheResp remembers a request's response for idempotent replay. Caller
+// holds the node's log lock.
+func (s *session) cacheResp(id uint32, resp wire.Response, seq uint64) {
+	if old, ok := s.dedup[id]; ok {
+		// An ID reused this fast means the 4G-wide counter wrapped within
+		// the window; keep the newer answer.
+		s.dedupBytes -= len(old.resp.Data)
+	}
+	s.dedup[id] = cachedResp{resp: resp, seq: seq}
+	s.dedupFIFO = append(s.dedupFIFO, id)
+	s.dedupBytes += len(resp.Data)
+	for len(s.dedupFIFO) > maxDedupEntries ||
+		(s.dedupBytes > maxDedupBytes && len(s.dedupFIFO) > minDedupEntries) {
+		victim := s.dedupFIFO[0]
+		s.dedupFIFO = s.dedupFIFO[1:]
+		if old, ok := s.dedup[victim]; ok {
+			s.dedupBytes -= len(old.resp.Data)
+			delete(s.dedup, victim)
+		}
+	}
+}
+
+// Config parameterizes a Node.
+type Config struct {
+	// FS is the primary's mounted volume. nil for a backup (its volume
+	// arrives with the snapshot).
+	FS fsapi.FileSystem
+	// Advertise is the wire address clients and backups should use to
+	// reach this node (used in redirects and joins).
+	Advertise string
+	// Quorum is how many backups must acknowledge an operation before the
+	// client is. Capped at the number of live backup links: a group with
+	// none acknowledges alone. Default 1.
+	Quorum int
+	// PrimaryAddr is the primary a backup joins. Empty for a primary.
+	PrimaryAddr string
+	// HeartbeatInterval paces the primary's liveness beacons. Default 500ms.
+	HeartbeatInterval time.Duration
+	// FailoverGrace is how long a backup tolerates primary silence before
+	// it promotes itself (when AutoPromote). Default 2s.
+	FailoverGrace time.Duration
+	// AutoPromote lets a backup promote itself after FailoverGrace without
+	// primary contact.
+	AutoPromote bool
+	// DialTimeout bounds each join dial. Default 1s.
+	DialTimeout time.Duration
+	// Snapshot serializes the volume image for a joining backup. Called
+	// under the log lock — mutations are paused while it runs.
+	Snapshot func(w io.Writer) error
+	// Restore materializes a received snapshot into a mounted file system
+	// (backup side).
+	Restore func(img []byte) (fsapi.FileSystem, error)
+	// Logf receives replication diagnostics. Default: discard.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Quorum <= 0 {
+		c.Quorum = 1
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.FailoverGrace <= 0 {
+		c.FailoverGrace = 2 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Node is one member of a replication group. It implements the server's
+// Replica interface; the same Node serves as primary or backup depending
+// on its role, which promotion changes at runtime.
+type Node struct {
+	cfg Config
+
+	role  atomic.Int32
+	epoch atomic.Uint64
+
+	// mu is the log lock: it serializes sequence assignment with execution
+	// (log order is execution order), and guards fs, sessions, links, and
+	// every session's replay cache. cond broadcasts quorum progress.
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	fs       fsapi.FileSystem
+	seq      uint64
+	sessions map[uint64]*session
+	links    map[*link]struct{}
+	anonID   uint64 // synthesized session IDs for clients without one
+	closed   bool
+
+	// primaryAddr is the last known primary (for redirects from backups).
+	primaryAddr atomic.Value // string
+
+	// joinConn is the backup's live replication connection, closed by
+	// Promote/Close to unblock the join loop.
+	joinConn atomic.Value // net.Conn
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	m counters
+}
+
+// NewPrimary builds the group's founding primary serving fs at epoch 1.
+func NewPrimary(fs fsapi.FileSystem, cfg Config) *Node {
+	cfg.FS = fs
+	cfg.fillDefaults()
+	n := newNode(cfg)
+	n.fs = fs
+	n.role.Store(int32(RolePrimary))
+	n.epoch.Store(1)
+	n.primaryAddr.Store(cfg.Advertise)
+	return n
+}
+
+// NewBackup builds a backup that joins cfg.PrimaryAddr, restores the
+// snapshot, and follows the log until promoted or closed.
+func NewBackup(cfg Config) *Node {
+	cfg.fillDefaults()
+	n := newNode(cfg)
+	n.role.Store(int32(RoleBackup))
+	n.primaryAddr.Store(cfg.PrimaryAddr)
+	n.wg.Add(1)
+	go n.runBackup()
+	return n
+}
+
+func newNode(cfg Config) *Node {
+	n := &Node{
+		cfg:      cfg,
+		sessions: make(map[uint64]*session),
+		links:    make(map[*link]struct{}),
+		stop:     make(chan struct{}),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	return n
+}
+
+// Role reports the node's current role.
+func (n *Node) Role() Role { return Role(n.role.Load()) }
+
+// Epoch reports the node's current epoch.
+func (n *Node) Epoch() uint64 { return n.epoch.Load() }
+
+// Seq reports the last log sequence this node has assigned (primary) or
+// applied (backup).
+func (n *Node) Seq() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.seq
+}
+
+// Backups reports the number of live backup links (primary role).
+func (n *Node) Backups() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.links)
+}
+
+// Health reports the node's serving state for /healthz: "serving" on a
+// primary, "backup" otherwise.
+func (n *Node) Health() string {
+	if n.Role() == RolePrimary {
+		return "serving"
+	}
+	return "backup"
+}
+
+// Close stops the node: the backup join loop ends, replication links
+// close, and quorum waiters are released.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.wg.Wait()
+		return
+	}
+	n.closed = true
+	links := make([]*link, 0, len(n.links))
+	for l := range n.links {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+	close(n.stop)
+	for _, l := range links {
+		l.conn.Close()
+	}
+	if c, ok := n.joinConn.Load().(interface{ Close() error }); ok && c != nil {
+		c.Close()
+	}
+	n.cond.Broadcast()
+	n.wg.Wait()
+}

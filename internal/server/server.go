@@ -24,6 +24,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -37,11 +38,46 @@ import (
 	"simurgh/internal/wire"
 )
 
+// Replica is the replication layer's hook surface (implemented by
+// internal/replica.Node). The server stays ignorant of roles, epochs, and
+// quorums; it routes attaches and state-changing operations through the
+// hook and hands replication-protocol connections over wholesale.
+type Replica interface {
+	// AttachClient routes a client attach: on the primary it returns the
+	// session (resuming an existing one when clientID matches), on a
+	// backup it fails with wire.ErrNotPrimary and a redirect address.
+	AttachClient(cred fsapi.Cred, clientID uint64) (c fsapi.Client, sessID uint64, redirect string, err error)
+	// Apply executes one replicated operation: exec runs under the log
+	// lock, the entry ships to the backups, and the returned sequence is
+	// what WaitQuorum gates on. Duplicate request IDs (a client replaying
+	// after failover) are answered from the session's replay cache without
+	// re-executing.
+	Apply(sessID uint64, req *wire.Request, exec func() wire.Response) (wire.Response, uint64)
+	// WaitQuorum blocks until the configured quorum of live backups has
+	// acknowledged seq (immediately when no backup is connected).
+	WaitQuorum(seq uint64)
+	// ReleaseSession marks a session's connection gone without detaching
+	// it, so a failed-over client can resume it.
+	ReleaseSession(sessID uint64)
+	// HandleJoin takes ownership of a backup's replication connection
+	// (snapshot transfer, log shipping, heartbeats) and blocks until the
+	// link dies.
+	HandleJoin(conn net.Conn, fr *wire.FrameReader, payload []byte) error
+	// Promote makes this node the primary (admin op), returning the new
+	// epoch.
+	Promote() (uint64, error)
+}
+
 // Config parameterizes a Server. The zero value of every field selects a
 // sensible default.
 type Config struct {
-	// FS is the volume to serve. Required.
+	// FS is the volume to serve. Required unless Replica is set (a backup
+	// has no volume until its snapshot restores; the replication layer
+	// supplies the clients).
 	FS fsapi.FileSystem
+	// Replica, when set, routes attaches and state-changing operations
+	// through the replication layer.
+	Replica Replica
 	// MaxConns bounds concurrently open connections; further accepts are
 	// refused with a KindErr frame. Default 256.
 	MaxConns int
@@ -112,6 +148,7 @@ type session struct {
 	srv    *Server
 	conn   net.Conn
 	client fsapi.Client
+	sessID uint64 // replication session identity (0 without a Replica)
 
 	wmu  sync.Mutex
 	bufw *bufWriter
@@ -146,7 +183,7 @@ func (b *bufWriter) Flush() error {
 
 // New builds a Server for cfg. Call Serve to start accepting.
 func New(cfg Config) (*Server, error) {
-	if cfg.FS == nil {
+	if cfg.FS == nil && cfg.Replica == nil {
 		return nil, errors.New("server: Config.FS is required")
 	}
 	cfg.fillDefaults()
@@ -228,20 +265,32 @@ func (s *Server) handleConn(conn net.Conn) {
 	// The handshake must arrive promptly; afterwards the connection may
 	// idle indefinitely between batches.
 	conn.SetReadDeadline(time.Now().Add(s.cfg.RequestTimeout))
-	if err := s.handshake(fr, sess); err != nil {
+	done, err := s.handshake(fr, sess)
+	if err != nil {
 		s.m.attachErrors.Add(1)
 		s.cfg.Logf("server: attach from %s failed: %v", conn.RemoteAddr(), err)
 		s.writeErrFrame(sess, err)
 		return
 	}
+	if done {
+		// The handshake consumed the whole connection (a replication join
+		// that has since died, a redirect, an admin promote).
+		return
+	}
 	conn.SetReadDeadline(time.Time{})
 	s.m.sessions.Add(1)
 
-	err := s.readLoop(fr, sess)
+	err = s.readLoop(fr, sess)
 	// Let queued and executing batches flush their replies before the
 	// deferred close; their responses are the last frames of the session.
 	sess.inflight.Wait()
-	sess.client.Detach()
+	if s.cfg.Replica != nil {
+		// Keep the session resumable: the client may be failing over, not
+		// leaving. An explicit OpDetach already tore it down via Apply.
+		s.cfg.Replica.ReleaseSession(sess.sessID)
+	} else {
+		sess.client.Detach()
+	}
 	if err != nil && !errors.Is(err, io.EOF) && !s.draining.Load() {
 		s.m.protoErrors.Add(1)
 		s.cfg.Logf("server: conn %s: %v", conn.RemoteAddr(), err)
@@ -249,33 +298,90 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// handshake expects the KindAttach frame, attaches to the volume, and
-// acknowledges with the file system name.
-func (s *Server) handshake(fr *wire.FrameReader, sess *session) error {
+// handshake expects the opening frame: KindAttach from clients (attach to
+// the volume, acknowledge with the file system name), KindJoin from a
+// backup enlisting for replication, or KindPromote from an admin. done
+// reports that the connection needs no batch loop.
+func (s *Server) handshake(fr *wire.FrameReader, sess *session) (done bool, err error) {
 	kind, payload, err := fr.Next()
 	if err != nil {
-		return fmt.Errorf("reading attach: %w", err)
+		return false, fmt.Errorf("reading attach: %w", err)
 	}
 	s.m.framesRead.Add(1)
-	if kind != wire.KindAttach {
-		return fmt.Errorf("%w: expected attach, got kind %d", wire.ErrBadMessage, kind)
+	switch kind {
+	case wire.KindAttach:
+	case wire.KindJoin:
+		if s.cfg.Replica == nil {
+			return false, fmt.Errorf("%w: join without replication", wire.ErrBadMessage)
+		}
+		sess.conn.SetReadDeadline(time.Time{})
+		if err := s.cfg.Replica.HandleJoin(sess.conn, fr, payload); err != nil && !s.draining.Load() {
+			s.cfg.Logf("server: replication link %s: %v", sess.conn.RemoteAddr(), err)
+		}
+		return true, nil
+	case wire.KindPromote:
+		if s.cfg.Replica == nil {
+			return false, fmt.Errorf("%w: promote without replication", wire.ErrBadMessage)
+		}
+		epoch, err := s.cfg.Replica.Promote()
+		if err != nil {
+			return false, err
+		}
+		sess.wmu.Lock()
+		defer sess.wmu.Unlock()
+		var pl [8]byte
+		binary.LittleEndian.PutUint64(pl[:], epoch)
+		if err := wire.WriteFrame(sess.bufw, wire.KindPromoteOK, pl[:]); err != nil {
+			return false, err
+		}
+		s.m.framesWritten.Add(1)
+		return true, sess.bufw.Flush()
+	default:
+		return false, fmt.Errorf("%w: expected attach, got kind %d", wire.ErrBadMessage, kind)
 	}
-	cred, err := wire.ParseAttach(payload)
+	cred, clientID, err := wire.ParseAttach(payload)
 	if err != nil {
-		return err
+		return false, err
 	}
-	client, err := s.cfg.FS.Attach(cred)
-	if err != nil {
-		return err
+	var client fsapi.Client
+	var name string
+	if s.cfg.Replica != nil {
+		var sessID uint64
+		var redirect string
+		client, sessID, redirect, err = s.cfg.Replica.AttachClient(cred, clientID)
+		if errors.Is(err, wire.ErrNotPrimary) {
+			sess.wmu.Lock()
+			defer sess.wmu.Unlock()
+			rdr := wire.Redirect{Addr: redirect}
+			if err := wire.WriteFrame(sess.bufw, wire.KindRedirect, wire.AppendRedirect(nil, &rdr)); err != nil {
+				return false, err
+			}
+			s.m.framesWritten.Add(1)
+			return true, sess.bufw.Flush()
+		}
+		if err != nil {
+			return false, err
+		}
+		sess.sessID = sessID
+		name = "replicated"
+		if s.cfg.FS != nil {
+			name = s.cfg.FS.Name()
+		}
+	} else {
+		client, err = s.cfg.FS.Attach(cred)
+		if err != nil {
+			return false, err
+		}
+		name = s.cfg.FS.Name()
 	}
 	sess.client = client
 	sess.wmu.Lock()
 	defer sess.wmu.Unlock()
-	if err := wire.WriteFrame(sess.bufw, wire.KindAttachOK, []byte(s.cfg.FS.Name())); err != nil {
-		return err
+	if err := wire.WriteFrame(sess.bufw, wire.KindAttachOK, []byte(name)); err != nil {
+		return false, err
 	}
 	s.m.framesWritten.Add(1)
-	return sess.bufw.Flush()
+	return false, sess.bufw.Flush()
 }
 
 // readLoop decodes batch frames and submits them to the worker pool until
@@ -352,12 +458,29 @@ const replyBudget = wire.MaxFrame - 1
 
 // runBatch executes one batch's operations in order against the session's
 // client and writes the reply frames, splitting whenever the accumulated
-// responses would overflow one frame.
+// responses would overflow one frame. With a Replica configured,
+// state-changing operations detour through the replication log, and each
+// reply frame waits for the quorum to cover the highest sequence it
+// carries — acks pipeline across a batch instead of stalling per op.
 func (s *Server) runBatch(j *job) {
 	defer j.sess.inflight.Done()
+	rep := s.cfg.Replica
+	var pendingSeq uint64
 	var payload, one []byte
 	for i := range j.reqs {
-		resp := execute(j.sess.client, &j.reqs[i])
+		var resp wire.Response
+		if rep != nil && j.reqs[i].Op.Replicated() {
+			var seq uint64
+			req := &j.reqs[i]
+			resp, seq = rep.Apply(j.sess.sessID, req, func() wire.Response {
+				return wire.Execute(j.sess.client, req)
+			})
+			if seq > pendingSeq {
+				pendingSeq = seq
+			}
+		} else {
+			resp = wire.Execute(j.sess.client, &j.reqs[i])
+		}
 		one = wire.AppendResponse(one[:0], &resp)
 		if len(one) > replyBudget {
 			// A single response no frame can carry (an enormous directory
@@ -374,6 +497,9 @@ func (s *Server) runBatch(j *job) {
 			s.m.requestErrors.Add(1)
 		}
 		if len(payload) > 0 && len(payload)+len(one) > replyBudget {
+			if rep != nil && pendingSeq > 0 {
+				rep.WaitQuorum(pendingSeq)
+			}
 			if err := s.writeReply(j.sess, payload); err != nil {
 				s.cfg.Logf("server: reply to %s failed: %v", j.sess.conn.RemoteAddr(), err)
 				j.sess.conn.Close() // unwedge the reader; the session is dead
@@ -382,6 +508,9 @@ func (s *Server) runBatch(j *job) {
 			payload = payload[:0]
 		}
 		payload = append(payload, one...)
+	}
+	if rep != nil && pendingSeq > 0 {
+		rep.WaitQuorum(pendingSeq)
 	}
 	if err := s.writeReply(j.sess, payload); err != nil {
 		s.cfg.Logf("server: reply to %s failed: %v", j.sess.conn.RemoteAddr(), err)
@@ -410,6 +539,30 @@ func (s *Server) writeErrFrame(sess *session, err error) {
 		s.m.framesWritten.Add(1)
 		sess.bufw.Flush()
 	}
+}
+
+// Draining reports whether Shutdown has begun (for health endpoints).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Abort terminates the server immediately — no drain, no flushed replies,
+// connections cut mid-frame. It exists so crash tests can approximate a
+// SIGKILLed daemon in-process; production shutdown is Shutdown.
+func (s *Server) Abort() {
+	s.shutdownOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+		s.mu.Lock()
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.connWG.Wait()
+		close(s.work)
+		s.workerWG.Wait()
+	})
 }
 
 // Shutdown gracefully drains the server: stop accepting, nudge idle
@@ -453,82 +606,4 @@ func (s *Server) shutdown() {
 	// queue can close and the workers run it dry.
 	close(s.work)
 	s.workerWG.Wait()
-}
-
-// execute runs one decoded request against the session's client and builds
-// its response. Unknown sizes were already bounded by the decoder.
-func execute(c fsapi.Client, req *wire.Request) wire.Response {
-	resp := wire.Response{ID: req.ID, Op: req.Op}
-	var err error
-	switch req.Op {
-	case wire.OpCreate:
-		resp.FD, err = c.Create(req.Path, req.Perm)
-	case wire.OpOpen:
-		resp.FD, err = c.Open(req.Path, fsapi.OpenFlag(req.Flags), req.Perm)
-	case wire.OpClose:
-		err = c.Close(req.FD)
-	case wire.OpRead:
-		p := make([]byte, req.Size)
-		var n int
-		n, err = c.Read(req.FD, p)
-		resp.Data = p[:n]
-	case wire.OpPread:
-		p := make([]byte, req.Size)
-		var n int
-		n, err = c.Pread(req.FD, p, req.Off)
-		resp.Data = p[:n]
-	case wire.OpWrite:
-		var n int
-		n, err = c.Write(req.FD, req.Data)
-		resp.N = uint32(n)
-	case wire.OpPwrite:
-		var n int
-		n, err = c.Pwrite(req.FD, req.Data, req.Off)
-		resp.N = uint32(n)
-	case wire.OpSeek:
-		resp.Off, err = c.Seek(req.FD, int64(req.Off), int(req.Flags))
-	case wire.OpFsync:
-		err = c.Fsync(req.FD)
-	case wire.OpFtruncate:
-		err = c.Ftruncate(req.FD, req.Off)
-	case wire.OpFallocate:
-		err = c.Fallocate(req.FD, req.Off)
-	case wire.OpFstat:
-		resp.Stat, err = c.Fstat(req.FD)
-	case wire.OpStat:
-		resp.Stat, err = c.Stat(req.Path)
-	case wire.OpLstat:
-		resp.Stat, err = c.Lstat(req.Path)
-	case wire.OpMkdir:
-		err = c.Mkdir(req.Path, req.Perm)
-	case wire.OpRmdir:
-		err = c.Rmdir(req.Path)
-	case wire.OpUnlink:
-		err = c.Unlink(req.Path)
-	case wire.OpRename:
-		err = c.Rename(req.Path, req.Path2)
-	case wire.OpSymlink:
-		err = c.Symlink(req.Path, req.Path2)
-	case wire.OpLink:
-		err = c.Link(req.Path, req.Path2)
-	case wire.OpReadlink:
-		resp.Str, err = c.Readlink(req.Path)
-	case wire.OpReadDir:
-		resp.Dir, err = c.ReadDir(req.Path)
-	case wire.OpChmod:
-		err = c.Chmod(req.Path, req.Perm)
-	case wire.OpUtimes:
-		err = c.Utimes(req.Path, int64(req.Off), int64(req.Off2))
-	case wire.OpDetach:
-		err = c.Detach()
-	default:
-		err = fsapi.ErrInval
-	}
-	if err != nil {
-		resp.Code = wire.CodeOf(err)
-		resp.Msg = wire.MsgFor(resp.Code, err)
-		resp.Data, resp.Str, resp.Dir = nil, "", nil
-		resp.Stat = fsapi.Stat{}
-	}
-	return resp
 }

@@ -6,16 +6,26 @@
 // so N goroutines issuing calls concurrently share round trips instead of
 // paying one each. Replies are matched by request ID, out of order.
 //
+// A Remote may name several addresses (a replicated primary/backup group):
+// attaches probe the list, follow KindRedirect frames to the current
+// primary, and — when failover is enabled — a Session that loses its
+// connection re-attaches to whichever node now serves the volume, resumes
+// its server-side session by client ID, and replays its unacknowledged
+// requests (the server deduplicates by request ID, so replays are
+// exactly-once for replicated operations).
+//
 // The packages above this one do not know the network exists: fstest's
 // conformance suite, simurghbench, and simurghsh run unmodified against a
 // Remote.
 package client
 
 import (
+	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,9 +37,16 @@ import (
 // ErrClosed reports use of a detached or failed session.
 var ErrClosed = errors.New("wire client: session closed")
 
+// ErrNoPrimary reports that no address of the dial list produced a serving
+// primary within the failover budget.
+var ErrNoPrimary = errors.New("wire client: no reachable primary")
+
 // maxCoalesce bounds the payload the writer merges into one batch frame,
 // leaving frame-header headroom under wire.MaxFrame.
 const maxCoalesce = wire.MaxFrame - 1024
+
+// maxRedirectHops bounds how many KindRedirect frames one attach follows.
+const maxRedirectHops = 4
 
 // Options tunes a Remote.
 type Options struct {
@@ -38,39 +55,159 @@ type Options struct {
 	// Warm pre-dials this many idle connections at Dial time so the first
 	// attaches skip connect latency. Default 0.
 	Warm int
+	// IdleTimeout reaps pooled connections that have sat idle this long,
+	// so a burst of traffic does not pin sockets forever. Default 60s.
+	IdleTimeout time.Duration
+	// FailoverTimeout is the total budget a disconnected session spends
+	// re-resolving the primary before it fails permanently. Zero disables
+	// reconnection unless the dial list has more than one address, in
+	// which case the default is 10s.
+	FailoverTimeout time.Duration
+	// OverloadRetries bounds transparent retries of a call answered with
+	// CodeOverload (the server means "try again"). Default 4; negative
+	// disables retrying.
+	OverloadRetries int
+	// OverloadBackoff is the first retry's backoff (jittered, doubling).
+	// Default 2ms.
+	OverloadBackoff time.Duration
+	// OverloadBudget caps the total delay overload retries may add to one
+	// call. Default 1s.
+	OverloadBudget time.Duration
+}
+
+func (o *Options) fillDefaults(multiAddr bool) {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 60 * time.Second
+	}
+	if o.FailoverTimeout <= 0 && multiAddr {
+		o.FailoverTimeout = 10 * time.Second
+	}
+	if o.OverloadRetries == 0 {
+		o.OverloadRetries = 4
+	}
+	if o.OverloadBackoff <= 0 {
+		o.OverloadBackoff = 2 * time.Millisecond
+	}
+	if o.OverloadBudget <= 0 {
+		o.OverloadBudget = time.Second
+	}
+}
+
+// Stats is a point-in-time snapshot of a Remote's client-side counters.
+type Stats struct {
+	// Dials counts TCP connections established.
+	Dials uint64
+	// OverloadRetries counts calls transparently retried after a
+	// CodeOverload answer.
+	OverloadRetries uint64
+	// Redirects counts KindRedirect frames followed to another node.
+	Redirects uint64
+	// Failovers counts successful session re-attaches after a lost
+	// connection.
+	Failovers uint64
+	// Replays counts requests re-sent during failovers.
+	Replays uint64
+	// IdleReaped counts pooled connections closed by the idle reaper.
+	IdleReaped uint64
+}
+
+// stats is the live (atomic) form of Stats, shared by Remote and Sessions.
+type stats struct {
+	dials           atomic.Uint64
+	overloadRetries atomic.Uint64
+	redirects       atomic.Uint64
+	failovers       atomic.Uint64
+	replays         atomic.Uint64
+	idleReaped      atomic.Uint64
+}
+
+func (s *stats) snapshot() Stats {
+	return Stats{
+		Dials:           s.dials.Load(),
+		OverloadRetries: s.overloadRetries.Load(),
+		Redirects:       s.redirects.Load(),
+		Failovers:       s.failovers.Load(),
+		Replays:         s.replays.Load(),
+		IdleReaped:      s.idleReaped.Load(),
+	}
+}
+
+// idleConn is one pooled, not-yet-handshaken connection.
+type idleConn struct {
+	c     net.Conn
+	since time.Time
 }
 
 // Remote is a served volume reached over the network. It implements
 // fsapi.FileSystem: Attach opens (or reuses) a connection and performs the
 // wire handshake.
 type Remote struct {
-	addr string
-	opts Options
+	addrs []string
+	opts  Options
+	st    stats
 
-	mu     sync.Mutex
-	idle   []net.Conn // connected but not yet handshaken
-	name   string     // remote FS name, learned from the first AttachOK
-	closed bool
+	mu      sync.Mutex
+	idle    []idleConn
+	name    string // remote FS name, learned from the first AttachOK
+	primary string // last address that served an attach
+	closed  bool
+	reaper  chan struct{} // closes the reaper goroutine; nil before it starts
 }
 
-// Dial prepares a Remote for addr. The server is first contacted at Attach
-// (or immediately, for Options.Warm pre-dialed connections).
+// Dial prepares a Remote for addr — a host:port, or a comma-separated list
+// of them (a replication group; the client finds the primary). The servers
+// are first contacted at Attach (or immediately, for Options.Warm
+// pre-dialed connections).
 func Dial(addr string, opts Options) (*Remote, error) {
-	if opts.DialTimeout <= 0 {
-		opts.DialTimeout = 5 * time.Second
+	addrs := splitAddrs(addr)
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("wire client: empty address")
 	}
-	r := &Remote{addr: addr, opts: opts}
+	opts.fillDefaults(len(addrs) > 1)
+	r := &Remote{addrs: addrs, opts: opts, primary: addrs[0]}
 	for i := 0; i < opts.Warm; i++ {
-		conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		conn, err := r.dial(addrs[0])
 		if err != nil {
 			r.Close()
 			return nil, err
 		}
 		r.mu.Lock()
-		r.idle = append(r.idle, conn)
+		r.idle = append(r.idle, idleConn{c: conn, since: time.Now()})
+		r.startReaperLocked()
 		r.mu.Unlock()
 	}
 	return r, nil
+}
+
+func splitAddrs(addr string) []string {
+	var out []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (r *Remote) dial(addr string) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, r.opts.DialTimeout)
+	if err == nil {
+		r.st.dials.Add(1)
+	}
+	return conn, err
+}
+
+// Stats snapshots the client-side counters.
+func (r *Remote) Stats() Stats { return r.st.snapshot() }
+
+// PoolSize reports how many pre-dialed idle connections are pooled.
+func (r *Remote) PoolSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.idle)
 }
 
 // Name identifies the remote file system once known ("wire(<addr>)" before
@@ -81,82 +218,190 @@ func (r *Remote) Name() string {
 	if r.name != "" {
 		return "wire(" + r.name + ")"
 	}
-	return "wire(" + r.addr + ")"
+	return "wire(" + strings.Join(r.addrs, ",") + ")"
 }
 
-// Close releases idle connections. Live sessions are unaffected; detach
-// them individually.
+// Close releases idle connections and stops the reaper. Live sessions are
+// unaffected; detach them individually.
 func (r *Remote) Close() error {
 	r.mu.Lock()
 	idle := r.idle
 	r.idle, r.closed = nil, true
+	if r.reaper != nil {
+		close(r.reaper)
+		r.reaper = nil
+	}
 	r.mu.Unlock()
-	for _, c := range idle {
-		c.Close()
+	for _, ic := range idle {
+		ic.c.Close()
 	}
 	return nil
 }
 
-// conn returns a transport: a pre-dialed idle connection when one is
-// available, a fresh dial otherwise.
-func (r *Remote) conn() (net.Conn, error) {
+// startReaperLocked launches the idle-pool reaper if it is not running.
+func (r *Remote) startReaperLocked() {
+	if r.reaper != nil || r.closed {
+		return
+	}
+	stop := make(chan struct{})
+	r.reaper = stop
+	interval := r.opts.IdleTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				r.reapIdle(time.Now())
+			}
+		}
+	}()
+}
+
+// reapIdle closes pooled connections idle beyond IdleTimeout.
+func (r *Remote) reapIdle(now time.Time) {
+	var dead []net.Conn
 	r.mu.Lock()
-	if n := len(r.idle); n > 0 {
-		c := r.idle[n-1]
-		r.idle = r.idle[:n-1]
-		r.mu.Unlock()
-		return c, nil
+	kept := r.idle[:0]
+	for _, ic := range r.idle {
+		if now.Sub(ic.since) >= r.opts.IdleTimeout {
+			dead = append(dead, ic.c)
+		} else {
+			kept = append(kept, ic)
+		}
+	}
+	r.idle = kept
+	r.mu.Unlock()
+	for _, c := range dead {
+		c.Close()
+		r.st.idleReaped.Add(1)
+	}
+}
+
+// conn returns a transport to addr: a pooled idle connection when one is
+// available (pooled connections all point at the first address), a fresh
+// dial otherwise.
+func (r *Remote) conn(addr string) (net.Conn, error) {
+	r.mu.Lock()
+	if addr == r.addrs[0] {
+		if n := len(r.idle); n > 0 {
+			ic := r.idle[n-1]
+			r.idle = r.idle[:n-1]
+			r.mu.Unlock()
+			return ic.c, nil
+		}
 	}
 	r.mu.Unlock()
-	return net.DialTimeout("tcp", r.addr, r.opts.DialTimeout)
+	return r.dial(addr)
+}
+
+// redirectErr carries a KindRedirect answer out of the handshake.
+type redirectErr struct{ addr string }
+
+func (e *redirectErr) Error() string { return "wire client: redirected to " + e.addr }
+
+// attachConn resolves the current primary and performs one attach
+// handshake there: it tries the last known-good address first, follows
+// redirects, and falls back to the rest of the dial list. On success the
+// session keeps conn and fr.
+func (r *Remote) attachConn(cred fsapi.Cred, clientID uint64) (net.Conn, *wire.FrameReader, error) {
+	r.mu.Lock()
+	first := r.primary
+	r.mu.Unlock()
+	candidates := make([]string, 0, len(r.addrs)+1)
+	candidates = append(candidates, first)
+	for _, a := range r.addrs {
+		if a != first {
+			candidates = append(candidates, a)
+		}
+	}
+	var lastErr error
+	for _, addr := range candidates {
+		for hop := 0; addr != "" && hop < maxRedirectHops; hop++ {
+			conn, err := r.conn(addr)
+			if err != nil {
+				lastErr = err
+				break
+			}
+			fr := wire.NewFrameReader(conn)
+			name, err := handshake(conn, fr, cred, clientID, r.opts.DialTimeout)
+			if err == nil {
+				r.mu.Lock()
+				r.name, r.primary = name, addr
+				r.mu.Unlock()
+				return conn, fr, nil
+			}
+			conn.Close()
+			var rdr *redirectErr
+			if errors.As(err, &rdr) {
+				r.st.redirects.Add(1)
+				addr = rdr.addr
+				lastErr = fmt.Errorf("%w (redirect loop?)", wire.ErrNotPrimary)
+				continue
+			}
+			lastErr = err
+			break
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrNoPrimary
+	}
+	return nil, nil, lastErr
 }
 
 // Attach opens a session for cred: one connection, one server-side
 // fsapi.Client with its own open-file table — the remote equivalent of a
 // process preloading the library.
 func (r *Remote) Attach(cred fsapi.Cred) (fsapi.Client, error) {
-	conn, err := r.conn()
+	clientID := newClientID()
+	conn, fr, err := r.attachConn(cred, clientID)
 	if err != nil {
 		return nil, err
 	}
-	fr := wire.NewFrameReader(conn)
-	name, err := handshake(conn, fr, cred, r.opts.DialTimeout)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	r.mu.Lock()
-	r.name = name
-	r.mu.Unlock()
-
 	s := &Session{
-		conn:    conn,
-		fr:      fr,
-		pending: make(map[uint32]chan wire.Response),
-		sendq:   make(chan sendItem, 256),
-		dead:    make(chan struct{}),
+		r:        r,
+		cred:     cred,
+		clientID: clientID,
+		pend:     make(map[uint32]*pendingCall),
+		sendq:    make(chan sendItem, 256),
+		dead:     make(chan struct{}),
 	}
-	go s.writeLoop()
-	go s.readLoop()
+	s.resetTransport(conn, fr)
 	return s, nil
 }
 
 // handshake sends KindAttach and waits for KindAttachOK, returning the
 // server's file system name. fr must be the reader the session will keep
-// using, so no buffered bytes are lost across the handoff.
-func handshake(conn net.Conn, fr *wire.FrameReader, cred fsapi.Cred, timeout time.Duration) (string, error) {
+// using, so no buffered bytes are lost across the handoff. A KindRedirect
+// answer surfaces as *redirectErr.
+func handshake(conn net.Conn, fr *wire.FrameReader, cred fsapi.Cred, clientID uint64, timeout time.Duration) (string, error) {
 	conn.SetDeadline(time.Now().Add(timeout))
 	defer conn.SetDeadline(time.Time{})
-	if err := wire.WriteFrame(conn, wire.KindAttach, wire.AppendAttach(nil, cred)); err != nil {
-		return "", err
-	}
+	werr := wire.WriteFrame(conn, wire.KindAttach, wire.AppendAttach(nil, cred, clientID))
+	// A write failure usually means the server refused us (conn limit,
+	// draining) and closed after sending an error frame; that frame is
+	// the real answer, so try to read it before surfacing the raw error.
 	kind, payload, err := fr.Next()
 	if err != nil {
+		if werr != nil {
+			return "", werr
+		}
 		return "", err
 	}
 	switch kind {
 	case wire.KindAttachOK:
 		return string(payload), nil
+	case wire.KindRedirect:
+		rdr, err := wire.ParseRedirect(payload)
+		if err != nil {
+			return "", err
+		}
+		return "", &redirectErr{addr: rdr.Addr}
 	case wire.KindErr:
 		return "", wire.ParseErrFrame(payload)
 	default:
@@ -164,544 +409,50 @@ func handshake(conn net.Conn, fr *wire.FrameReader, cred fsapi.Cred, timeout tim
 	}
 }
 
-// sendItem is one encoded request group queued for the writer.
-type sendItem struct {
-	payload []byte
-	n       int // requests in payload
-}
-
-// Session is one attached remote client. Safe for concurrent use; calls
-// from multiple goroutines coalesce into shared batch frames.
-type Session struct {
-	conn net.Conn
-	fr   *wire.FrameReader
-
-	seq     atomic.Uint32
-	mu      sync.Mutex
-	pending map[uint32]chan wire.Response
-
-	sendq chan sendItem
-
-	failOnce sync.Once
-	dead     chan struct{}
-	deadErr  error
-}
-
-// fail terminates the session once: records err, wakes every waiter, and
-// closes the transport.
-func (s *Session) fail(err error) {
-	s.failOnce.Do(func() {
-		s.deadErr = err
-		close(s.dead)
-		s.conn.Close()
-	})
-}
-
-// err returns the session's terminal error.
-func (s *Session) err() error {
-	select {
-	case <-s.dead:
-		if s.deadErr != nil {
-			return s.deadErr
+// newClientID draws a nonzero 64-bit session-resume identity.
+func newClientID() uint64 {
+	var b [8]byte
+	for {
+		if _, err := crand.Read(b[:]); err != nil {
+			// Entropy exhaustion is not a real failure mode on supported
+			// platforms; a time-derived ID keeps us running regardless.
+			return uint64(time.Now().UnixNano()) | 1
 		}
-		return ErrClosed
+		if id := binary.LittleEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+}
+
+// Promote asks the node at addr to become the primary (the admin side of
+// the replication protocol) and returns the new epoch.
+func Promote(addr string, timeout time.Duration) (uint64, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := wire.WriteFrame(conn, wire.KindPromote, nil); err != nil {
+		return 0, err
+	}
+	fr := wire.NewFrameReader(conn)
+	kind, payload, err := fr.Next()
+	if err != nil {
+		return 0, err
+	}
+	switch kind {
+	case wire.KindPromoteOK:
+		if len(payload) < 8 {
+			return 0, wire.ErrTruncated
+		}
+		return binary.LittleEndian.Uint64(payload), nil
+	case wire.KindErr:
+		return 0, wire.ParseErrFrame(payload)
 	default:
-		return nil
+		return 0, fmt.Errorf("%w: unexpected kind %d", wire.ErrBadMessage, kind)
 	}
-}
-
-// writeLoop drains the send queue, merging everything immediately available
-// into one KindBatch frame, written with a single conn.Write per frame.
-func (s *Session) writeLoop() {
-	frame := make([]byte, 0, 64<<10)
-	var held *sendItem
-	for {
-		var first sendItem
-		if held != nil {
-			first, held = *held, nil
-		} else {
-			select {
-			case first = <-s.sendq:
-			case <-s.dead:
-				return
-			}
-		}
-		// Reserve the 5-byte frame header, patch the length afterwards.
-		frame = append(frame[:0], 0, 0, 0, 0, byte(wire.KindBatch))
-		frame = append(frame, first.payload...)
-		count := first.n
-	coalesce:
-		for count < wire.MaxBatch {
-			select {
-			case it := <-s.sendq:
-				if len(frame)-5+len(it.payload) > maxCoalesce || count+it.n > wire.MaxBatch {
-					held = &it
-					break coalesce
-				}
-				frame = append(frame, it.payload...)
-				count += it.n
-			default:
-				break coalesce
-			}
-		}
-		binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
-		if _, err := s.conn.Write(frame); err != nil {
-			s.fail(err)
-			return
-		}
-	}
-}
-
-// readLoop decodes reply frames and routes each response to its waiter.
-func (s *Session) readLoop() {
-	for {
-		kind, payload, err := s.fr.Next()
-		if err != nil {
-			s.fail(err)
-			return
-		}
-		switch kind {
-		case wire.KindReply:
-			resps, err := wire.DecodeReply(payload)
-			if err != nil {
-				s.fail(err)
-				return
-			}
-			for i := range resps {
-				s.mu.Lock()
-				ch := s.pending[resps[i].ID]
-				delete(s.pending, resps[i].ID)
-				s.mu.Unlock()
-				if ch != nil {
-					ch <- resps[i] // buffered; never blocks
-				}
-			}
-		case wire.KindErr:
-			s.fail(wire.ParseErrFrame(payload))
-			return
-		default:
-			s.fail(fmt.Errorf("%w: unexpected kind %d", wire.ErrBadMessage, kind))
-			return
-		}
-	}
-}
-
-// Submit sends reqs as one explicit batch (IDs are assigned in place) and
-// returns the responses in request order. It is the deterministic-batch
-// interface for benchmarks; the fsapi methods use it one request at a time
-// and rely on writer coalescing instead.
-func (s *Session) Submit(reqs []wire.Request) ([]wire.Response, error) {
-	if len(reqs) == 0 {
-		return nil, nil
-	}
-	if len(reqs) > wire.MaxBatch {
-		return nil, fmt.Errorf("%w: %d requests > %d", wire.ErrBadMessage, len(reqs), wire.MaxBatch)
-	}
-	// Oversized paths are refused here, before any bytes hit the wire: the
-	// server's decoder would reject them as a protocol error and tear down
-	// the whole connection (and paths beyond uint16 would not even encode).
-	for i := range reqs {
-		if len(reqs[i].Path) > wire.MaxPath || len(reqs[i].Path2) > wire.MaxPath {
-			return nil, fsapi.ErrNameTooLong
-		}
-	}
-	if err := s.err(); err != nil {
-		return nil, err
-	}
-	chans := make([]chan wire.Response, len(reqs))
-	var payload []byte
-	s.mu.Lock()
-	for i := range reqs {
-		// IDs are uint32 on the wire, so a long-lived session's counter can
-		// wrap; skip past any ID still pending so a reply is never routed
-		// to the wrong waiter.
-		id := s.seq.Add(1)
-		for {
-			if _, busy := s.pending[id]; !busy {
-				break
-			}
-			id = s.seq.Add(1)
-		}
-		reqs[i].ID = id
-		chans[i] = make(chan wire.Response, 1)
-		s.pending[id] = chans[i]
-		payload = wire.AppendRequest(payload, &reqs[i])
-	}
-	s.mu.Unlock()
-	if len(payload) > maxCoalesce {
-		s.unregister(reqs)
-		return nil, wire.ErrFrameTooLarge
-	}
-	select {
-	case s.sendq <- sendItem{payload: payload, n: len(reqs)}:
-	case <-s.dead:
-		s.unregister(reqs)
-		return nil, s.err()
-	}
-	out := make([]wire.Response, len(reqs))
-	for i := range chans {
-		resp, err := s.wait(chans[i])
-		if err != nil {
-			s.unregister(reqs[i:])
-			return nil, err
-		}
-		out[i] = resp
-	}
-	return out, nil
-}
-
-// unregister removes reqs' pending entries after a failed submit.
-func (s *Session) unregister(reqs []wire.Request) {
-	s.mu.Lock()
-	for i := range reqs {
-		delete(s.pending, reqs[i].ID)
-	}
-	s.mu.Unlock()
-}
-
-// wait blocks for one response, preferring a delivered response over the
-// session's death (the reply may have raced the failure).
-func (s *Session) wait(ch chan wire.Response) (wire.Response, error) {
-	select {
-	case r := <-ch:
-		return r, nil
-	case <-s.dead:
-		select {
-		case r := <-ch:
-			return r, nil
-		default:
-		}
-		return wire.Response{}, s.err()
-	}
-}
-
-// call performs one request/response round trip.
-func (s *Session) call(req wire.Request) (wire.Response, error) {
-	one := [1]wire.Request{req}
-	resps, err := s.Submit(one[:])
-	if err != nil {
-		return wire.Response{}, err
-	}
-	return resps[0], nil
-}
-
-// --- fsapi.Client ---------------------------------------------------------
-
-// Create creates a regular file and opens it for writing.
-func (s *Session) Create(path string, perm uint32) (fsapi.FD, error) {
-	resp, err := s.call(wire.Request{Op: wire.OpCreate, Path: path, Perm: perm})
-	if err != nil {
-		return -1, err
-	}
-	if err := resp.Err(); err != nil {
-		return -1, err
-	}
-	return resp.FD, nil
-}
-
-// Open opens an existing file (or creates with OCreate).
-func (s *Session) Open(path string, flags fsapi.OpenFlag, perm uint32) (fsapi.FD, error) {
-	resp, err := s.call(wire.Request{Op: wire.OpOpen, Path: path, Flags: uint32(flags), Perm: perm})
-	if err != nil {
-		return -1, err
-	}
-	if err := resp.Err(); err != nil {
-		return -1, err
-	}
-	return resp.FD, nil
-}
-
-// Close releases the descriptor.
-func (s *Session) Close(fd fsapi.FD) error {
-	resp, err := s.call(wire.Request{Op: wire.OpClose, FD: fd})
-	if err != nil {
-		return err
-	}
-	return resp.Err()
-}
-
-// Read reads from the descriptor's current position, chunking requests
-// larger than wire.MaxIO into sequential wire reads.
-func (s *Session) Read(fd fsapi.FD, p []byte) (int, error) {
-	total := 0
-	for {
-		ask := len(p) - total
-		if ask > wire.MaxIO {
-			ask = wire.MaxIO
-		}
-		resp, err := s.call(wire.Request{Op: wire.OpRead, FD: fd, Size: uint32(ask)})
-		if err == nil {
-			err = resp.Err()
-		}
-		if err != nil {
-			if total > 0 {
-				return total, nil
-			}
-			return 0, err
-		}
-		n := copy(p[total:], resp.Data)
-		total += n
-		if n < ask || total == len(p) {
-			return total, nil
-		}
-	}
-}
-
-// Pread reads at an explicit offset without moving the position.
-func (s *Session) Pread(fd fsapi.FD, p []byte, off uint64) (int, error) {
-	total := 0
-	for {
-		ask := len(p) - total
-		if ask > wire.MaxIO {
-			ask = wire.MaxIO
-		}
-		resp, err := s.call(wire.Request{Op: wire.OpPread, FD: fd, Size: uint32(ask), Off: off + uint64(total)})
-		if err == nil {
-			err = resp.Err()
-		}
-		if err != nil {
-			if total > 0 {
-				return total, nil
-			}
-			return 0, err
-		}
-		n := copy(p[total:], resp.Data)
-		total += n
-		if n < ask || total == len(p) {
-			return total, nil
-		}
-	}
-}
-
-// Write writes at the descriptor's current position, chunking payloads
-// larger than wire.MaxIO.
-func (s *Session) Write(fd fsapi.FD, p []byte) (int, error) {
-	total := 0
-	for {
-		chunk := p[total:]
-		if len(chunk) > wire.MaxIO {
-			chunk = chunk[:wire.MaxIO]
-		}
-		resp, err := s.call(wire.Request{Op: wire.OpWrite, FD: fd, Data: chunk})
-		if err == nil {
-			err = resp.Err()
-		}
-		if err != nil {
-			if total > 0 {
-				return total, nil
-			}
-			return 0, err
-		}
-		total += int(resp.N)
-		if int(resp.N) < len(chunk) || total == len(p) {
-			return total, nil
-		}
-	}
-}
-
-// Pwrite writes at an explicit offset without moving the position.
-func (s *Session) Pwrite(fd fsapi.FD, p []byte, off uint64) (int, error) {
-	total := 0
-	for {
-		chunk := p[total:]
-		if len(chunk) > wire.MaxIO {
-			chunk = chunk[:wire.MaxIO]
-		}
-		resp, err := s.call(wire.Request{Op: wire.OpPwrite, FD: fd, Data: chunk, Off: off + uint64(total)})
-		if err == nil {
-			err = resp.Err()
-		}
-		if err != nil {
-			if total > 0 {
-				return total, nil
-			}
-			return 0, err
-		}
-		total += int(resp.N)
-		if int(resp.N) < len(chunk) || total == len(p) {
-			return total, nil
-		}
-	}
-}
-
-// Seek repositions the descriptor.
-func (s *Session) Seek(fd fsapi.FD, off int64, whence int) (int64, error) {
-	resp, err := s.call(wire.Request{Op: wire.OpSeek, FD: fd, Off: uint64(off), Flags: uint32(whence)})
-	if err != nil {
-		return 0, err
-	}
-	if err := resp.Err(); err != nil {
-		return 0, err
-	}
-	return resp.Off, nil
-}
-
-// Fsync persists outstanding updates of the file.
-func (s *Session) Fsync(fd fsapi.FD) error {
-	resp, err := s.call(wire.Request{Op: wire.OpFsync, FD: fd})
-	if err != nil {
-		return err
-	}
-	return resp.Err()
-}
-
-// Ftruncate sets the file size.
-func (s *Session) Ftruncate(fd fsapi.FD, size uint64) error {
-	resp, err := s.call(wire.Request{Op: wire.OpFtruncate, FD: fd, Off: size})
-	if err != nil {
-		return err
-	}
-	return resp.Err()
-}
-
-// Fallocate preallocates space for [0, size).
-func (s *Session) Fallocate(fd fsapi.FD, size uint64) error {
-	resp, err := s.call(wire.Request{Op: wire.OpFallocate, FD: fd, Off: size})
-	if err != nil {
-		return err
-	}
-	return resp.Err()
-}
-
-// Fstat stats an open descriptor.
-func (s *Session) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
-	resp, err := s.call(wire.Request{Op: wire.OpFstat, FD: fd})
-	if err != nil {
-		return fsapi.Stat{}, err
-	}
-	if err := resp.Err(); err != nil {
-		return fsapi.Stat{}, err
-	}
-	return resp.Stat, nil
-}
-
-// Stat resolves a path (following symlinks) and returns its attributes.
-func (s *Session) Stat(path string) (fsapi.Stat, error) {
-	resp, err := s.call(wire.Request{Op: wire.OpStat, Path: path})
-	if err != nil {
-		return fsapi.Stat{}, err
-	}
-	if err := resp.Err(); err != nil {
-		return fsapi.Stat{}, err
-	}
-	return resp.Stat, nil
-}
-
-// Lstat is Stat without following a final symlink.
-func (s *Session) Lstat(path string) (fsapi.Stat, error) {
-	resp, err := s.call(wire.Request{Op: wire.OpLstat, Path: path})
-	if err != nil {
-		return fsapi.Stat{}, err
-	}
-	if err := resp.Err(); err != nil {
-		return fsapi.Stat{}, err
-	}
-	return resp.Stat, nil
-}
-
-// Mkdir creates a directory.
-func (s *Session) Mkdir(path string, perm uint32) error {
-	resp, err := s.call(wire.Request{Op: wire.OpMkdir, Path: path, Perm: perm})
-	if err != nil {
-		return err
-	}
-	return resp.Err()
-}
-
-// Rmdir removes an empty directory.
-func (s *Session) Rmdir(path string) error {
-	resp, err := s.call(wire.Request{Op: wire.OpRmdir, Path: path})
-	if err != nil {
-		return err
-	}
-	return resp.Err()
-}
-
-// Unlink removes a file or symlink.
-func (s *Session) Unlink(path string) error {
-	resp, err := s.call(wire.Request{Op: wire.OpUnlink, Path: path})
-	if err != nil {
-		return err
-	}
-	return resp.Err()
-}
-
-// Rename moves old to new.
-func (s *Session) Rename(oldPath, newPath string) error {
-	resp, err := s.call(wire.Request{Op: wire.OpRename, Path: oldPath, Path2: newPath})
-	if err != nil {
-		return err
-	}
-	return resp.Err()
-}
-
-// Symlink creates a symbolic link at linkPath pointing to target.
-func (s *Session) Symlink(target, linkPath string) error {
-	resp, err := s.call(wire.Request{Op: wire.OpSymlink, Path: target, Path2: linkPath})
-	if err != nil {
-		return err
-	}
-	return resp.Err()
-}
-
-// Link creates a hard link at newPath for oldPath's inode.
-func (s *Session) Link(oldPath, newPath string) error {
-	resp, err := s.call(wire.Request{Op: wire.OpLink, Path: oldPath, Path2: newPath})
-	if err != nil {
-		return err
-	}
-	return resp.Err()
-}
-
-// Readlink returns a symlink's target.
-func (s *Session) Readlink(path string) (string, error) {
-	resp, err := s.call(wire.Request{Op: wire.OpReadlink, Path: path})
-	if err != nil {
-		return "", err
-	}
-	if err := resp.Err(); err != nil {
-		return "", err
-	}
-	return resp.Str, nil
-}
-
-// ReadDir lists a directory.
-func (s *Session) ReadDir(path string) ([]fsapi.DirEntry, error) {
-	resp, err := s.call(wire.Request{Op: wire.OpReadDir, Path: path})
-	if err != nil {
-		return nil, err
-	}
-	if err := resp.Err(); err != nil {
-		return nil, err
-	}
-	return resp.Dir, nil
-}
-
-// Chmod updates permission bits.
-func (s *Session) Chmod(path string, perm uint32) error {
-	resp, err := s.call(wire.Request{Op: wire.OpChmod, Path: path, Perm: perm})
-	if err != nil {
-		return err
-	}
-	return resp.Err()
-}
-
-// Utimes sets access/modification times (unix nanoseconds).
-func (s *Session) Utimes(path string, atime, mtime int64) error {
-	resp, err := s.call(wire.Request{Op: wire.OpUtimes, Path: path, Off: uint64(atime), Off2: uint64(mtime)})
-	if err != nil {
-		return err
-	}
-	return resp.Err()
-}
-
-// Detach releases the remote client (the server closes its open
-// descriptors) and shuts the connection down.
-func (s *Session) Detach() error {
-	resp, callErr := s.call(wire.Request{Op: wire.OpDetach})
-	s.fail(ErrClosed)
-	if callErr != nil {
-		return callErr
-	}
-	return resp.Err()
 }

@@ -1,0 +1,741 @@
+package client
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simurgh/internal/fsapi"
+	"simurgh/internal/wire"
+)
+
+// sendItem is one encoded request group queued for the writer.
+type sendItem struct {
+	payload []byte
+	n       int // requests in payload
+}
+
+// pendingCall is one submitted, unanswered request. seg retains the
+// request's encoded bytes so a failover can replay it verbatim (same ID —
+// the server deduplicates replicated operations by request ID, making the
+// replay exactly-once), and seqNo orders replays by original submission.
+type pendingCall struct {
+	ch    chan wire.Response
+	seg   []byte
+	seqNo uint64
+}
+
+// transport is one connection generation. A session survives its
+// transports: when one dies and failover is enabled, the session attaches
+// a successor and replays its unanswered calls over it.
+type transport struct {
+	conn net.Conn
+	fr   *wire.FrameReader
+	down chan struct{} // closed when this transport is retired
+}
+
+// Session is one attached remote client. Safe for concurrent use; calls
+// from multiple goroutines coalesce into shared batch frames.
+type Session struct {
+	r        *Remote
+	cred     fsapi.Cred
+	clientID uint64
+
+	seq   atomic.Uint32
+	mu    sync.Mutex
+	subNo uint64 // submission counter, orders failover replays
+	pend  map[uint32]*pendingCall
+	t     *transport
+
+	sendq chan sendItem
+
+	closing  atomic.Bool
+	failOnce sync.Once
+	dead     chan struct{}
+	deadErr  error
+}
+
+// resetTransport installs conn/fr as the session's live transport and
+// starts its loops.
+func (s *Session) resetTransport(conn net.Conn, fr *wire.FrameReader) {
+	t := &transport{conn: conn, fr: fr, down: make(chan struct{})}
+	s.mu.Lock()
+	s.t = t
+	s.mu.Unlock()
+	go s.readLoop(t)
+	go s.writeLoop(t)
+}
+
+// fail terminates the session once: records err, wakes every waiter, and
+// closes the transport.
+func (s *Session) fail(err error) {
+	s.failOnce.Do(func() {
+		s.deadErr = err
+		close(s.dead)
+		s.mu.Lock()
+		t := s.t
+		s.t = nil
+		s.mu.Unlock()
+		if t != nil {
+			close(t.down)
+			t.conn.Close()
+		}
+	})
+}
+
+// err returns the session's terminal error.
+func (s *Session) err() error {
+	select {
+	case <-s.dead:
+		if s.deadErr != nil {
+			return s.deadErr
+		}
+		return ErrClosed
+	default:
+		return nil
+	}
+}
+
+// transportFailed retires t after an I/O error. The first loop to report
+// wins; with failover enabled the session re-resolves the primary and
+// replays, otherwise it dies with err (the pre-replication behavior).
+func (s *Session) transportFailed(t *transport, err error) {
+	s.mu.Lock()
+	stale := s.t != t
+	if !stale {
+		s.t = nil
+		close(t.down)
+	}
+	s.mu.Unlock()
+	t.conn.Close()
+	if stale {
+		return
+	}
+	if s.closing.Load() || s.r.opts.FailoverTimeout <= 0 {
+		s.fail(err)
+		return
+	}
+	go s.recover(err)
+}
+
+// recover re-attaches the session after a transport loss: it re-resolves
+// the primary (following redirects), resumes the server-side session by
+// client ID, and replays every unanswered request in submission order.
+// Unanswered requests are the complete loss set — registration in pend
+// precedes any write, so nothing can be dropped without being replayed.
+func (s *Session) recover(cause error) {
+	deadline := time.Now().Add(s.r.opts.FailoverTimeout)
+	backoff := 10 * time.Millisecond
+	for {
+		if s.err() != nil {
+			return
+		}
+		conn, fr, err := s.r.attachConn(s.cred, s.clientID)
+		if err == nil {
+			s.resume(conn, fr)
+			s.r.st.failovers.Add(1)
+			return
+		}
+		if s.closing.Load() || !time.Now().Before(deadline) {
+			s.fail(fmt.Errorf("%w (after %v)", ErrNoPrimary, cause))
+			return
+		}
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		select {
+		case <-time.After(d):
+		case <-s.dead:
+			return
+		}
+		if backoff < 250*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// resume replays the unanswered calls over a fresh connection and brings
+// the new transport live. The reader starts before the replay is written
+// (replies may start flowing immediately); the writer starts after, so
+// replay frames never interleave with coalesced batches.
+func (s *Session) resume(conn net.Conn, fr *wire.FrameReader) {
+	t := &transport{conn: conn, fr: fr, down: make(chan struct{})}
+	s.mu.Lock()
+	replay := make([]*pendingCall, 0, len(s.pend))
+	for _, pc := range s.pend {
+		replay = append(replay, pc)
+	}
+	s.t = t
+	s.mu.Unlock()
+	sort.Slice(replay, func(i, j int) bool { return replay[i].seqNo < replay[j].seqNo })
+	go s.readLoop(t)
+	frame := make([]byte, 0, 64<<10)
+	count := 0
+	flush := func() bool {
+		if count == 0 {
+			return true
+		}
+		binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+		_, err := conn.Write(frame)
+		if err != nil {
+			s.transportFailed(t, err)
+			return false
+		}
+		s.r.st.replays.Add(uint64(count))
+		frame, count = frame[:0], 0
+		return true
+	}
+	for _, pc := range replay {
+		if count == wire.MaxBatch || (count > 0 && len(frame)-5+len(pc.seg) > maxCoalesce) {
+			if !flush() {
+				return
+			}
+		}
+		if count == 0 {
+			frame = append(frame[:0], 0, 0, 0, 0, byte(wire.KindBatch))
+		}
+		frame = append(frame, pc.seg...)
+		count++
+	}
+	if !flush() {
+		return
+	}
+	go s.writeLoop(t)
+}
+
+// writeLoop drains the send queue, merging everything immediately available
+// into one KindBatch frame, written with a single conn.Write per frame. It
+// exits when its transport is retired; an item lost to a dying write is
+// re-sent by the failover replay (its pend entry is still unanswered).
+func (s *Session) writeLoop(t *transport) {
+	frame := make([]byte, 0, 64<<10)
+	var held *sendItem
+	for {
+		var first sendItem
+		if held != nil {
+			first, held = *held, nil
+		} else {
+			select {
+			case first = <-s.sendq:
+			case <-t.down:
+				return
+			case <-s.dead:
+				return
+			}
+		}
+		// Reserve the 5-byte frame header, patch the length afterwards.
+		frame = append(frame[:0], 0, 0, 0, 0, byte(wire.KindBatch))
+		frame = append(frame, first.payload...)
+		count := first.n
+	coalesce:
+		for count < wire.MaxBatch {
+			select {
+			case it := <-s.sendq:
+				if len(frame)-5+len(it.payload) > maxCoalesce || count+it.n > wire.MaxBatch {
+					held = &it
+					break coalesce
+				}
+				frame = append(frame, it.payload...)
+				count += it.n
+			default:
+				break coalesce
+			}
+		}
+		binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+		if _, err := t.conn.Write(frame); err != nil {
+			s.transportFailed(t, err)
+			return
+		}
+	}
+}
+
+// readLoop decodes reply frames and routes each response to its waiter.
+// A response for an already-answered ID (a failover replay racing its
+// original) is dropped.
+func (s *Session) readLoop(t *transport) {
+	for {
+		kind, payload, err := t.fr.Next()
+		if err != nil {
+			s.transportFailed(t, err)
+			return
+		}
+		switch kind {
+		case wire.KindReply:
+			resps, err := wire.DecodeReply(payload)
+			if err != nil {
+				s.transportFailed(t, err)
+				return
+			}
+			for i := range resps {
+				s.mu.Lock()
+				pc := s.pend[resps[i].ID]
+				delete(s.pend, resps[i].ID)
+				s.mu.Unlock()
+				if pc != nil {
+					pc.ch <- resps[i] // buffered; never blocks
+				}
+			}
+		case wire.KindErr:
+			s.transportFailed(t, wire.ParseErrFrame(payload))
+			return
+		default:
+			s.transportFailed(t, fmt.Errorf("%w: unexpected kind %d", wire.ErrBadMessage, kind))
+			return
+		}
+	}
+}
+
+// Submit sends reqs as one explicit batch (IDs are assigned in place) and
+// returns the responses in request order. It is the deterministic-batch
+// interface for benchmarks; the fsapi methods use it one request at a time
+// and rely on writer coalescing instead. Submit does not retry overloads —
+// callers driving explicit batches see CodeOverload responses directly.
+func (s *Session) Submit(reqs []wire.Request) ([]wire.Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	if len(reqs) > wire.MaxBatch {
+		return nil, fmt.Errorf("%w: %d requests > %d", wire.ErrBadMessage, len(reqs), wire.MaxBatch)
+	}
+	// Oversized paths are refused here, before any bytes hit the wire: the
+	// server's decoder would reject them as a protocol error and tear down
+	// the whole connection (and paths beyond uint16 would not even encode).
+	for i := range reqs {
+		if len(reqs[i].Path) > wire.MaxPath || len(reqs[i].Path2) > wire.MaxPath {
+			return nil, fsapi.ErrNameTooLong
+		}
+	}
+	if err := s.err(); err != nil {
+		return nil, err
+	}
+	pcs := make([]*pendingCall, len(reqs))
+	var payload []byte
+	s.mu.Lock()
+	for i := range reqs {
+		// IDs are uint32 on the wire, so a long-lived session's counter can
+		// wrap; skip past any ID still pending so a reply is never routed
+		// to the wrong waiter.
+		id := s.seq.Add(1)
+		for {
+			if _, busy := s.pend[id]; !busy {
+				break
+			}
+			id = s.seq.Add(1)
+		}
+		reqs[i].ID = id
+		start := len(payload)
+		payload = wire.AppendRequest(payload, &reqs[i])
+		s.subNo++
+		pcs[i] = &pendingCall{
+			ch:    make(chan wire.Response, 1),
+			seg:   payload[start:len(payload):len(payload)],
+			seqNo: s.subNo,
+		}
+		s.pend[id] = pcs[i]
+	}
+	s.mu.Unlock()
+	if len(payload) > maxCoalesce {
+		s.unregister(reqs)
+		return nil, wire.ErrFrameTooLarge
+	}
+	select {
+	case s.sendq <- sendItem{payload: payload, n: len(reqs)}:
+	case <-s.dead:
+		s.unregister(reqs)
+		return nil, s.err()
+	}
+	out := make([]wire.Response, len(reqs))
+	for i := range pcs {
+		resp, err := s.wait(pcs[i].ch)
+		if err != nil {
+			s.unregister(reqs[i:])
+			return nil, err
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
+// unregister removes reqs' pending entries after a failed submit.
+func (s *Session) unregister(reqs []wire.Request) {
+	s.mu.Lock()
+	for i := range reqs {
+		delete(s.pend, reqs[i].ID)
+	}
+	s.mu.Unlock()
+}
+
+// wait blocks for one response, preferring a delivered response over the
+// session's death (the reply may have raced the failure).
+func (s *Session) wait(ch chan wire.Response) (wire.Response, error) {
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-s.dead:
+		select {
+		case r := <-ch:
+			return r, nil
+		default:
+		}
+		return wire.Response{}, s.err()
+	}
+}
+
+// call performs one request/response round trip. Overloaded answers (the
+// server shed the request under pressure) are retried transparently with
+// jittered, doubling backoff, bounded in both attempts and total delay.
+func (s *Session) call(req wire.Request) (wire.Response, error) {
+	o := &s.r.opts
+	var backoff, total time.Duration
+	for attempt := 0; ; attempt++ {
+		one := [1]wire.Request{req}
+		resps, err := s.Submit(one[:])
+		if err != nil {
+			return wire.Response{}, err
+		}
+		resp := resps[0]
+		if resp.Code != wire.CodeOverload || attempt >= o.OverloadRetries || total >= o.OverloadBudget {
+			return resp, nil
+		}
+		if backoff == 0 {
+			backoff = o.OverloadBackoff
+		}
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		select {
+		case <-time.After(d):
+		case <-s.dead:
+			return wire.Response{}, s.err()
+		}
+		total += d
+		if backoff < 128*time.Millisecond {
+			backoff *= 2
+		}
+		s.r.st.overloadRetries.Add(1)
+	}
+}
+
+// --- fsapi.Client ---------------------------------------------------------
+
+// Create creates a regular file and opens it for writing.
+func (s *Session) Create(path string, perm uint32) (fsapi.FD, error) {
+	resp, err := s.call(wire.Request{Op: wire.OpCreate, Path: path, Perm: perm})
+	if err != nil {
+		return -1, err
+	}
+	if err := resp.Err(); err != nil {
+		return -1, err
+	}
+	return resp.FD, nil
+}
+
+// Open opens an existing file (or creates with OCreate).
+func (s *Session) Open(path string, flags fsapi.OpenFlag, perm uint32) (fsapi.FD, error) {
+	resp, err := s.call(wire.Request{Op: wire.OpOpen, Path: path, Flags: uint32(flags), Perm: perm})
+	if err != nil {
+		return -1, err
+	}
+	if err := resp.Err(); err != nil {
+		return -1, err
+	}
+	return resp.FD, nil
+}
+
+// Close releases the descriptor.
+func (s *Session) Close(fd fsapi.FD) error {
+	resp, err := s.call(wire.Request{Op: wire.OpClose, FD: fd})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Read reads from the descriptor's current position, chunking requests
+// larger than wire.MaxIO into sequential wire reads.
+func (s *Session) Read(fd fsapi.FD, p []byte) (int, error) {
+	total := 0
+	for {
+		ask := len(p) - total
+		if ask > wire.MaxIO {
+			ask = wire.MaxIO
+		}
+		resp, err := s.call(wire.Request{Op: wire.OpRead, FD: fd, Size: uint32(ask)})
+		if err == nil {
+			err = resp.Err()
+		}
+		if err != nil {
+			if total > 0 {
+				return total, nil
+			}
+			return 0, err
+		}
+		n := copy(p[total:], resp.Data)
+		total += n
+		if n < ask || total == len(p) {
+			return total, nil
+		}
+	}
+}
+
+// Pread reads at an explicit offset without moving the position.
+func (s *Session) Pread(fd fsapi.FD, p []byte, off uint64) (int, error) {
+	total := 0
+	for {
+		ask := len(p) - total
+		if ask > wire.MaxIO {
+			ask = wire.MaxIO
+		}
+		resp, err := s.call(wire.Request{Op: wire.OpPread, FD: fd, Size: uint32(ask), Off: off + uint64(total)})
+		if err == nil {
+			err = resp.Err()
+		}
+		if err != nil {
+			if total > 0 {
+				return total, nil
+			}
+			return 0, err
+		}
+		n := copy(p[total:], resp.Data)
+		total += n
+		if n < ask || total == len(p) {
+			return total, nil
+		}
+	}
+}
+
+// Write writes at the descriptor's current position, chunking payloads
+// larger than wire.MaxIO.
+func (s *Session) Write(fd fsapi.FD, p []byte) (int, error) {
+	total := 0
+	for {
+		chunk := p[total:]
+		if len(chunk) > wire.MaxIO {
+			chunk = chunk[:wire.MaxIO]
+		}
+		resp, err := s.call(wire.Request{Op: wire.OpWrite, FD: fd, Data: chunk})
+		if err == nil {
+			err = resp.Err()
+		}
+		if err != nil {
+			if total > 0 {
+				return total, nil
+			}
+			return 0, err
+		}
+		total += int(resp.N)
+		if int(resp.N) < len(chunk) || total == len(p) {
+			return total, nil
+		}
+	}
+}
+
+// Pwrite writes at an explicit offset without moving the position.
+func (s *Session) Pwrite(fd fsapi.FD, p []byte, off uint64) (int, error) {
+	total := 0
+	for {
+		chunk := p[total:]
+		if len(chunk) > wire.MaxIO {
+			chunk = chunk[:wire.MaxIO]
+		}
+		resp, err := s.call(wire.Request{Op: wire.OpPwrite, FD: fd, Data: chunk, Off: off + uint64(total)})
+		if err == nil {
+			err = resp.Err()
+		}
+		if err != nil {
+			if total > 0 {
+				return total, nil
+			}
+			return 0, err
+		}
+		total += int(resp.N)
+		if int(resp.N) < len(chunk) || total == len(p) {
+			return total, nil
+		}
+	}
+}
+
+// Seek repositions the descriptor.
+func (s *Session) Seek(fd fsapi.FD, off int64, whence int) (int64, error) {
+	resp, err := s.call(wire.Request{Op: wire.OpSeek, FD: fd, Off: uint64(off), Flags: uint32(whence)})
+	if err != nil {
+		return 0, err
+	}
+	if err := resp.Err(); err != nil {
+		return 0, err
+	}
+	return resp.Off, nil
+}
+
+// Fsync persists outstanding updates of the file.
+func (s *Session) Fsync(fd fsapi.FD) error {
+	resp, err := s.call(wire.Request{Op: wire.OpFsync, FD: fd})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Ftruncate sets the file size.
+func (s *Session) Ftruncate(fd fsapi.FD, size uint64) error {
+	resp, err := s.call(wire.Request{Op: wire.OpFtruncate, FD: fd, Off: size})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Fallocate preallocates space for [0, size).
+func (s *Session) Fallocate(fd fsapi.FD, size uint64) error {
+	resp, err := s.call(wire.Request{Op: wire.OpFallocate, FD: fd, Off: size})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Fstat stats an open descriptor.
+func (s *Session) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
+	resp, err := s.call(wire.Request{Op: wire.OpFstat, FD: fd})
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	if err := resp.Err(); err != nil {
+		return fsapi.Stat{}, err
+	}
+	return resp.Stat, nil
+}
+
+// Stat resolves a path (following symlinks) and returns its attributes.
+func (s *Session) Stat(path string) (fsapi.Stat, error) {
+	resp, err := s.call(wire.Request{Op: wire.OpStat, Path: path})
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	if err := resp.Err(); err != nil {
+		return fsapi.Stat{}, err
+	}
+	return resp.Stat, nil
+}
+
+// Lstat is Stat without following a final symlink.
+func (s *Session) Lstat(path string) (fsapi.Stat, error) {
+	resp, err := s.call(wire.Request{Op: wire.OpLstat, Path: path})
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	if err := resp.Err(); err != nil {
+		return fsapi.Stat{}, err
+	}
+	return resp.Stat, nil
+}
+
+// Mkdir creates a directory.
+func (s *Session) Mkdir(path string, perm uint32) error {
+	resp, err := s.call(wire.Request{Op: wire.OpMkdir, Path: path, Perm: perm})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Rmdir removes an empty directory.
+func (s *Session) Rmdir(path string) error {
+	resp, err := s.call(wire.Request{Op: wire.OpRmdir, Path: path})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Unlink removes a file or symlink.
+func (s *Session) Unlink(path string) error {
+	resp, err := s.call(wire.Request{Op: wire.OpUnlink, Path: path})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Rename moves old to new.
+func (s *Session) Rename(oldPath, newPath string) error {
+	resp, err := s.call(wire.Request{Op: wire.OpRename, Path: oldPath, Path2: newPath})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Symlink creates a symbolic link at linkPath pointing to target.
+func (s *Session) Symlink(target, linkPath string) error {
+	resp, err := s.call(wire.Request{Op: wire.OpSymlink, Path: target, Path2: linkPath})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Link creates a hard link at newPath for oldPath's inode.
+func (s *Session) Link(oldPath, newPath string) error {
+	resp, err := s.call(wire.Request{Op: wire.OpLink, Path: oldPath, Path2: newPath})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Readlink returns a symlink's target.
+func (s *Session) Readlink(path string) (string, error) {
+	resp, err := s.call(wire.Request{Op: wire.OpReadlink, Path: path})
+	if err != nil {
+		return "", err
+	}
+	if err := resp.Err(); err != nil {
+		return "", err
+	}
+	return resp.Str, nil
+}
+
+// ReadDir lists a directory.
+func (s *Session) ReadDir(path string) ([]fsapi.DirEntry, error) {
+	resp, err := s.call(wire.Request{Op: wire.OpReadDir, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Err(); err != nil {
+		return nil, err
+	}
+	return resp.Dir, nil
+}
+
+// Chmod updates permission bits.
+func (s *Session) Chmod(path string, perm uint32) error {
+	resp, err := s.call(wire.Request{Op: wire.OpChmod, Path: path, Perm: perm})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Utimes sets access/modification times (unix nanoseconds).
+func (s *Session) Utimes(path string, atime, mtime int64) error {
+	resp, err := s.call(wire.Request{Op: wire.OpUtimes, Path: path, Off: uint64(atime), Off2: uint64(mtime)})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Detach releases the remote client (the server closes its open
+// descriptors) and shuts the connection down. A connection loss during
+// detach does not trigger failover: the caller wanted the session gone.
+func (s *Session) Detach() error {
+	s.closing.Store(true)
+	resp, callErr := s.call(wire.Request{Op: wire.OpDetach})
+	s.fail(ErrClosed)
+	if callErr != nil {
+		return callErr
+	}
+	return resp.Err()
+}

@@ -15,6 +15,10 @@ var (
 	// ErrShutdown reports that the server is draining and no longer
 	// accepts new work.
 	ErrShutdown = errors.New("wire: server shutting down")
+	// ErrNotPrimary reports that the contacted server is a replication
+	// backup (or candidate) and cannot serve the request; the redirect
+	// frame or message names the primary to contact instead.
+	ErrNotPrimary = errors.New("wire: not the primary")
 )
 
 // ErrCode is the wire form of an error. Every fsapi sentinel has a code so
@@ -40,6 +44,7 @@ const (
 	CodeWriteOnly
 	CodeOverload
 	CodeShutdown
+	CodeNotPrimary
 	CodeOther
 	// NumErrCodes bounds the ErrCode enum.
 	NumErrCodes
@@ -64,6 +69,7 @@ var sentinels = [NumErrCodes]error{
 	CodeWriteOnly:   fsapi.ErrWriteOnly,
 	CodeOverload:    ErrOverload,
 	CodeShutdown:    ErrShutdown,
+	CodeNotPrimary:  ErrNotPrimary,
 }
 
 // CodeOf maps an error to its wire code (CodeOK for nil).

@@ -1,0 +1,84 @@
+package wire
+
+import "simurgh/internal/fsapi"
+
+// Execute runs one decoded request against a client and builds its
+// response. It is the single interpretation of the wire vocabulary in
+// terms of fsapi, shared by the network server's batch workers and the
+// replication layer's shadow replay (both must agree exactly, or replicas
+// diverge). Unknown sizes were already bounded by the decoder.
+func Execute(c fsapi.Client, req *Request) Response {
+	resp := Response{ID: req.ID, Op: req.Op}
+	var err error
+	switch req.Op {
+	case OpCreate:
+		resp.FD, err = c.Create(req.Path, req.Perm)
+	case OpOpen:
+		resp.FD, err = c.Open(req.Path, fsapi.OpenFlag(req.Flags), req.Perm)
+	case OpClose:
+		err = c.Close(req.FD)
+	case OpRead:
+		p := make([]byte, req.Size)
+		var n int
+		n, err = c.Read(req.FD, p)
+		resp.Data = p[:n]
+	case OpPread:
+		p := make([]byte, req.Size)
+		var n int
+		n, err = c.Pread(req.FD, p, req.Off)
+		resp.Data = p[:n]
+	case OpWrite:
+		var n int
+		n, err = c.Write(req.FD, req.Data)
+		resp.N = uint32(n)
+	case OpPwrite:
+		var n int
+		n, err = c.Pwrite(req.FD, req.Data, req.Off)
+		resp.N = uint32(n)
+	case OpSeek:
+		resp.Off, err = c.Seek(req.FD, int64(req.Off), int(req.Flags))
+	case OpFsync:
+		err = c.Fsync(req.FD)
+	case OpFtruncate:
+		err = c.Ftruncate(req.FD, req.Off)
+	case OpFallocate:
+		err = c.Fallocate(req.FD, req.Off)
+	case OpFstat:
+		resp.Stat, err = c.Fstat(req.FD)
+	case OpStat:
+		resp.Stat, err = c.Stat(req.Path)
+	case OpLstat:
+		resp.Stat, err = c.Lstat(req.Path)
+	case OpMkdir:
+		err = c.Mkdir(req.Path, req.Perm)
+	case OpRmdir:
+		err = c.Rmdir(req.Path)
+	case OpUnlink:
+		err = c.Unlink(req.Path)
+	case OpRename:
+		err = c.Rename(req.Path, req.Path2)
+	case OpSymlink:
+		err = c.Symlink(req.Path, req.Path2)
+	case OpLink:
+		err = c.Link(req.Path, req.Path2)
+	case OpReadlink:
+		resp.Str, err = c.Readlink(req.Path)
+	case OpReadDir:
+		resp.Dir, err = c.ReadDir(req.Path)
+	case OpChmod:
+		err = c.Chmod(req.Path, req.Perm)
+	case OpUtimes:
+		err = c.Utimes(req.Path, int64(req.Off), int64(req.Off2))
+	case OpDetach:
+		err = c.Detach()
+	default:
+		err = fsapi.ErrInval
+	}
+	if err != nil {
+		resp.Code = CodeOf(err)
+		resp.Msg = MsgFor(resp.Code, err)
+		resp.Data, resp.Str, resp.Dir = nil, "", nil
+		resp.Stat = fsapi.Stat{}
+	}
+	return resp
+}

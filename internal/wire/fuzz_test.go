@@ -21,7 +21,7 @@ func FuzzWireDecode(f *testing.F) {
 		r := r
 		f.Add(AppendResponse(nil, &r))
 	}
-	f.Add(AppendAttach(nil, fsapi.Cred{UID: 1000, GID: 1000}))
+	f.Add(AppendAttach(nil, fsapi.Cred{UID: 1000, GID: 1000}, 7))
 	f.Add(AppendErrFrame(nil, ErrOverload))
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0, 0})
@@ -77,10 +77,10 @@ func FuzzWireDecode(f *testing.F) {
 			t.Fatalf("reply decoded %d responses from %d bytes", len(resps), len(data))
 		}
 		// Handshake and error frames.
-		if cred, err := ParseAttach(data); err == nil {
-			back := AppendAttach(nil, cred)
-			if got, err := ParseAttach(back); err != nil || got != cred {
-				t.Fatalf("attach round trip: (%+v, %v)", got, err)
+		if cred, id, err := ParseAttach(data); err == nil {
+			back := AppendAttach(nil, cred, id)
+			if got, gotID, err := ParseAttach(back); err != nil || got != cred || gotID != id {
+				t.Fatalf("attach round trip: (%+v, %d, %v)", got, gotID, err)
 			}
 		}
 		_ = ParseErrFrame(data)

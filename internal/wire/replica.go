@@ -1,0 +1,331 @@
+// Replication wire format. The primary assigns every state-changing
+// operation a monotonically increasing log sequence number and ships the
+// resulting entries to its backups in KindReplicate frames — batched
+// exactly like client traffic, one frame amortizing many entries. A backup
+// acknowledges the highest sequence it has applied with KindRepAck; the
+// primary acknowledges clients only once a quorum of backups has applied
+// their operations.
+//
+// A backup enlists by sending KindJoin on a fresh connection (instead of
+// KindAttach). The primary answers KindJoinOK with the current epoch, the
+// snapshot's log position and size, and a manifest of the sessions that
+// already exist; it then streams the volume image in KindSnapChunk frames
+// and follows with the live log. Entries carry the originating session and
+// — for descriptor-creating ops — the primary's resulting FD, so the
+// backup replays each session against a shadow client and maps primary
+// descriptors to its own.
+package wire
+
+import (
+	"fmt"
+
+	"simurgh/internal/fsapi"
+)
+
+// Replicated reports whether an operation must travel the replication log.
+// Everything that mutates the volume or a session's state (open-file table,
+// file offsets) replicates; pure reads (Pread, Stat, Lstat, Fstat,
+// Readlink, ReadDir) and Fsync (its durability effect is subsumed by the
+// per-op quorum ack) execute on the primary alone. OpRead replicates even
+// though it returns data, because it moves the descriptor's offset.
+func (o Op) Replicated() bool {
+	switch o {
+	case OpCreate, OpOpen, OpClose, OpRead, OpWrite, OpPwrite, OpSeek,
+		OpFtruncate, OpFallocate, OpMkdir, OpRmdir, OpUnlink, OpRename,
+		OpSymlink, OpLink, OpChmod, OpUtimes, OpDetach:
+		return true
+	}
+	return false
+}
+
+// EntryKind discriminates log entries.
+type EntryKind uint8
+
+const (
+	// EntryOp replays one client request against the session's shadow.
+	EntryOp EntryKind = 1
+	// EntryAttach creates the session's shadow client with its credentials.
+	EntryAttach EntryKind = 2
+)
+
+// Entry is one replicated log record.
+type Entry struct {
+	// Seq is the log sequence number (1-based, no gaps).
+	Seq uint64
+	// Sess identifies the originating session; backups key shadows by it.
+	Sess uint64
+	// Kind selects which of the remaining fields apply.
+	Kind EntryKind
+	// Cred is the attaching session's identity (EntryAttach only).
+	Cred fsapi.Cred
+	// Req is the replayed request (EntryOp only).
+	Req Request
+	// ResFD is the primary's resulting descriptor for OpCreate/OpOpen, so
+	// the backup can map primary FDs to its shadow's FDs without relying on
+	// identical allocation order.
+	ResFD fsapi.FD
+}
+
+// AppendEntry encodes e onto dst and returns the extended slice.
+func AppendEntry(dst []byte, e *Entry) []byte {
+	dst = appendU64(dst, e.Seq)
+	dst = appendU64(dst, e.Sess)
+	dst = append(dst, byte(e.Kind))
+	switch e.Kind {
+	case EntryAttach:
+		dst = appendU32(dst, e.Cred.UID)
+		dst = appendU32(dst, e.Cred.GID)
+	case EntryOp:
+		dst = appendU32(dst, uint32(e.ResFD))
+		dst = AppendRequest(dst, &e.Req)
+	}
+	return dst
+}
+
+// DecodeEntry decodes one entry from b, returning the remaining bytes.
+func DecodeEntry(b []byte) (Entry, []byte, error) {
+	rd := reader{b: b}
+	var e Entry
+	e.Seq = rd.u64()
+	e.Sess = rd.u64()
+	e.Kind = EntryKind(rd.u8())
+	if rd.err != nil {
+		return Entry{}, nil, rd.err
+	}
+	switch e.Kind {
+	case EntryAttach:
+		e.Cred.UID = rd.u32()
+		e.Cred.GID = rd.u32()
+		if rd.err != nil {
+			return Entry{}, nil, rd.err
+		}
+		return e, rd.b, nil
+	case EntryOp:
+		e.ResFD = fsapi.FD(rd.u32())
+		if rd.err != nil {
+			return Entry{}, nil, rd.err
+		}
+		req, rest, err := DecodeRequest(rd.b)
+		if err != nil {
+			return Entry{}, nil, err
+		}
+		e.Req = req
+		return e, rest, nil
+	default:
+		return Entry{}, nil, fmt.Errorf("%w: bad entry kind %d", ErrBadMessage, e.Kind)
+	}
+}
+
+// DecodeEntries decodes a KindReplicate payload (at most MaxBatch entries).
+func DecodeEntries(payload []byte) ([]Entry, error) {
+	var ents []Entry
+	for len(payload) > 0 {
+		if len(ents) >= MaxBatch {
+			return nil, fmt.Errorf("%w: replicate frame exceeds %d entries", ErrBadMessage, MaxBatch)
+		}
+		e, rest, err := DecodeEntry(payload)
+		if err != nil {
+			return nil, err
+		}
+		ents = append(ents, e)
+		payload = rest
+	}
+	return ents, nil
+}
+
+// Join is the backup's enlistment request.
+type Join struct {
+	// Epoch is the highest epoch the backup has seen (zero for a fresh
+	// backup). A primary with a lower epoch refuses the join: it is stale.
+	Epoch uint64
+	// Addr is the backup's advertised address, for diagnostics.
+	Addr string
+}
+
+// AppendJoin encodes the KindJoin payload.
+func AppendJoin(dst []byte, j *Join) []byte {
+	dst = append(dst, magic[:]...)
+	dst = append(dst, Version)
+	dst = appendU64(dst, j.Epoch)
+	dst = appendStr(dst, j.Addr)
+	return dst
+}
+
+// ParseJoin validates and decodes a KindJoin payload.
+func ParseJoin(payload []byte) (Join, error) {
+	rd := reader{b: payload}
+	var m [4]byte
+	m[0], m[1], m[2], m[3] = rd.u8(), rd.u8(), rd.u8(), rd.u8()
+	v := rd.u8()
+	j := Join{Epoch: rd.u64(), Addr: rd.str(MaxPath)}
+	if rd.err != nil {
+		return Join{}, rd.err
+	}
+	if m != magic {
+		return Join{}, fmt.Errorf("%w: bad magic", ErrBadMessage)
+	}
+	if v != Version {
+		return Join{}, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+	}
+	return j, nil
+}
+
+// SessionInfo describes one pre-existing session in the join manifest. The
+// backup creates its shadow with the right credentials, but descriptors
+// those sessions opened before the snapshot cannot be transferred; their
+// operations are skipped on this backup (see the replica package docs).
+type SessionInfo struct {
+	Sess uint64
+	Cred fsapi.Cred
+}
+
+// JoinOK is the primary's answer to a join.
+type JoinOK struct {
+	// Epoch is the primary's current epoch.
+	Epoch uint64
+	// SnapSeq is the log position the snapshot captures; replication
+	// resumes at SnapSeq+1.
+	SnapSeq uint64
+	// SnapSize is the total snapshot byte count that follows in
+	// KindSnapChunk frames.
+	SnapSize uint64
+	// Sessions are the sessions alive at the snapshot.
+	Sessions []SessionInfo
+}
+
+// AppendJoinOK encodes the KindJoinOK payload.
+func AppendJoinOK(dst []byte, j *JoinOK) []byte {
+	dst = appendU64(dst, j.Epoch)
+	dst = appendU64(dst, j.SnapSeq)
+	dst = appendU64(dst, j.SnapSize)
+	dst = appendU32(dst, uint32(len(j.Sessions)))
+	for i := range j.Sessions {
+		dst = appendU64(dst, j.Sessions[i].Sess)
+		dst = appendU32(dst, j.Sessions[i].Cred.UID)
+		dst = appendU32(dst, j.Sessions[i].Cred.GID)
+	}
+	return dst
+}
+
+// sessionInfoSize is the encoded size of one manifest entry.
+const sessionInfoSize = 8 + 4 + 4
+
+// ParseJoinOK decodes a KindJoinOK payload.
+func ParseJoinOK(payload []byte) (JoinOK, error) {
+	rd := reader{b: payload}
+	j := JoinOK{Epoch: rd.u64(), SnapSeq: rd.u64(), SnapSize: rd.u64()}
+	n := int(rd.u32())
+	if rd.err == nil && n > len(rd.b)/sessionInfoSize {
+		return JoinOK{}, fmt.Errorf("%w: session count %d beyond payload", ErrBadMessage, n)
+	}
+	if rd.err == nil && n > 0 {
+		j.Sessions = make([]SessionInfo, 0, n)
+		for i := 0; i < n; i++ {
+			j.Sessions = append(j.Sessions, SessionInfo{
+				Sess: rd.u64(),
+				Cred: fsapi.Cred{UID: rd.u32(), GID: rd.u32()},
+			})
+		}
+	}
+	if rd.err != nil {
+		return JoinOK{}, rd.err
+	}
+	return j, nil
+}
+
+// SnapChunk is one piece of the volume snapshot.
+type SnapChunk struct {
+	Off  uint64
+	Data []byte
+}
+
+// AppendSnapChunk encodes the KindSnapChunk payload.
+func AppendSnapChunk(dst []byte, c *SnapChunk) []byte {
+	dst = appendU64(dst, c.Off)
+	return appendBytes(dst, c.Data)
+}
+
+// ParseSnapChunk decodes a KindSnapChunk payload.
+func ParseSnapChunk(payload []byte) (SnapChunk, error) {
+	rd := reader{b: payload}
+	c := SnapChunk{Off: rd.u64(), Data: rd.bytes(MaxIO)}
+	if rd.err != nil {
+		return SnapChunk{}, rd.err
+	}
+	return c, nil
+}
+
+// Heartbeat is the primary's liveness beacon, echoed verbatim by the
+// backup so the primary can measure the round trip.
+type Heartbeat struct {
+	// Epoch is the primary's epoch; a backup that has seen a higher one
+	// ignores the beacon.
+	Epoch uint64
+	// Seq is the primary's last assigned sequence; the backup derives its
+	// lag from it.
+	Seq uint64
+	// SentNs is the primary's send timestamp (opaque to the backup).
+	SentNs uint64
+}
+
+// AppendHeartbeat encodes the KindHeartbeat payload.
+func AppendHeartbeat(dst []byte, h *Heartbeat) []byte {
+	dst = appendU64(dst, h.Epoch)
+	dst = appendU64(dst, h.Seq)
+	return appendU64(dst, h.SentNs)
+}
+
+// ParseHeartbeat decodes a KindHeartbeat payload.
+func ParseHeartbeat(payload []byte) (Heartbeat, error) {
+	rd := reader{b: payload}
+	h := Heartbeat{Epoch: rd.u64(), Seq: rd.u64(), SentNs: rd.u64()}
+	if rd.err != nil {
+		return Heartbeat{}, rd.err
+	}
+	return h, nil
+}
+
+// RepAck acknowledges application of every entry up to Seq.
+type RepAck struct {
+	Epoch uint64
+	Seq   uint64
+}
+
+// AppendRepAck encodes the KindRepAck payload.
+func AppendRepAck(dst []byte, a *RepAck) []byte {
+	dst = appendU64(dst, a.Epoch)
+	return appendU64(dst, a.Seq)
+}
+
+// ParseRepAck decodes a KindRepAck payload.
+func ParseRepAck(payload []byte) (RepAck, error) {
+	rd := reader{b: payload}
+	a := RepAck{Epoch: rd.u64(), Seq: rd.u64()}
+	if rd.err != nil {
+		return RepAck{}, rd.err
+	}
+	return a, nil
+}
+
+// Redirect tells a client which address serves the volume. Addr may be
+// empty when the contacted node does not know a primary yet.
+type Redirect struct {
+	Epoch uint64
+	Addr  string
+}
+
+// AppendRedirect encodes the KindRedirect payload.
+func AppendRedirect(dst []byte, r *Redirect) []byte {
+	dst = appendU64(dst, r.Epoch)
+	return appendStr(dst, r.Addr)
+}
+
+// ParseRedirect decodes a KindRedirect payload.
+func ParseRedirect(payload []byte) (Redirect, error) {
+	rd := reader{b: payload}
+	r := Redirect{Epoch: rd.u64(), Addr: rd.str(MaxPath)}
+	if rd.err != nil {
+		return Redirect{}, rd.err
+	}
+	return r, nil
+}

@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"simurgh/internal/fsapi"
+)
+
+// TestReplicatedClassification pins which operations enter the log. A
+// change here changes what survives failover, so the table is explicit.
+func TestReplicatedClassification(t *testing.T) {
+	replicated := map[Op]bool{
+		OpCreate: true, OpOpen: true, OpClose: true,
+		OpRead:  true, // moves the descriptor offset
+		OpWrite: true, OpPwrite: true, OpSeek: true,
+		OpFtruncate: true, OpFallocate: true,
+		OpMkdir: true, OpRmdir: true, OpUnlink: true, OpRename: true,
+		OpSymlink: true, OpLink: true, OpChmod: true, OpUtimes: true,
+		OpDetach: true,
+		// Read-only: answered locally, never shipped.
+		OpPread: false, OpFstat: false, OpStat: false, OpLstat: false,
+		OpReadlink: false, OpReadDir: false, OpFsync: false,
+	}
+	for op, want := range replicated {
+		if got := op.Replicated(); got != want {
+			t.Errorf("%v.Replicated() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{Seq: 1, Sess: 42, Kind: EntryAttach, Cred: fsapi.Cred{UID: 1000, GID: 7}},
+		{Seq: 2, Sess: 42, Kind: EntryOp, ResFD: 5,
+			Req: Request{ID: 9, Op: OpCreate, Path: "/f", Perm: 0o644}},
+		{Seq: 3, Sess: 42, Kind: EntryOp,
+			Req: Request{ID: 10, Op: OpPwrite, FD: 5, Off: 1 << 33, Data: []byte("payload")}},
+		{Seq: 4, Sess: 43, Kind: EntryOp,
+			Req: Request{ID: 1, Op: OpRename, Path: "/f", Path2: "/g"}},
+	}
+	var buf []byte
+	for i := range entries {
+		buf = AppendEntry(buf, &entries[i])
+	}
+	got, err := DecodeEntries(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		want, have := entries[i], got[i]
+		if have.Seq != want.Seq || have.Sess != want.Sess || have.Kind != want.Kind ||
+			have.Cred != want.Cred || have.ResFD != want.ResFD {
+			t.Errorf("entry %d header = %+v, want %+v", i, have, want)
+		}
+		if have.Req.Op != want.Req.Op || have.Req.ID != want.Req.ID ||
+			have.Req.Path != want.Req.Path || have.Req.Path2 != want.Req.Path2 ||
+			have.Req.Off != want.Req.Off || !bytes.Equal(have.Req.Data, want.Req.Data) {
+			t.Errorf("entry %d request = %+v, want %+v", i, have.Req, want.Req)
+		}
+	}
+}
+
+func TestEntryBadKind(t *testing.T) {
+	e := Entry{Seq: 1, Sess: 1, Kind: EntryAttach}
+	buf := AppendEntry(nil, &e)
+	buf[16] = 99 // corrupt the kind byte
+	if _, _, err := DecodeEntry(buf); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("bad kind decoded: err = %v", err)
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	j := Join{Epoch: 7, Addr: "10.0.0.2:9191"}
+	got, err := ParseJoin(AppendJoin(nil, &j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != j {
+		t.Fatalf("got %+v, want %+v", got, j)
+	}
+	bad := AppendJoin(nil, &j)
+	bad[0] = 'X'
+	if _, err := ParseJoin(bad); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("bad magic accepted: %v", err)
+	}
+}
+
+func TestJoinOKRoundTrip(t *testing.T) {
+	j := JoinOK{Epoch: 3, SnapSeq: 900, SnapSize: 1 << 28, Sessions: []SessionInfo{
+		{Sess: 1, Cred: fsapi.Cred{UID: 0, GID: 0}},
+		{Sess: 99, Cred: fsapi.Cred{UID: 1000, GID: 1000}},
+	}}
+	got, err := ParseJoinOK(AppendJoinOK(nil, &j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != j.Epoch || got.SnapSeq != j.SnapSeq || got.SnapSize != j.SnapSize ||
+		len(got.Sessions) != 2 || got.Sessions[1] != j.Sessions[1] {
+		t.Fatalf("got %+v, want %+v", got, j)
+	}
+
+	// A forged session count must not drive allocation past the payload.
+	forged := AppendJoinOK(nil, &JoinOK{Epoch: 1})
+	forged[24] = 0xff
+	forged[25] = 0xff
+	if _, err := ParseJoinOK(forged); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("forged session count accepted: %v", err)
+	}
+}
+
+func TestSnapChunkRoundTrip(t *testing.T) {
+	c := SnapChunk{Off: 1 << 30, Data: bytes.Repeat([]byte{0xab}, 4096)}
+	got, err := ParseSnapChunk(AppendSnapChunk(nil, &c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Off != c.Off || !bytes.Equal(got.Data, c.Data) {
+		t.Fatal("snap chunk mangled")
+	}
+}
+
+func TestHeartbeatAckRedirectRoundTrip(t *testing.T) {
+	h := Heartbeat{Epoch: 2, Seq: 500, SentNs: 123456789}
+	if got, err := ParseHeartbeat(AppendHeartbeat(nil, &h)); err != nil || got != h {
+		t.Fatalf("heartbeat: got %+v, %v", got, err)
+	}
+	a := RepAck{Epoch: 2, Seq: 499}
+	if got, err := ParseRepAck(AppendRepAck(nil, &a)); err != nil || got != a {
+		t.Fatalf("repack: got %+v, %v", got, err)
+	}
+	r := Redirect{Epoch: 4, Addr: "127.0.0.1:9190"}
+	if got, err := ParseRedirect(AppendRedirect(nil, &r)); err != nil || got != r {
+		t.Fatalf("redirect: got %+v, %v", got, err)
+	}
+	// Empty address is legal: "no primary known".
+	r = Redirect{Epoch: 0}
+	if got, err := ParseRedirect(AppendRedirect(nil, &r)); err != nil || got != r {
+		t.Fatalf("empty redirect: got %+v, %v", got, err)
+	}
+}

@@ -67,6 +67,24 @@ const (
 	// KindErr reports a connection-level failure (bad handshake, protocol
 	// error, overload at accept); payload is an error code and message.
 	KindErr Kind = 5
+
+	// Replication kinds (see replica.go). A backup opens its link with
+	// KindJoin instead of KindAttach; the primary answers KindJoinOK, streams
+	// the volume snapshot as KindSnapChunk frames, then ships log entries in
+	// KindReplicate frames which the backup acknowledges with KindRepAck.
+	// KindHeartbeat flows primary→backup and is echoed back for RTT and
+	// liveness. A server that is not the primary answers client attaches
+	// with KindRedirect carrying the primary's address. KindPromote is the
+	// admin handshake that promotes a backup explicitly.
+	KindJoin      Kind = 6
+	KindJoinOK    Kind = 7
+	KindSnapChunk Kind = 8
+	KindReplicate Kind = 9
+	KindRepAck    Kind = 10
+	KindHeartbeat Kind = 11
+	KindRedirect  Kind = 12
+	KindPromote   Kind = 13
+	KindPromoteOK Kind = 14
 )
 
 // Op identifies one fsapi.Client operation on the wire. Zero is invalid so
@@ -568,32 +586,44 @@ func DecodeReply(payload []byte) ([]Response, error) {
 
 // --- handshake and connection-level errors ------------------------------
 
-// AppendAttach encodes the attach handshake payload.
-func AppendAttach(dst []byte, cred fsapi.Cred) []byte {
+// AppendAttach encodes the attach handshake payload. clientID (zero = none)
+// is a client-chosen stable identity: a server running the replication
+// layer keys the session by it, so a client reconnecting after a failover
+// can resume its session — open-file table included — on the promoted
+// primary.
+func AppendAttach(dst []byte, cred fsapi.Cred, clientID uint64) []byte {
 	dst = append(dst, magic[:]...)
 	dst = append(dst, Version)
 	dst = appendU32(dst, cred.UID)
 	dst = appendU32(dst, cred.GID)
+	if clientID != 0 {
+		dst = appendU64(dst, clientID)
+	}
 	return dst
 }
 
-// ParseAttach validates and decodes an attach payload.
-func ParseAttach(payload []byte) (fsapi.Cred, error) {
+// ParseAttach validates and decodes an attach payload. The trailing client
+// ID is optional (clients without a resume identity omit it).
+func ParseAttach(payload []byte) (fsapi.Cred, uint64, error) {
 	rd := reader{b: payload}
 	var m [4]byte
 	m[0], m[1], m[2], m[3] = rd.u8(), rd.u8(), rd.u8(), rd.u8()
 	v := rd.u8()
 	cred := fsapi.Cred{UID: rd.u32(), GID: rd.u32()}
+	var clientID uint64
+	if rd.err == nil && len(rd.b) >= 8 {
+		clientID = rd.u64()
+	}
 	if rd.err != nil {
-		return fsapi.Cred{}, rd.err
+		return fsapi.Cred{}, 0, rd.err
 	}
 	if m != magic {
-		return fsapi.Cred{}, fmt.Errorf("%w: bad magic", ErrBadMessage)
+		return fsapi.Cred{}, 0, fmt.Errorf("%w: bad magic", ErrBadMessage)
 	}
 	if v != Version {
-		return fsapi.Cred{}, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+		return fsapi.Cred{}, 0, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
 	}
-	return cred, nil
+	return cred, clientID, nil
 }
 
 // AppendErrFrame encodes a KindErr payload.

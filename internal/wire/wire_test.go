@@ -199,22 +199,31 @@ func TestErrCodeRoundTrip(t *testing.T) {
 
 func TestAttachRoundTrip(t *testing.T) {
 	cred := fsapi.Cred{UID: 1000, GID: 2000}
-	payload := AppendAttach(nil, cred)
-	got, err := ParseAttach(payload)
+	payload := AppendAttach(nil, cred, 0)
+	got, id, err := ParseAttach(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != cred {
-		t.Fatalf("got %+v want %+v", got, cred)
+	if got != cred || id != 0 {
+		t.Fatalf("got (%+v, %d) want (%+v, 0)", got, id, cred)
+	}
+	// With a client identity appended (the replication-era handshake).
+	payload2 := AppendAttach(nil, cred, 0xfeedbeef)
+	got, id, err = ParseAttach(payload2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cred || id != 0xfeedbeef {
+		t.Fatalf("got (%+v, %#x) want (%+v, 0xfeedbeef)", got, id, cred)
 	}
 	bad := append([]byte(nil), payload...)
 	bad[0] = 'X'
-	if _, err := ParseAttach(bad); !errors.Is(err, ErrBadMessage) {
+	if _, _, err := ParseAttach(bad); !errors.Is(err, ErrBadMessage) {
 		t.Fatalf("bad magic err = %v", err)
 	}
 	bad = append([]byte(nil), payload...)
 	bad[4] = Version + 1
-	if _, err := ParseAttach(bad); !errors.Is(err, ErrVersion) {
+	if _, _, err := ParseAttach(bad); !errors.Is(err, ErrVersion) {
 		t.Fatalf("bad version err = %v", err)
 	}
 }
