@@ -758,6 +758,7 @@ func runServe(args []string) error {
 	threads := fs.Int("threads", 2, "workload threads")
 	dur := fs.Duration("duration", 0, "how long to serve (0 = until interrupted)")
 	traceCap := fs.Int("trace", 4096, "flight-recorder capacity in spans (0 = off)")
+	pprofOn := fs.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/")
 	fs.Parse(args)
 
 	reg := obs.NewRegistry()
@@ -770,11 +771,14 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := export.Serve(*addr, vol.Stats, nil, reg)
+	srv, err := export.ServeOpts(*addr, vol.Stats, nil, reg, export.Options{Pprof: *pprofOn})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("serving metrics on %s  (/metrics /stats.json /trace.json /debug/vars)\n", srv.URL)
+	if *pprofOn {
+		fmt.Printf("pprof on %s/debug/pprof/\n", srv.URL)
+	}
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -32,10 +34,18 @@ func runNet(args []string) error {
 	dur := fs.Duration("duration", time.Second, "measurement time per grid point")
 	files := fs.Int("files", 64, "files the stat workload cycles over")
 	jsonOut := fs.String("json", "", "also write results as JSON to this file")
+	profile := fs.String("profile", "", "capture a runtime profile over the whole run: cpu, heap, or allocs")
+	profileOut := fs.String("profile-out", "", "profile output file (default net_<kind>.pprof)")
 	fs.Parse(args)
 
 	connCounts := parseThreads(*connsFlag)
 	batchSizes := parseThreads(*batchFlag)
+
+	stopProfile, err := startProfile(*profile, *profileOut)
+	if err != nil {
+		return err
+	}
+	defer stopProfile()
 
 	target := *addr
 	if target == "" {
@@ -114,6 +124,53 @@ func runNet(args []string) error {
 		fmt.Printf("\nwrote %s\n", *jsonOut)
 	}
 	return nil
+}
+
+// startProfile begins capturing the requested runtime profile and returns
+// the function that finishes it. CPU profiling streams for the whole run;
+// heap and allocs snapshot at the end (after a GC, so live-heap numbers are
+// settled). An empty kind is a no-op.
+func startProfile(kind, out string) (func(), error) {
+	if kind == "" {
+		return func() {}, nil
+	}
+	if out == "" {
+		out = "net_" + kind + ".pprof"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return nil, err
+	}
+	done := func(err error) {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profile %s: %v\n", out, err)
+			return
+		}
+		fmt.Printf("wrote %s profile to %s\n", kind, out)
+	}
+	switch kind {
+	case "cpu":
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return func() {
+			pprof.StopCPUProfile()
+			done(nil)
+		}, nil
+	case "heap", "allocs":
+		return func() {
+			runtime.GC()
+			done(pprof.Lookup(kind).WriteTo(f, 0))
+		}, nil
+	default:
+		f.Close()
+		os.Remove(out)
+		return nil, fmt.Errorf("unknown -profile kind %q (want cpu, heap, or allocs)", kind)
+	}
 }
 
 // netPointJSON is one grid point of the net suite: latencies are batch

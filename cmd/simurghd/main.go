@@ -50,6 +50,7 @@ func main() {
 	size := flag.Uint64("size", 256<<20, "volume size for fresh volumes")
 	image := flag.String("image", "", "volume image to open and save on exit")
 	metrics := flag.String("metrics", "", "serve /metrics and /healthz on this host:port")
+	pprofOn := flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ on the -metrics port")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "batch-execution worker pool size")
 	maxConns := flag.Int("max-conns", 256, "maximum concurrent client connections")
 	deadline := flag.Duration("deadline", 5*time.Second, "queue-admission deadline before a batch is refused as overloaded")
@@ -200,12 +201,15 @@ func main() {
 		if node != nil {
 			extras = append(extras, node.WriteMetrics)
 		}
-		msrv, err := export.Serve(*metrics, src, health, reg, extras...)
+		msrv, err := export.ServeOpts(*metrics, src, health, reg, export.Options{Pprof: *pprofOn}, extras...)
 		if err != nil {
 			fatal(err)
 		}
 		defer msrv.Close()
 		log.Printf("metrics on %s/metrics, health on %s/healthz", msrv.URL, msrv.URL)
+		if *pprofOn {
+			log.Printf("pprof on %s/debug/pprof/", msrv.URL)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)

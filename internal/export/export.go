@@ -14,6 +14,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -290,11 +291,25 @@ type Extra func(w io.Writer)
 // balancers and orchestration probes steer clients at the primary only.
 type HealthFunc func() string
 
+// Options selects the exporter's optional endpoints.
+type Options struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/ (CPU and execution
+	// trace profiling over HTTP, goroutine/heap/allocs/mutex/block dumps).
+	// Off by default: the endpoints can pause the process for seconds at a
+	// time, so they are opt-in even on an already-trusted metrics port.
+	Pprof bool
+}
+
 // NewHandler builds the exporter's HTTP mux. health (optional; nil reports
 // "serving") drives /healthz; reg (optional) enables /trace.json from the
 // registry's flight recorder; extra appenders are invoked after the
 // snapshot on every /metrics scrape.
 func NewHandler(src Source, health HealthFunc, reg *obs.Registry, extra ...Extra) http.Handler {
+	return NewHandlerOpts(src, health, reg, Options{}, extra...)
+}
+
+// NewHandlerOpts is NewHandler with explicit Options.
+func NewHandlerOpts(src Source, health HealthFunc, reg *obs.Registry, opts Options, extra ...Extra) http.Handler {
 	publishExpvar(src)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -326,17 +341,26 @@ func NewHandler(src Source, health HealthFunc, reg *obs.Registry, extra ...Extra
 		reg.WriteChromeTrace(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	pprofLine := ""
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofLine = "/debug/pprof  runtime profiles (cpu, heap, allocs, goroutine, trace)\n"
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "simurgh metrics exporter\n\n"+
+		io.WriteString(w, "simurgh metrics exporter\n\n"+
 			"/metrics     Prometheus text exposition\n"+
 			"/stats.json  JSON snapshot (ops, events, lock waits, gauges)\n"+
 			"/trace.json  Chrome trace-event JSON (load in ui.perfetto.dev)\n"+
 			"/healthz     serving state (200 serving, 503 draining/backup)\n"+
-			"/debug/vars  expvar\n")
+			"/debug/vars  expvar\n"+pprofLine)
 	})
 	return mux
 }
@@ -353,6 +377,11 @@ type Server struct {
 // Serve starts the exporter on addr (host:port; port 0 picks a free one)
 // and returns once the listener is accepting.
 func Serve(addr string, src Source, health HealthFunc, reg *obs.Registry, extra ...Extra) (*Server, error) {
+	return ServeOpts(addr, src, health, reg, Options{}, extra...)
+}
+
+// ServeOpts is Serve with explicit Options.
+func ServeOpts(addr string, src Source, health HealthFunc, reg *obs.Registry, opts Options, extra ...Extra) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -360,7 +389,7 @@ func Serve(addr string, src Source, health HealthFunc, reg *obs.Registry, extra 
 	s := &Server{
 		URL: "http://" + ln.Addr().String(),
 		ln:  ln,
-		srv: &http.Server{Handler: NewHandler(src, health, reg, extra...)},
+		srv: &http.Server{Handler: NewHandlerOpts(src, health, reg, opts, extra...)},
 	}
 	go s.srv.Serve(ln)
 	return s, nil

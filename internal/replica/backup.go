@@ -143,6 +143,11 @@ func (n *Node) followPrimary(lastContact *time.Time) error {
 	n.cfg.Logf("replica: joined %s at epoch %d, seq %d (%d MiB snapshot, %d sessions)",
 		addr, jo.Epoch, jo.SnapSeq, len(img)>>20, len(jo.Sessions))
 
+	// ents and ackBuf are reused across frames: the entries alias each
+	// frame's buffer and every entry is applied before the next fr.Next()
+	// invalidates it, so the steady-state apply loop allocates nothing.
+	var ents []wire.Entry
+	var ackBuf []byte
 	for {
 		conn.SetDeadline(time.Now().Add(n.cfg.FailoverGrace))
 		kind, payload, err := fr.Next()
@@ -152,7 +157,7 @@ func (n *Node) followPrimary(lastContact *time.Time) error {
 		*lastContact = time.Now()
 		switch kind {
 		case wire.KindReplicate:
-			ents, err := wire.DecodeEntries(payload)
+			ents, err = wire.DecodeEntriesInto(ents[:0], payload)
 			if err != nil {
 				return err
 			}
@@ -160,7 +165,8 @@ func (n *Node) followPrimary(lastContact *time.Time) error {
 				return err
 			}
 			a := wire.RepAck{Epoch: n.Epoch(), Seq: n.Seq()}
-			if err := wire.WriteFrame(conn, wire.KindRepAck, wire.AppendRepAck(nil, &a)); err != nil {
+			ackBuf = wire.AppendRepAck(ackBuf[:0], &a)
+			if err := wire.WriteFrame(conn, wire.KindRepAck, ackBuf); err != nil {
 				return err
 			}
 		case wire.KindHeartbeat:

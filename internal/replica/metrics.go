@@ -39,8 +39,8 @@ func (n *Node) WriteMetrics(w io.Writer) {
 			if d := seq - l.ackedSeq; d > lagOps {
 				lagOps = d
 			}
-			if uint64(l.outBytes) > lagBytes {
-				lagBytes = uint64(l.outBytes)
+			if uint64(len(l.out)) > lagBytes {
+				lagBytes = uint64(len(l.out))
 			}
 		}
 	} else if ps := n.m.primarySeq.Load(); ps > seq {

@@ -115,15 +115,18 @@ func (n *Node) Apply(sessID uint64, req *wire.Request, exec func() wire.Response
 }
 
 // shipLocked appends one encoded entry to every live link's out-buffer and
-// kicks their writers. Caller holds n.mu.
+// kicks their writers. The entry is encoded once into the node's reused
+// scratch and its bytes appended to each link's flat buffer — the steady
+// state allocates nothing. Caller holds n.mu.
 func (n *Node) shipLocked(e *wire.Entry) {
 	if len(n.links) == 0 {
 		return
 	}
-	enc := wire.AppendEntry(nil, e)
+	n.shipBuf = wire.AppendEntry(n.shipBuf[:0], e)
+	enc := n.shipBuf
 	for l := range n.links {
-		l.out = append(l.out, enc)
-		l.outBytes += len(enc)
+		l.out = append(l.out, enc...)
+		l.ends = append(l.ends, len(l.out))
 		select {
 		case l.kick <- struct{}{}:
 		default:
@@ -289,11 +292,17 @@ type link struct {
 	conn net.Conn
 	addr string
 
-	// out holds encoded entries awaiting shipment; guarded by the node's
-	// log lock. kick wakes the writer.
-	out      [][]byte
-	outBytes int
-	kick     chan struct{}
+	// out holds encoded entries awaiting shipment, flat, with ends marking
+	// each entry's end offset (frame splits land on entry boundaries); both
+	// are guarded by the node's log lock. spareOut/spareEnds are the
+	// writer's drained double-buffer, swapped back in on the next takeover
+	// so the steady state recycles two buffers and allocates neither. kick
+	// wakes the writer.
+	out       []byte
+	ends      []int
+	spareOut  []byte
+	spareEnds []int
+	kick      chan struct{}
 
 	// ackedSeq is the backup's highest applied sequence; guarded by the
 	// node's log lock (quorum math reads it there).
@@ -305,11 +314,15 @@ func newLink(conn net.Conn, addr string) *link {
 }
 
 // runWriter ships buffered entries as KindReplicate frames — whatever has
-// accumulated goes as one frame, batching under load — and emits
-// heartbeats on the configured interval.
+// accumulated is split on entry boundaries into frames bounded by MaxFrame
+// and MaxBatch, all staged and written with a single vectored write (the
+// heartbeat rides the same writev) — and emits heartbeats on the
+// configured interval.
 func (l *link) runWriter(n *Node) {
 	hb := time.NewTicker(n.cfg.HeartbeatInterval)
 	defer hb.Stop()
+	var vw wire.VecWriter
+	var hbBuf []byte
 	for {
 		beat := false
 		select {
@@ -320,47 +333,41 @@ func (l *link) runWriter(n *Node) {
 			return
 		}
 		n.mu.Lock()
-		out := l.out
-		l.out = nil
-		l.outBytes = 0
+		out, ends := l.out, l.ends
+		// The spares were drained by the previous iteration (this is the
+		// only goroutine that writes them), so they are free to fill.
+		l.out, l.ends = l.spareOut[:0], l.spareEnds[:0]
+		l.spareOut, l.spareEnds = out, ends
 		_, member := n.links[l]
 		seq := n.seq
 		n.mu.Unlock()
 		if !member {
 			return
 		}
-		// Group entries into frames bounded by MaxFrame and MaxBatch.
-		var frame []byte
-		count := 0
-		flush := func() bool {
-			if count == 0 {
-				return true
+		frameStart, prev, count := 0, 0, 0
+		for _, end := range ends {
+			if count > 0 && (count == wire.MaxBatch || end-frameStart > wire.MaxFrame-64) {
+				vw.Stage(wire.KindReplicate, out[frameStart:prev])
+				frameStart = prev
+				count = 0
 			}
-			if err := wire.WriteFrame(l.conn, wire.KindReplicate, frame); err != nil {
-				l.conn.Close()
-				return false
-			}
-			frame, count = frame[:0], 0
-			return true
-		}
-		for _, enc := range out {
-			if count == wire.MaxBatch || len(frame)+len(enc) > wire.MaxFrame-64 {
-				if !flush() {
-					return
-				}
-			}
-			frame = append(frame, enc...)
+			prev = end
 			count++
 		}
-		if !flush() {
-			return
+		if count > 0 {
+			vw.Stage(wire.KindReplicate, out[frameStart:prev])
 		}
 		if beat {
 			h := wire.Heartbeat{Epoch: n.Epoch(), Seq: seq, SentNs: uint64(time.Now().UnixNano())}
-			if err := wire.WriteFrame(l.conn, wire.KindHeartbeat, wire.AppendHeartbeat(nil, &h)); err != nil {
-				l.conn.Close()
-				return
-			}
+			hbBuf = wire.AppendHeartbeat(hbBuf[:0], &h)
+			vw.Stage(wire.KindHeartbeat, hbBuf)
+		}
+		if vw.Count() == 0 {
+			continue
+		}
+		if _, err := vw.Flush(l.conn); err != nil {
+			l.conn.Close()
+			return
 		}
 	}
 }

@@ -250,6 +250,10 @@ type Node struct {
 	anonID   uint64 // synthesized session IDs for clients without one
 	closed   bool
 
+	// shipBuf is the entry-encoding scratch reused by shipLocked; guarded
+	// by mu like everything else on the ship path.
+	shipBuf []byte
+
 	// primaryAddr is the last known primary (for redirects from backups).
 	primaryAddr atomic.Value // string
 

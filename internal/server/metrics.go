@@ -47,8 +47,9 @@ type metrics struct {
 	overloads     atomic.Uint64
 	requestNs     latHist
 
-	batches   atomic.Uint64
-	batchSize [batchBuckets]atomic.Uint64
+	batches     atomic.Uint64
+	fastBatches atomic.Uint64
+	batchSize   [batchBuckets]atomic.Uint64
 
 	framesRead    atomic.Uint64
 	framesWritten atomic.Uint64
@@ -110,6 +111,7 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "simurgh_server_request_ns_count %d\n", m.requestNs.count.Load())
 
 	counter("simurgh_wire_batches_total", "Batch frames received.", m.batches.Load())
+	counter("simurgh_server_fast_batches_total", "Read-only batches executed inline on the connection goroutine.", m.fastBatches.Load())
 	fmt.Fprintf(w, "# HELP simurgh_wire_batch_size Operations per received batch frame.\n")
 	fmt.Fprintf(w, "# TYPE simurgh_wire_batch_size histogram\n")
 	cum = 0

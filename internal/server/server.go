@@ -14,6 +14,21 @@
 // a client may send further batches before earlier replies arrive, and
 // independent batches of one connection may execute on different workers.
 //
+// Read-only batches skip the pool entirely: a batch made solely of
+// never-replicated reads (pread, stat, lstat, fstat, readlink, readdir)
+// executes inline on the connection goroutine with connection-local scratch
+// — no queue hop, no handoff, no allocation. This is safe because batch
+// execution order across batches is already unguaranteed (independent
+// batches run on different workers), and those ops touch no session state
+// that replication would have to sequence.
+//
+// The steady-state request path is allocation-free: frames land in pooled
+// buffers, requests decode aliasing the frame (wire.DecodeBatchInto),
+// responses encode straight into a reused reply payload sized by
+// wire.ResponseSize, and reply frames go out in one vectored write
+// (wire.VecWriter). A batch that does queue transfers frame-buffer
+// ownership into a pooled job, released only after its reply is written.
+//
 // Backpressure is explicit: when the worker queue stays full past
 // Config.RequestTimeout the batch is answered with CodeOverload instead of
 // stalling the connection forever, and connections beyond Config.MaxConns
@@ -136,11 +151,84 @@ type Server struct {
 	shutdownOnce sync.Once
 }
 
-// job is one decoded batch queued for execution.
+// job is one decoded batch queued for execution. It owns the frame buffer
+// its requests alias (taken from the FrameReader with Detach); putJob
+// returns both the job and the buffer to their pools once the reply is
+// written.
 type job struct {
-	sess *session
+	sess  *session
+	reqs  []wire.Request
+	owner *wire.Buf
+	enq   time.Time
+}
+
+var jobPool = sync.Pool{New: func() any { return new(job) }}
+
+func getJob() *job { return jobPool.Get().(*job) }
+
+func putJob(j *job) {
+	wire.PutBuf(j.owner)
+	j.owner = nil
+	j.sess = nil
+	clear(j.reqs) // drop aliases into the released buffer
+	j.reqs = j.reqs[:0]
+	jobPool.Put(j)
+}
+
+// replyBudget bounds one KindReply payload so the frame (kind byte plus
+// payload) always fits MaxFrame. A batch whose responses exceed it — e.g.
+// several coalesced MaxIO reads — is split across multiple reply frames;
+// request IDs let the client match each partial reply.
+const replyBudget = wire.MaxFrame - 1
+
+// maxStagedReply bounds the reply bytes a batch may accumulate before a
+// vectored flush, so a huge read batch (up to MaxBatch coalesced MaxIO
+// preads) never holds its entire reply in memory at once.
+const maxStagedReply = 2 * wire.MaxFrame
+
+// replyScratch is the reusable buffer set each reply-producing goroutine (a
+// worker, or a connection's fast path) threads through batch execution:
+// responses encode into payload, whole frames are staged as views into it,
+// and reads land in rbuf via wire.ExecuteInto.
+type replyScratch struct {
+	payload    []byte
+	frameStart int // start of the currently open frame within payload
+	vw         wire.VecWriter
+	rbuf       []byte
+}
+
+// shrink drops an outsized payload after a batch so a single giant reply
+// doesn't pin memory in a long-lived worker.
+func (rs *replyScratch) shrink() {
+	if cap(rs.payload) > maxStagedReply {
+		rs.payload = nil
+	}
+}
+
+// connState is the per-connection scratch the read loop reuses: the decoded
+// request slice (aliasing the current frame buffer) and the fast path's
+// reply scratch.
+type connState struct {
 	reqs []wire.Request
-	enq  time.Time
+	rs   replyScratch
+}
+
+// fastOps marks the operations a batch may contain and still execute
+// inline on the connection goroutine: reads that never replicate and touch
+// no per-session mutable state (no FD table changes, no offset movement).
+var fastOps = [wire.NumOps]bool{
+	wire.OpPread: true, wire.OpStat: true, wire.OpLstat: true,
+	wire.OpFstat: true, wire.OpReadlink: true, wire.OpReadDir: true,
+}
+
+// fastBatch reports whether every request qualifies for the inline path.
+func fastBatch(reqs []wire.Request) bool {
+	for i := range reqs {
+		if !fastOps[reqs[i].Op] {
+			return false
+		}
+	}
+	return true
 }
 
 // session is the server half of one attached connection.
@@ -260,6 +348,7 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	cc := countingConn{inner: conn, m: &s.m}
 	fr := wire.NewFrameReader(cc)
+	defer fr.Release()
 	sess := &session{srv: s, conn: conn, bufw: newBufWriter(cc)}
 
 	// The handshake must arrive promptly; afterwards the connection may
@@ -384,9 +473,12 @@ func (s *Server) handshake(fr *wire.FrameReader, sess *session) (done bool, err 
 	return false, sess.bufw.Flush()
 }
 
-// readLoop decodes batch frames and submits them to the worker pool until
-// the connection errors, the client disconnects, or drain nudges the read.
+// readLoop decodes batch frames and dispatches them until the connection
+// errors, the client disconnects, or drain nudges the read. Read-only
+// batches run inline right here; everything else transfers the frame buffer
+// into a pooled job and queues for a worker.
 func (s *Server) readLoop(fr *wire.FrameReader, sess *session) error {
+	var cs connState
 	for {
 		kind, payload, err := fr.Next()
 		if err != nil {
@@ -396,37 +488,63 @@ func (s *Server) readLoop(fr *wire.FrameReader, sess *session) error {
 		if kind != wire.KindBatch {
 			return fmt.Errorf("%w: expected batch, got kind %d", wire.ErrBadMessage, kind)
 		}
-		reqs, err := wire.DecodeBatch(payload)
+		cs.reqs, err = wire.DecodeBatchInto(cs.reqs[:0], payload)
 		if err != nil {
 			return err
 		}
-		if len(reqs) == 0 {
+		if len(cs.reqs) == 0 {
 			continue
 		}
-		s.m.observeBatch(len(reqs))
-		if err := s.submit(sess, reqs); err != nil {
+		s.m.observeBatch(len(cs.reqs))
+		if fastBatch(cs.reqs) {
+			s.m.fastBatches.Add(1)
+			s.execBatch(sess, cs.reqs, &cs.rs, time.Now())
+			cs.rs.shrink()
+			continue
+		}
+		if err := s.submit(sess, fr, cs.reqs); err != nil {
 			return err
 		}
 	}
 }
 
-// submit queues one batch, answering with CodeOverload (or CodeShutdown
-// while draining) if no queue slot frees up within RequestTimeout.
-func (s *Server) submit(sess *session, reqs []wire.Request) error {
-	j := &job{sess: sess, reqs: reqs, enq: time.Now()}
+// submit hands one batch to the worker pool, answering with CodeOverload
+// (or CodeShutdown while draining) if no queue slot frees up within
+// RequestTimeout. The frame buffer's ownership moves into the job; the
+// requests in reqs alias it, so they are shallow-copied and stay valid.
+func (s *Server) submit(sess *session, fr *wire.FrameReader, reqs []wire.Request) error {
+	j := getJob()
+	j.sess = sess
+	j.enq = time.Now()
+	j.reqs = append(j.reqs[:0], reqs...)
+	j.owner = fr.Detach()
 	sess.inflight.Add(1)
+	select {
+	case s.work <- j:
+		return nil
+	default:
+		// Queue full: fall through to the timed wait. Only this slow path
+		// pays for a timer.
+	}
 	timer := time.NewTimer(s.cfg.RequestTimeout)
 	defer timer.Stop()
 	select {
 	case s.work <- j:
 		return nil
 	case <-s.drainCh:
-		sess.inflight.Done()
-		return s.rejectBatch(sess, reqs, wire.ErrShutdown)
+		return s.rejectJob(j, wire.ErrShutdown)
 	case <-timer.C:
-		sess.inflight.Done()
-		return s.rejectBatch(sess, reqs, wire.ErrOverload)
+		return s.rejectJob(j, wire.ErrOverload)
 	}
+}
+
+// rejectJob answers an unadmitted job's batch with the rejection error and
+// releases the job.
+func (s *Server) rejectJob(j *job, reason error) error {
+	j.sess.inflight.Done()
+	err := s.rejectBatch(j.sess, j.reqs, reason)
+	putJob(j)
+	return err
 }
 
 // rejectBatch replies to every request of an unadmitted batch with the
@@ -442,80 +560,116 @@ func (s *Server) rejectBatch(sess *session, reqs []wire.Request, reason error) e
 	return s.writeReply(sess, payload)
 }
 
-// worker executes queued batches until the work channel closes.
+// worker executes queued batches until the work channel closes, reusing one
+// replyScratch across every batch it runs.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
+	var rs replyScratch
 	for j := range s.work {
-		s.runBatch(j)
+		s.execBatch(j.sess, j.reqs, &rs, j.enq)
+		j.sess.inflight.Done()
+		putJob(j)
+		rs.shrink()
 	}
 }
 
-// replyBudget bounds one KindReply payload so the frame (kind byte plus
-// payload) always fits MaxFrame. A batch whose responses exceed it — e.g.
-// several coalesced MaxIO reads — is split across multiple reply frames;
-// request IDs let the client match each partial reply.
-const replyBudget = wire.MaxFrame - 1
-
-// runBatch executes one batch's operations in order against the session's
+// execBatch executes one batch's operations in order against the session's
 // client and writes the reply frames, splitting whenever the accumulated
-// responses would overflow one frame. With a Replica configured,
+// responses would overflow one frame. Responses encode directly into the
+// scratch payload (sized by wire.ResponseSize — no staging copy) and closed
+// frames flush in one vectored write. With a Replica configured,
 // state-changing operations detour through the replication log, and each
-// reply frame waits for the quorum to cover the highest sequence it
-// carries — acks pipeline across a batch instead of stalling per op.
-func (s *Server) runBatch(j *job) {
-	defer j.sess.inflight.Done()
+// flush waits for the quorum to cover the highest sequence it carries —
+// acks pipeline across a batch instead of stalling per op. Replicated ops
+// keep allocation semantics (wire.Execute) because the replica's dedup
+// cache retains their responses; everything else reads into scratch.
+func (s *Server) execBatch(sess *session, reqs []wire.Request, rs *replyScratch, enq time.Time) {
 	rep := s.cfg.Replica
 	var pendingSeq uint64
-	var payload, one []byte
-	for i := range j.reqs {
+	rs.payload = rs.payload[:0]
+	rs.frameStart = 0
+	if rs.rbuf == nil {
+		// ExecuteInto treats nil scratch as "allocate fresh per read"
+		// (Execute semantics); hand it a non-nil empty one so it grows a
+		// reusable buffer instead.
+		rs.rbuf = make([]byte, 0)
+	}
+	for i := range reqs {
+		req := &reqs[i]
 		var resp wire.Response
-		if rep != nil && j.reqs[i].Op.Replicated() {
+		if rep != nil && req.Op.Replicated() {
 			var seq uint64
-			req := &j.reqs[i]
-			resp, seq = rep.Apply(j.sess.sessID, req, func() wire.Response {
-				return wire.Execute(j.sess.client, req)
+			resp, seq = rep.Apply(sess.sessID, req, func() wire.Response {
+				return wire.Execute(sess.client, req)
 			})
 			if seq > pendingSeq {
 				pendingSeq = seq
 			}
 		} else {
-			resp = wire.Execute(j.sess.client, &j.reqs[i])
+			resp, rs.rbuf = wire.ExecuteInto(sess.client, req, rs.rbuf)
 		}
-		one = wire.AppendResponse(one[:0], &resp)
-		if len(one) > replyBudget {
+		need := wire.ResponseSize(&resp)
+		if need > replyBudget {
 			// A single response no frame can carry (an enormous directory
 			// listing): answer that request with an error instead of
 			// tearing the connection down on an unwritable frame.
 			code := wire.CodeOf(wire.ErrFrameTooLarge)
-			resp = wire.Response{ID: j.reqs[i].ID, Op: j.reqs[i].Op,
+			resp = wire.Response{ID: req.ID, Op: req.Op,
 				Code: code, Msg: wire.MsgFor(code, wire.ErrFrameTooLarge)}
-			one = wire.AppendResponse(one[:0], &resp)
+			need = wire.ResponseSize(&resp)
 		}
-		s.m.requestNs.observe(uint64(time.Since(j.enq)))
+		s.m.requestNs.observe(uint64(time.Since(enq)))
 		s.m.requests.Add(1)
 		if resp.Code != wire.CodeOK {
 			s.m.requestErrors.Add(1)
 		}
-		if len(payload) > 0 && len(payload)+len(one) > replyBudget {
-			if rep != nil && pendingSeq > 0 {
-				rep.WaitQuorum(pendingSeq)
+		if open := len(rs.payload) - rs.frameStart; open > 0 && open+need > replyBudget {
+			// Close the open frame. The staged view stays valid even if
+			// payload's array is later reallocated by append: the old array's
+			// bytes are complete and never mutated.
+			rs.vw.Stage(wire.KindReply, rs.payload[rs.frameStart:len(rs.payload):len(rs.payload)])
+			rs.frameStart = len(rs.payload)
+			if rs.vw.StagedBytes() >= maxStagedReply {
+				if rep != nil && pendingSeq > 0 {
+					rep.WaitQuorum(pendingSeq)
+					pendingSeq = 0
+				}
+				if err := s.flushReplies(sess, rs); err != nil {
+					s.cfg.Logf("server: reply to %s failed: %v", sess.conn.RemoteAddr(), err)
+					sess.conn.Close() // unwedge the reader; the session is dead
+					return
+				}
 			}
-			if err := s.writeReply(j.sess, payload); err != nil {
-				s.cfg.Logf("server: reply to %s failed: %v", j.sess.conn.RemoteAddr(), err)
-				j.sess.conn.Close() // unwedge the reader; the session is dead
-				return
-			}
-			payload = payload[:0]
 		}
-		payload = append(payload, one...)
+		rs.payload = wire.AppendResponse(rs.payload, &resp)
 	}
+	rs.vw.Stage(wire.KindReply, rs.payload[rs.frameStart:])
+	rs.frameStart = len(rs.payload)
 	if rep != nil && pendingSeq > 0 {
 		rep.WaitQuorum(pendingSeq)
 	}
-	if err := s.writeReply(j.sess, payload); err != nil {
-		s.cfg.Logf("server: reply to %s failed: %v", j.sess.conn.RemoteAddr(), err)
-		j.sess.conn.Close() // unwedge the reader; the session is dead
+	if err := s.flushReplies(sess, rs); err != nil {
+		s.cfg.Logf("server: reply to %s failed: %v", sess.conn.RemoteAddr(), err)
+		sess.conn.Close() // unwedge the reader; the session is dead
 	}
+}
+
+// flushReplies writes every staged reply frame in one vectored write under
+// the session's write lock and resets the scratch. Bytes are attributed to
+// the wire metrics directly (the vectored path bypasses countingConn so the
+// kernel sees a single writev).
+func (s *Server) flushReplies(sess *session, rs *replyScratch) error {
+	nf := rs.vw.Count()
+	sess.wmu.Lock()
+	n, err := rs.vw.Flush(sess.conn)
+	sess.wmu.Unlock()
+	if n > 0 {
+		s.m.bytesWritten.Add(uint64(n))
+	}
+	s.m.framesWritten.Add(uint64(nf))
+	rs.payload = rs.payload[:0]
+	rs.frameStart = 0
+	return err
 }
 
 // writeReply frames and flushes one KindReply payload under the session's

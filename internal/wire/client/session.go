@@ -14,20 +14,85 @@ import (
 	"simurgh/internal/wire"
 )
 
-// sendItem is one encoded request group queued for the writer.
+// sendItem is one encoded request group queued for the writer. payload
+// aliases rb's pooled buffer; the writer holds one of rb's references and
+// releases it once the bytes are on the wire.
 type sendItem struct {
+	rb      *refBuf
 	payload []byte
 	n       int // requests in payload
+}
+
+// refBuf is a reference-counted pooled request buffer. One buffer backs a
+// whole submitted group: each pending call references its own encoded
+// segment (kept for failover replay) and the write loop references the
+// payload until it is written, so the buffer recycles only when the last
+// holder lets go.
+type refBuf struct {
+	buf  *wire.Buf
+	refs atomic.Int32
+}
+
+var refBufPool = sync.Pool{New: func() any { return new(refBuf) }}
+
+// getRefBuf returns a refcounted buffer with room for est bytes and zero
+// length. The caller must Store the reference count before sharing it.
+func getRefBuf(est int) *refBuf {
+	rb := refBufPool.Get().(*refBuf)
+	if rb.buf == nil || cap(rb.buf.B) < est {
+		wire.PutBuf(rb.buf)
+		rb.buf = wire.GetBuf(est)
+	}
+	rb.buf.B = rb.buf.B[:0]
+	return rb
+}
+
+// release drops one reference; the last one returns the buffer and the
+// wrapper to their pools.
+func (rb *refBuf) release() {
+	if rb.refs.Add(-1) == 0 {
+		wire.PutBuf(rb.buf)
+		rb.buf = nil
+		refBufPool.Put(rb)
+	}
 }
 
 // pendingCall is one submitted, unanswered request. seg retains the
 // request's encoded bytes so a failover can replay it verbatim (same ID —
 // the server deduplicates replicated operations by request ID, making the
 // replay exactly-once), and seqNo orders replays by original submission.
+// dst, when set, is where the reader lands read data (the caller's buffer,
+// eliminating the frame→response→caller double copy); rb is the request
+// buffer reference released when the call retires.
+//
+// Ownership protocol: a pendingCall in s.pend may be touched only by
+// whoever removes it from the map under s.mu — the reader claims it to
+// deliver (and is the only goroutine allowed to decode into dst), the
+// waiter claims it back to abandon. A call that cannot be claimed back
+// (the reader got there first) is leaked to the GC rather than pooled: a
+// late delivery into a reused call would corrupt an unrelated request.
 type pendingCall struct {
 	ch    chan wire.Response
 	seg   []byte
 	seqNo uint64
+	dst   []byte
+	rb    *refBuf
+}
+
+var pcPool = sync.Pool{New: func() any {
+	return &pendingCall{ch: make(chan wire.Response, 1)}
+}}
+
+func getPC() *pendingCall { return pcPool.Get().(*pendingCall) }
+
+func putPC(pc *pendingCall) {
+	select { // defensive: a pooled call must never carry a stale response
+	case <-pc.ch:
+	default:
+	}
+	pc.seg, pc.dst, pc.rb = nil, nil, nil
+	pc.seqNo = 0
+	pcPool.Put(pc)
 }
 
 // transport is one connection generation. A session survives its
@@ -207,11 +272,15 @@ func (s *Session) resume(conn net.Conn, fr *wire.FrameReader) {
 }
 
 // writeLoop drains the send queue, merging everything immediately available
-// into one KindBatch frame, written with a single conn.Write per frame. It
-// exits when its transport is retired; an item lost to a dying write is
-// re-sent by the failover replay (its pend entry is still unanswered).
+// into one KindBatch frame written with a single vectored write — the
+// header and each group's payload go to the kernel as one writev, with no
+// coalescing copy. It exits when its transport is retired; an item lost to
+// a dying write is re-sent by the failover replay (its pend entry is still
+// unanswered).
 func (s *Session) writeLoop(t *transport) {
-	frame := make([]byte, 0, 64<<10)
+	var hdr [5]byte
+	acc := make([][]byte, 0, 16)
+	items := make([]sendItem, 0, 16)
 	var held *sendItem
 	for {
 		var first sendItem
@@ -226,26 +295,39 @@ func (s *Session) writeLoop(t *transport) {
 				return
 			}
 		}
-		// Reserve the 5-byte frame header, patch the length afterwards.
-		frame = append(frame[:0], 0, 0, 0, 0, byte(wire.KindBatch))
-		frame = append(frame, first.payload...)
+		acc = append(acc[:0], hdr[:], first.payload)
+		items = append(items[:0], first)
+		total := len(first.payload)
 		count := first.n
 	coalesce:
 		for count < wire.MaxBatch {
 			select {
 			case it := <-s.sendq:
-				if len(frame)-5+len(it.payload) > maxCoalesce || count+it.n > wire.MaxBatch {
+				if total+len(it.payload) > maxCoalesce || count+it.n > wire.MaxBatch {
 					held = &it
 					break coalesce
 				}
-				frame = append(frame, it.payload...)
+				acc = append(acc, it.payload)
+				items = append(items, it)
+				total += len(it.payload)
 				count += it.n
 			default:
 				break coalesce
 			}
 		}
-		binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
-		if _, err := t.conn.Write(frame); err != nil {
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(total+1))
+		hdr[4] = byte(wire.KindBatch)
+		vec := net.Buffers(acc)
+		_, err := vec.WriteTo(t.conn)
+		for i := range items {
+			if items[i].rb != nil {
+				items[i].rb.release()
+			}
+		}
+		if err != nil {
+			if held != nil && held.rb != nil {
+				held.rb.release()
+			}
 			s.transportFailed(t, err)
 			return
 		}
@@ -253,8 +335,11 @@ func (s *Session) writeLoop(t *transport) {
 }
 
 // readLoop decodes reply frames and routes each response to its waiter.
-// A response for an already-answered ID (a failover replay racing its
-// original) is dropped.
+// Each response's call is claimed out of pend before decoding, so the
+// claimer may safely land read data in the call's dst buffer; a response
+// for an already-answered ID (a failover replay racing its original) is
+// dropped. On a decode error the claimed call is returned to pend so the
+// failover replay still covers it.
 func (s *Session) readLoop(t *transport) {
 	for {
 		kind, payload, err := t.fr.Next()
@@ -264,18 +349,35 @@ func (s *Session) readLoop(t *transport) {
 		}
 		switch kind {
 		case wire.KindReply:
-			resps, err := wire.DecodeReply(payload)
-			if err != nil {
-				s.transportFailed(t, err)
-				return
-			}
-			for i := range resps {
-				s.mu.Lock()
-				pc := s.pend[resps[i].ID]
-				delete(s.pend, resps[i].ID)
-				s.mu.Unlock()
+			for len(payload) > 0 {
+				var pc *pendingCall
+				var id uint32
+				if len(payload) >= 4 {
+					id = binary.LittleEndian.Uint32(payload)
+					s.mu.Lock()
+					pc = s.pend[id]
+					if pc != nil {
+						delete(s.pend, id)
+					}
+					s.mu.Unlock()
+				}
+				var dst []byte
 				if pc != nil {
-					pc.ch <- resps[i] // buffered; never blocks
+					dst = pc.dst
+				}
+				resp, rest, err := wire.DecodeResponseInto(payload, dst)
+				if err != nil {
+					if pc != nil {
+						s.mu.Lock()
+						s.pend[id] = pc
+						s.mu.Unlock()
+					}
+					s.transportFailed(t, err)
+					return
+				}
+				payload = rest
+				if pc != nil {
+					pc.ch <- resp // buffered; never blocks
 				}
 			}
 		case wire.KindErr:
@@ -297,22 +399,49 @@ func (s *Session) Submit(reqs []wire.Request) ([]wire.Response, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
+	out := make([]wire.Response, len(reqs))
+	if err := s.submitInto(reqs, out, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// submitInto is the submission engine behind Submit and every fsapi call:
+// it encodes reqs into a pooled refcounted buffer, registers pooled pending
+// calls, queues the group for the writer, and collects the responses into
+// out (len(out) == len(reqs)). dst, when non-nil, is handed to the first
+// request's pending call so the reader can land read data directly in the
+// caller's buffer; only single-request submissions pass it.
+func (s *Session) submitInto(reqs []wire.Request, out []wire.Response, dst []byte) error {
 	if len(reqs) > wire.MaxBatch {
-		return nil, fmt.Errorf("%w: %d requests > %d", wire.ErrBadMessage, len(reqs), wire.MaxBatch)
+		return fmt.Errorf("%w: %d requests > %d", wire.ErrBadMessage, len(reqs), wire.MaxBatch)
 	}
 	// Oversized paths are refused here, before any bytes hit the wire: the
 	// server's decoder would reject them as a protocol error and tear down
 	// the whole connection (and paths beyond uint16 would not even encode).
+	est := 0
 	for i := range reqs {
 		if len(reqs[i].Path) > wire.MaxPath || len(reqs[i].Path2) > wire.MaxPath {
-			return nil, fsapi.ErrNameTooLong
+			return fsapi.ErrNameTooLong
 		}
+		est += 48 + len(reqs[i].Path) + len(reqs[i].Path2) + len(reqs[i].Data)
 	}
 	if err := s.err(); err != nil {
-		return nil, err
+		return err
 	}
-	pcs := make([]*pendingCall, len(reqs))
-	var payload []byte
+	var pcsArr [8]*pendingCall
+	var pcs []*pendingCall
+	if len(reqs) <= len(pcsArr) {
+		pcs = pcsArr[:len(reqs)]
+	} else {
+		pcs = make([]*pendingCall, len(reqs))
+	}
+	for i := range pcs {
+		pcs[i] = getPC()
+	}
+	pcs[0].dst = dst
+	rb := getRefBuf(est)
+	payload := rb.buf.B
 	s.mu.Lock()
 	for i := range reqs {
 		// IDs are uint32 on the wire, so a long-lived session's counter can
@@ -329,58 +458,103 @@ func (s *Session) Submit(reqs []wire.Request) ([]wire.Response, error) {
 		start := len(payload)
 		payload = wire.AppendRequest(payload, &reqs[i])
 		s.subNo++
-		pcs[i] = &pendingCall{
-			ch:    make(chan wire.Response, 1),
-			seg:   payload[start:len(payload):len(payload)],
-			seqNo: s.subNo,
-		}
-		s.pend[id] = pcs[i]
+		pc := pcs[i]
+		pc.seg = payload[start:len(payload):len(payload)]
+		pc.seqNo = s.subNo
+		pc.rb = rb
+		s.pend[id] = pc
 	}
+	rb.buf.B = payload
+	// One reference per pending call plus one for the writer.
+	rb.refs.Store(int32(len(reqs)) + 1)
 	s.mu.Unlock()
 	if len(payload) > maxCoalesce {
-		s.unregister(reqs)
-		return nil, wire.ErrFrameTooLarge
+		s.unregisterPCs(reqs, pcs)
+		rb.release() // the writer's reference; the send never happens
+		return wire.ErrFrameTooLarge
 	}
 	select {
-	case s.sendq <- sendItem{payload: payload, n: len(reqs)}:
+	case s.sendq <- sendItem{rb: rb, payload: payload, n: len(reqs)}:
 	case <-s.dead:
-		s.unregister(reqs)
-		return nil, s.err()
+		s.unregisterPCs(reqs, pcs)
+		rb.release()
+		return s.err()
 	}
-	out := make([]wire.Response, len(reqs))
 	for i := range pcs {
-		resp, err := s.wait(pcs[i].ch)
+		resp, err := s.waitPC(reqs[i].ID, pcs[i])
 		if err != nil {
-			s.unregister(reqs[i:])
-			return nil, err
+			s.unregisterPCs(reqs[i+1:], pcs[i+1:])
+			return err
 		}
 		out[i] = resp
 	}
-	return out, nil
+	return nil
 }
 
-// unregister removes reqs' pending entries after a failed submit.
-func (s *Session) unregister(reqs []wire.Request) {
-	s.mu.Lock()
+// unregisterPCs withdraws pending calls after a failed submit, releasing
+// each one that is still claimable (present in pend). A call the reader
+// already claimed is leaked to the GC instead of pooled — the reader may be
+// delivering into it right now.
+func (s *Session) unregisterPCs(reqs []wire.Request, pcs []*pendingCall) {
 	for i := range reqs {
-		delete(s.pend, reqs[i].ID)
+		s.mu.Lock()
+		cur, ok := s.pend[reqs[i].ID]
+		mine := ok && cur == pcs[i]
+		if mine {
+			delete(s.pend, reqs[i].ID)
+		}
+		s.mu.Unlock()
+		if mine {
+			s.retirePC(pcs[i])
+		}
 	}
-	s.mu.Unlock()
 }
 
-// wait blocks for one response, preferring a delivered response over the
-// session's death (the reply may have raced the failure).
-func (s *Session) wait(ch chan wire.Response) (wire.Response, error) {
+// retirePC releases a fully-owned pending call: its request-buffer
+// reference and the call itself return to their pools.
+func (s *Session) retirePC(pc *pendingCall) {
+	if pc.rb != nil {
+		pc.rb.release()
+	}
+	putPC(pc)
+}
+
+// waitPC blocks for id's response, preferring a delivered response over the
+// session's death (the reply may have raced the failure). On death it
+// claims the call back out of pend before giving up — whoever removes a
+// call from pend owns it, so a successful claim-back guarantees no reader
+// will ever touch the call (or its dst buffer) again. If the reader won the
+// claim, its delivery or re-registration is imminent: spin until one
+// happens.
+func (s *Session) waitPC(id uint32, pc *pendingCall) (wire.Response, error) {
 	select {
-	case r := <-ch:
+	case r := <-pc.ch:
+		s.retirePC(pc)
 		return r, nil
 	case <-s.dead:
+	}
+	for {
 		select {
-		case r := <-ch:
+		case r := <-pc.ch:
+			s.retirePC(pc)
 			return r, nil
 		default:
 		}
-		return wire.Response{}, s.err()
+		s.mu.Lock()
+		cur, ok := s.pend[id]
+		mine := ok && cur == pc
+		if mine {
+			delete(s.pend, id)
+		}
+		s.mu.Unlock()
+		if mine {
+			err := s.err()
+			s.retirePC(pc)
+			return wire.Response{}, err
+		}
+		// Claimed by a reader mid-decode; the session is already dead, so
+		// latency is irrelevant — yield until it delivers or re-registers.
+		time.Sleep(100 * time.Microsecond)
 	}
 }
 
@@ -388,15 +562,23 @@ func (s *Session) wait(ch chan wire.Response) (wire.Response, error) {
 // server shed the request under pressure) are retried transparently with
 // jittered, doubling backoff, bounded in both attempts and total delay.
 func (s *Session) call(req wire.Request) (wire.Response, error) {
+	return s.callDst(req, nil)
+}
+
+// callDst is call with a destination buffer for read data (see submitInto).
+// The single-request round trip runs with stack-allocated request and
+// response slots — no per-call heap allocation.
+func (s *Session) callDst(req wire.Request, dst []byte) (wire.Response, error) {
 	o := &s.r.opts
 	var backoff, total time.Duration
 	for attempt := 0; ; attempt++ {
-		one := [1]wire.Request{req}
-		resps, err := s.Submit(one[:])
-		if err != nil {
+		var one [1]wire.Request
+		var out [1]wire.Response
+		one[0] = req
+		if err := s.submitInto(one[:], out[:], dst); err != nil {
 			return wire.Response{}, err
 		}
-		resp := resps[0]
+		resp := out[0]
 		if resp.Code != wire.CodeOverload || attempt >= o.OverloadRetries || total >= o.OverloadBudget {
 			return resp, nil
 		}
@@ -453,7 +635,9 @@ func (s *Session) Close(fd fsapi.FD) error {
 }
 
 // Read reads from the descriptor's current position, chunking requests
-// larger than wire.MaxIO into sequential wire reads.
+// larger than wire.MaxIO into sequential wire reads. Each chunk's
+// destination slice rides the request down to the reply decoder, so the
+// data is copied exactly once: frame buffer → p.
 func (s *Session) Read(fd fsapi.FD, p []byte) (int, error) {
 	total := 0
 	for {
@@ -461,7 +645,8 @@ func (s *Session) Read(fd fsapi.FD, p []byte) (int, error) {
 		if ask > wire.MaxIO {
 			ask = wire.MaxIO
 		}
-		resp, err := s.call(wire.Request{Op: wire.OpRead, FD: fd, Size: uint32(ask)})
+		dst := p[total : total+ask : total+ask]
+		resp, err := s.callDst(wire.Request{Op: wire.OpRead, FD: fd, Size: uint32(ask)}, dst)
 		if err == nil {
 			err = resp.Err()
 		}
@@ -471,7 +656,7 @@ func (s *Session) Read(fd fsapi.FD, p []byte) (int, error) {
 			}
 			return 0, err
 		}
-		n := copy(p[total:], resp.Data)
+		n := readInto(dst, resp.Data, p[total:])
 		total += n
 		if n < ask || total == len(p) {
 			return total, nil
@@ -479,7 +664,8 @@ func (s *Session) Read(fd fsapi.FD, p []byte) (int, error) {
 	}
 }
 
-// Pread reads at an explicit offset without moving the position.
+// Pread reads at an explicit offset without moving the position, with the
+// same single-copy destination plumbing as Read.
 func (s *Session) Pread(fd fsapi.FD, p []byte, off uint64) (int, error) {
 	total := 0
 	for {
@@ -487,7 +673,8 @@ func (s *Session) Pread(fd fsapi.FD, p []byte, off uint64) (int, error) {
 		if ask > wire.MaxIO {
 			ask = wire.MaxIO
 		}
-		resp, err := s.call(wire.Request{Op: wire.OpPread, FD: fd, Size: uint32(ask), Off: off + uint64(total)})
+		dst := p[total : total+ask : total+ask]
+		resp, err := s.callDst(wire.Request{Op: wire.OpPread, FD: fd, Size: uint32(ask), Off: off + uint64(total)}, dst)
 		if err == nil {
 			err = resp.Err()
 		}
@@ -497,12 +684,25 @@ func (s *Session) Pread(fd fsapi.FD, p []byte, off uint64) (int, error) {
 			}
 			return 0, err
 		}
-		n := copy(p[total:], resp.Data)
+		n := readInto(dst, resp.Data, p[total:])
 		total += n
 		if n < ask || total == len(p) {
 			return total, nil
 		}
 	}
+}
+
+// readInto finalizes a read chunk: when the decoder already landed data in
+// dst the bytes are in place, otherwise (oversized or foreign backing) they
+// are copied into rest.
+func readInto(dst, data, rest []byte) int {
+	if len(data) == 0 {
+		return 0
+	}
+	if &data[0] == &dst[0] && len(data) <= len(dst) {
+		return len(data)
+	}
+	return copy(rest, data)
 }
 
 // Write writes at the descriptor's current position, chunking payloads

@@ -6,8 +6,21 @@ import "simurgh/internal/fsapi"
 // response. It is the single interpretation of the wire vocabulary in
 // terms of fsapi, shared by the network server's batch workers and the
 // replication layer's shadow replay (both must agree exactly, or replicas
-// diverge). Unknown sizes were already bounded by the decoder.
+// diverge). Unknown sizes were already bounded by the decoder. Read data is
+// freshly allocated, so the response is safe to retain (the replication
+// dedup cache depends on this).
 func Execute(c fsapi.Client, req *Request) Response {
+	resp, _ := ExecuteInto(c, req, nil)
+	return resp
+}
+
+// ExecuteInto is Execute with a caller-owned read scratch buffer: read and
+// pread responses land in scratch (grown as needed) and resp.Data aliases
+// it. It returns the (possibly grown) scratch for reuse. The caller must
+// not retain resp.Data past the scratch's next use — server workers encode
+// the response into the reply frame before reusing it. Passing nil scratch
+// allocates per read, which is exactly Execute.
+func ExecuteInto(c fsapi.Client, req *Request, scratch []byte) (Response, []byte) {
 	resp := Response{ID: req.ID, Op: req.Op}
 	var err error
 	switch req.Op {
@@ -18,12 +31,14 @@ func Execute(c fsapi.Client, req *Request) Response {
 	case OpClose:
 		err = c.Close(req.FD)
 	case OpRead:
-		p := make([]byte, req.Size)
+		var p []byte
+		p, scratch = readBuf(req.Size, scratch)
 		var n int
 		n, err = c.Read(req.FD, p)
 		resp.Data = p[:n]
 	case OpPread:
-		p := make([]byte, req.Size)
+		var p []byte
+		p, scratch = readBuf(req.Size, scratch)
 		var n int
 		n, err = c.Pread(req.FD, p, req.Off)
 		resp.Data = p[:n]
@@ -80,5 +95,19 @@ func Execute(c fsapi.Client, req *Request) Response {
 		resp.Data, resp.Str, resp.Dir = nil, "", nil
 		resp.Stat = fsapi.Stat{}
 	}
-	return resp
+	return resp, scratch
+}
+
+// readBuf carves a size-byte read destination out of scratch, growing it if
+// needed; nil scratch stays nil so Execute keeps fresh-allocation
+// semantics.
+func readBuf(size uint32, scratch []byte) (p, out []byte) {
+	n := int(size)
+	if scratch == nil {
+		return make([]byte, n), nil
+	}
+	if cap(scratch) < n {
+		scratch = make([]byte, n)
+	}
+	return scratch[:n], scratch
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package wire
+
+// raceEnabled gates allocation-count assertions: testing.AllocsPerRun is
+// unreliable under the race detector (instrumentation allocates).
+const raceEnabled = true

@@ -83,36 +83,45 @@ func AppendEntry(dst []byte, e *Entry) []byte {
 }
 
 // DecodeEntry decodes one entry from b, returning the remaining bytes.
+// Variable-length request fields are copied, safe to retain.
 func DecodeEntry(b []byte) (Entry, []byte, error) {
 	rd := reader{b: b}
+	e, err := decodeEntry(&rd)
+	if err != nil {
+		return Entry{}, nil, err
+	}
+	return e, rd.b, nil
+}
+
+func decodeEntry(rd *reader) (Entry, error) {
 	var e Entry
 	e.Seq = rd.u64()
 	e.Sess = rd.u64()
 	e.Kind = EntryKind(rd.u8())
 	if rd.err != nil {
-		return Entry{}, nil, rd.err
+		return Entry{}, rd.err
 	}
 	switch e.Kind {
 	case EntryAttach:
 		e.Cred.UID = rd.u32()
 		e.Cred.GID = rd.u32()
 		if rd.err != nil {
-			return Entry{}, nil, rd.err
+			return Entry{}, rd.err
 		}
-		return e, rd.b, nil
+		return e, nil
 	case EntryOp:
 		e.ResFD = fsapi.FD(rd.u32())
 		if rd.err != nil {
-			return Entry{}, nil, rd.err
+			return Entry{}, rd.err
 		}
-		req, rest, err := DecodeRequest(rd.b)
+		req, err := decodeRequest(rd)
 		if err != nil {
-			return Entry{}, nil, err
+			return Entry{}, err
 		}
 		e.Req = req
-		return e, rest, nil
+		return e, nil
 	default:
-		return Entry{}, nil, fmt.Errorf("%w: bad entry kind %d", ErrBadMessage, e.Kind)
+		return Entry{}, fmt.Errorf("%w: bad entry kind %d", ErrBadMessage, e.Kind)
 	}
 }
 
@@ -131,6 +140,26 @@ func DecodeEntries(payload []byte) ([]Entry, error) {
 		payload = rest
 	}
 	return ents, nil
+}
+
+// DecodeEntriesInto is the zero-allocation variant of DecodeEntries: it
+// appends to dst (reusing capacity) and decoded request paths and write
+// data ALIAS payload. The backup applies every entry before reading the
+// next frame, so the aliased buffer is stable for exactly that window. dst
+// is returned even on error so its capacity is never lost.
+func DecodeEntriesInto(dst []Entry, payload []byte) ([]Entry, error) {
+	rd := reader{b: payload, alias: true}
+	for len(rd.b) > 0 {
+		if len(dst) >= MaxBatch {
+			return dst, fmt.Errorf("%w: replicate frame exceeds %d entries", ErrBadMessage, MaxBatch)
+		}
+		e, err := decodeEntry(&rd)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, e)
+	}
+	return dst, nil
 }
 
 // Join is the backup's enlistment request.

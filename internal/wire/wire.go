@@ -28,6 +28,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"unsafe"
 
 	"simurgh/internal/fsapi"
 )
@@ -221,10 +223,14 @@ func appendBytes(b, p []byte) []byte {
 }
 
 // reader consumes a message buffer; the first failed read poisons it so
-// call sites can check err once at the end.
+// call sites can check err once at the end. In alias mode, strings and
+// payloads reference the input buffer instead of copying — the zero-alloc
+// decode used by the server's request path, where the frame buffer outlives
+// every decoded request by construction (job ownership, see server docs).
 type reader struct {
-	b   []byte
-	err error
+	b     []byte
+	err   error
+	alias bool
 }
 
 func (r *reader) fail(err error) {
@@ -273,8 +279,9 @@ func (r *reader) u64() uint64 {
 	return v
 }
 
-// str reads a u16-length-prefixed string of at most max bytes. The string
-// conversion copies, so the result does not alias the frame buffer.
+// str reads a u16-length-prefixed string of at most max bytes. Outside
+// alias mode the string conversion copies, so the result does not alias the
+// frame buffer; in alias mode it views the input directly.
 func (r *reader) str(max int) string {
 	n := int(r.u16())
 	if r.err != nil {
@@ -288,14 +295,22 @@ func (r *reader) str(max int) string {
 		r.fail(ErrTruncated)
 		return ""
 	}
-	s := string(r.b[:n])
+	if n == 0 {
+		return ""
+	}
+	var s string
+	if r.alias {
+		s = unsafe.String(&r.b[0], n)
+	} else {
+		s = string(r.b[:n])
+	}
 	r.b = r.b[n:]
 	return s
 }
 
-// bytes reads a u32-length-prefixed payload of at most max bytes, copying
-// it out of the frame buffer (frames are reused; decoded messages must not
-// alias them).
+// bytes reads a u32-length-prefixed payload of at most max bytes. Outside
+// alias mode it copies out of the frame buffer (frames are reused; decoded
+// messages must not alias them); in alias mode it returns a subslice.
 func (r *reader) bytes(max int) []byte {
 	n := int(r.u32())
 	if r.err != nil {
@@ -312,7 +327,42 @@ func (r *reader) bytes(max int) []byte {
 	if n == 0 {
 		return nil
 	}
-	out := make([]byte, n)
+	var out []byte
+	if r.alias {
+		out = r.b[:n:n]
+	} else {
+		out = make([]byte, n)
+		copy(out, r.b)
+	}
+	r.b = r.b[n:]
+	return out
+}
+
+// bytesInto is bytes with a caller-provided destination: the payload is
+// copied into dst when it fits, so a client receiving a read can land the
+// data directly in the caller's buffer instead of a fresh allocation.
+func (r *reader) bytesInto(max int, dst []byte) []byte {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n > max {
+		r.fail(fmt.Errorf("%w: payload length %d > %d", ErrBadMessage, n, max))
+		return nil
+	}
+	if n > len(r.b) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	var out []byte
+	if cap(dst) >= n {
+		out = dst[:n]
+	} else {
+		out = make([]byte, n)
+	}
 	copy(out, r.b)
 	r.b = r.b[n:]
 	return out
@@ -375,13 +425,23 @@ func AppendRequest(dst []byte, r *Request) []byte {
 }
 
 // DecodeRequest decodes one request from b, returning the remaining bytes.
+// Variable-length fields are copied, so the result is safe to retain after
+// b is reused.
 func DecodeRequest(b []byte) (Request, []byte, error) {
 	rd := reader{b: b}
+	r, err := decodeRequest(&rd)
+	if err != nil {
+		return Request{}, nil, err
+	}
+	return r, rd.b, nil
+}
+
+func decodeRequest(rd *reader) (Request, error) {
 	var r Request
 	r.ID = rd.u32()
 	r.Op = Op(rd.u8())
 	if rd.err == nil && (r.Op == OpInvalid || r.Op >= NumOps) {
-		return Request{}, nil, fmt.Errorf("%w: bad op %d", ErrBadMessage, r.Op)
+		return Request{}, fmt.Errorf("%w: bad op %d", ErrBadMessage, r.Op)
 	}
 	switch r.Op {
 	case OpCreate:
@@ -429,16 +489,16 @@ func DecodeRequest(b []byte) (Request, []byte, error) {
 	case OpDetach:
 	}
 	if rd.err != nil {
-		return Request{}, nil, rd.err
+		return Request{}, rd.err
 	}
 	if r.Size > MaxIO {
-		return Request{}, nil, fmt.Errorf("%w: read size %d > %d", ErrBadMessage, r.Size, MaxIO)
+		return Request{}, fmt.Errorf("%w: read size %d > %d", ErrBadMessage, r.Size, MaxIO)
 	}
-	return r, rd.b, nil
+	return r, nil
 }
 
 // DecodeBatch decodes a KindBatch payload into its requests (at most
-// MaxBatch).
+// MaxBatch). Decoded requests are copies, safe to retain.
 func DecodeBatch(payload []byte) ([]Request, error) {
 	var reqs []Request
 	for len(payload) > 0 {
@@ -453,6 +513,28 @@ func DecodeBatch(payload []byte) ([]Request, error) {
 		payload = rest
 	}
 	return reqs, nil
+}
+
+// DecodeBatchInto is the zero-allocation variant of DecodeBatch: it appends
+// decoded requests to dst (reusing its capacity) and every Path, Path2, and
+// Data field ALIASES payload. The caller owns payload and must keep it
+// untouched until the last decoded request is retired — the server does
+// this by transferring frame-buffer ownership into the batch job and
+// returning it to the pool only after the reply is written. dst (possibly
+// extended) is returned even on error so its capacity is never lost.
+func DecodeBatchInto(dst []Request, payload []byte) ([]Request, error) {
+	rd := reader{b: payload, alias: true}
+	for len(rd.b) > 0 {
+		if len(dst) >= MaxBatch {
+			return dst, fmt.Errorf("%w: batch exceeds %d ops", ErrBadMessage, MaxBatch)
+		}
+		r, err := decodeRequest(&rd)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, r)
+	}
+	return dst, nil
 }
 
 // --- response codec -----------------------------------------------------
@@ -515,29 +597,80 @@ func AppendResponse(dst []byte, r *Response) []byte {
 	return dst
 }
 
+// ResponseSize returns the exact number of bytes AppendResponse would
+// append for r. The server sizes reply frames with it so responses encode
+// directly into the outgoing payload with no staging copy.
+func ResponseSize(r *Response) int {
+	n := 4 + 1 + 1 // ID, op, code
+	if r.Code != CodeOK {
+		return n + 2 + len(r.Msg)
+	}
+	switch r.Op {
+	case OpCreate, OpOpen:
+		n += 4
+	case OpRead, OpPread:
+		n += 4 + len(r.Data)
+	case OpWrite, OpPwrite:
+		n += 4
+	case OpSeek:
+		n += 8
+	case OpFstat, OpStat, OpLstat:
+		n += 8 + 4 + 4 + 4 + 4 + 8 + 8 + 8 + 8
+	case OpReadlink:
+		n += 2 + len(r.Str)
+	case OpReadDir:
+		n += 4
+		for i := range r.Dir {
+			n += 2 + len(r.Dir[i].Name) + 8 + 4
+		}
+	}
+	return n
+}
+
 // DecodeResponse decodes one response from b, returning the remaining
-// bytes.
+// bytes. Variable-length fields are copies, safe to retain.
 func DecodeResponse(b []byte) (Response, []byte, error) {
 	rd := reader{b: b}
+	r, err := decodeResponse(&rd, nil)
+	if err != nil {
+		return Response{}, nil, err
+	}
+	return r, rd.b, nil
+}
+
+// DecodeResponseInto decodes one response from b, landing read data in
+// dataDst when it fits (the client passes the caller's read buffer, so the
+// payload is copied exactly once: frame → destination). All other
+// variable-length fields are still copied; only Data may alias dataDst.
+func DecodeResponseInto(b, dataDst []byte) (Response, []byte, error) {
+	rd := reader{b: b}
+	r, err := decodeResponse(&rd, dataDst)
+	if err != nil {
+		return Response{}, nil, err
+	}
+	return r, rd.b, nil
+}
+
+func decodeResponse(rd *reader, dataDst []byte) (Response, error) {
 	var r Response
 	r.ID = rd.u32()
 	r.Op = Op(rd.u8())
 	r.Code = ErrCode(rd.u8())
 	if rd.err == nil && (r.Op == OpInvalid || r.Op >= NumOps) {
-		return Response{}, nil, fmt.Errorf("%w: bad op %d", ErrBadMessage, r.Op)
+		return Response{}, fmt.Errorf("%w: bad op %d", ErrBadMessage, r.Op)
 	}
 	if r.Code != CodeOK {
 		r.Msg = rd.str(MaxPath)
 		if rd.err != nil {
-			return Response{}, nil, rd.err
+			return Response{}, rd.err
 		}
-		return r, rd.b, nil
+		return r, nil
 	}
 	switch r.Op {
 	case OpCreate, OpOpen:
 		r.FD = fsapi.FD(rd.u32())
 	case OpRead, OpPread:
-		r.Data = rd.bytes(MaxIO)
+		r.Data = rd.bytesInto(MaxIO, dataDst)
 	case OpWrite, OpPwrite:
 		r.N = rd.u32()
 	case OpSeek:
@@ -549,7 +682,7 @@ func DecodeResponse(b []byte) (Response, []byte, error) {
 	case OpReadDir:
 		n := int(rd.u32())
 		if rd.err == nil && n > len(rd.b)/dirEntryMinSize {
-			return Response{}, nil, fmt.Errorf("%w: dir entry count %d beyond payload", ErrBadMessage, n)
+			return Response{}, fmt.Errorf("%w: dir entry count %d beyond payload", ErrBadMessage, n)
 		}
 		if rd.err == nil && n > 0 {
 			r.Dir = make([]fsapi.DirEntry, 0, n)
@@ -561,9 +694,9 @@ func DecodeResponse(b []byte) (Response, []byte, error) {
 		}
 	}
 	if rd.err != nil {
-		return Response{}, nil, rd.err
+		return Response{}, rd.err
 	}
-	return r, rd.b, nil
+	return r, nil
 }
 
 // DecodeReply decodes a KindReply payload into its responses (at most
@@ -663,10 +796,10 @@ func WriteFrame(w io.Writer, kind Kind, payload []byte) error {
 	return err
 }
 
-// FrameReader reads frames from a connection, reusing one payload buffer.
+// FrameReader reads frames from a connection into pooled payload buffers.
 type FrameReader struct {
 	r   *bufio.Reader
-	buf []byte
+	buf *Buf
 }
 
 // NewFrameReader wraps r for frame-at-a-time reading.
@@ -675,8 +808,8 @@ func NewFrameReader(r io.Reader) *FrameReader {
 }
 
 // Next reads one frame and returns its kind and payload. The payload
-// aliases an internal buffer that the next call overwrites; decoders copy
-// variable-length fields, so decoded messages are safe to retain.
+// aliases a pooled buffer that the next call overwrites; either decode with
+// copies before calling Next again, or take ownership with Detach.
 func (fr *FrameReader) Next() (Kind, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
@@ -689,12 +822,107 @@ func (fr *FrameReader) Next() (Kind, []byte, error) {
 	if n > MaxFrame {
 		return 0, nil, ErrFrameTooLarge
 	}
-	if uint32(cap(fr.buf)) < n {
-		fr.buf = make([]byte, n)
+	if fr.buf == nil || uint32(cap(fr.buf.B)) < n {
+		PutBuf(fr.buf)
+		fr.buf = GetBuf(int(n))
 	}
-	buf := fr.buf[:n]
+	buf := fr.buf.B[:n]
 	if _, err := io.ReadFull(fr.r, buf); err != nil {
 		return 0, nil, err
 	}
 	return Kind(buf[0]), buf[1:], nil
+}
+
+// Detach transfers ownership of the buffer backing the last Next payload to
+// the caller, which must PutBuf it when the payload is no longer referenced.
+// The next Next draws a fresh pooled buffer. Returns nil before the first
+// Next (PutBuf(nil) is a no-op, so blind release is safe).
+func (fr *FrameReader) Detach() *Buf {
+	b := fr.buf
+	fr.buf = nil
+	return b
+}
+
+// Release returns the FrameReader's current buffer to the pool. Call it
+// when the reader is done (connection closed) so long-lived buffers recycle.
+func (fr *FrameReader) Release() {
+	PutBuf(fr.buf)
+	fr.buf = nil
+}
+
+// VecWriter stages whole frames and flushes them to a writer in one
+// vectored write (writev on a *net.TCPConn), so multi-frame replies and
+// replication batches cost one syscall and zero payload copies. Staged
+// payloads are borrowed: the caller must keep them valid until Flush
+// returns. Not safe for concurrent use; give each writing goroutine its
+// own.
+type VecWriter struct {
+	kinds    []Kind
+	payloads [][]byte
+	bytes    int
+	hdrs     []byte
+	bufs     net.Buffers
+	// wtmp is the view WriteTo consumes each Flush. It is a struct field
+	// rather than a local so the slice header doesn't escape to the heap on
+	// every call (WriteTo may pass its receiver pointer to the connection's
+	// writeBuffers).
+	wtmp net.Buffers
+}
+
+// Stage queues one frame. The payload is not copied.
+func (v *VecWriter) Stage(kind Kind, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	v.kinds = append(v.kinds, kind)
+	v.payloads = append(v.payloads, payload)
+	v.bytes += len(payload) + 5
+	return nil
+}
+
+// Count returns the number of staged frames.
+func (v *VecWriter) Count() int { return len(v.kinds) }
+
+// StagedBytes returns the total wire size (headers included) of staged
+// frames; callers bound memory by flushing when it grows past a budget.
+func (v *VecWriter) StagedBytes() int { return v.bytes }
+
+// Flush writes every staged frame to w in at most one vectored write and
+// resets the stage. It reports the bytes written even on error so callers
+// can keep byte-level metrics exact.
+func (v *VecWriter) Flush(w io.Writer) (int64, error) {
+	nf := len(v.kinds)
+	if nf == 0 {
+		return 0, nil
+	}
+	if cap(v.hdrs) < nf*5 {
+		v.hdrs = make([]byte, nf*5)
+	}
+	v.hdrs = v.hdrs[:nf*5]
+	v.bufs = v.bufs[:0]
+	for i, p := range v.payloads {
+		h := v.hdrs[i*5 : i*5+5]
+		binary.LittleEndian.PutUint32(h, uint32(len(p)+1))
+		h[4] = byte(v.kinds[i])
+		if len(p) == 0 {
+			v.bufs = append(v.bufs, h)
+		} else {
+			v.bufs = append(v.bufs, h, p)
+		}
+	}
+	// WriteTo consumes the Buffers it is invoked on (advancing the slice
+	// header and nilling spent elements), so it runs on a copy of the
+	// header: v.bufs keeps its backing array and capacity for the next
+	// Flush.
+	v.wtmp = v.bufs
+	n, err := v.wtmp.WriteTo(w)
+	v.wtmp = nil
+	v.kinds = v.kinds[:0]
+	for i := range v.payloads {
+		v.payloads[i] = nil
+	}
+	v.payloads = v.payloads[:0]
+	v.bufs = v.bufs[:0]
+	v.bytes = 0
+	return n, err
 }

@@ -1,0 +1,188 @@
+package wire
+
+import (
+	"testing"
+)
+
+// zeroAllocBatch is a steady-state request mix: metadata lookups plus a
+// read, the shape the fast-path server loop sees.
+func zeroAllocBatch() []Request {
+	return []Request{
+		{ID: 1, Op: OpStat, Path: "/bench/f000"},
+		{ID: 2, Op: OpLstat, Path: "/bench/f001"},
+		{ID: 3, Op: OpPread, FD: 7, Size: 4096, Off: 1 << 20},
+		{ID: 4, Op: OpFstat, FD: 7},
+	}
+}
+
+// batchCodecRound is one steady-state codec round trip: encode a batch into
+// a reused payload, decode it back into a reused request slice (alias
+// mode). With warm buffers it must not allocate.
+func batchCodecRound(payload []byte, reqs []Request, src []Request) ([]byte, []Request, error) {
+	payload = payload[:0]
+	for i := range src {
+		payload = AppendRequest(payload, &src[i])
+	}
+	reqs, err := DecodeBatchInto(reqs[:0], payload)
+	return payload, reqs, err
+}
+
+// responseCodecRound encodes a data-bearing response into a reused payload
+// and decodes it back with the data landing in a caller buffer.
+func responseCodecRound(payload []byte, resp *Response, dst []byte) ([]byte, error) {
+	payload = AppendResponse(payload[:0], resp)
+	_, _, err := DecodeResponseInto(payload, dst)
+	return payload, err
+}
+
+// entryCodecRound encodes a replication entry into a reused payload and
+// decodes it back into a reused entry slice (alias mode).
+func entryCodecRound(payload []byte, ents []Entry, e *Entry) ([]byte, []Entry, error) {
+	payload = AppendEntry(payload[:0], e)
+	ents, err := DecodeEntriesInto(ents[:0], payload)
+	return payload, ents, err
+}
+
+func BenchmarkBatchCodec(b *testing.B) {
+	src := zeroAllocBatch()
+	var payload []byte
+	var reqs []Request
+	var err error
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		payload, reqs, err = batchCodecRound(payload, reqs, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = reqs
+}
+
+func BenchmarkResponseCodec(b *testing.B) {
+	data := make([]byte, 4096)
+	resp := &Response{ID: 3, Op: OpPread, Data: data}
+	dst := make([]byte, 0, len(data))
+	var payload []byte
+	var err error
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		payload, err = responseCodecRound(payload, resp, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEntryCodec(b *testing.B) {
+	e := &Entry{Seq: 9, Sess: 42, Kind: EntryOp,
+		Req: Request{ID: 5, Op: OpPwrite, FD: 3, Off: 4096, Data: make([]byte, 512)}}
+	var payload []byte
+	var ents []Entry
+	var err error
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		payload, ents, err = entryCodecRound(payload, ents, e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = ents
+}
+
+// TestCodecZeroAlloc pins the steady-state codec paths at zero allocations
+// per round trip — the contract the pooled server and client hot paths are
+// built on. CI's bench-smoke step enforces the same bound via -benchmem.
+func TestCodecZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	src := zeroAllocBatch()
+	var payload []byte
+	var reqs []Request
+	var err error
+	warm := func() {
+		payload, reqs, err = batchCodecRound(payload, reqs, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+	if avg := testing.AllocsPerRun(200, warm); avg != 0 {
+		t.Errorf("batch codec round trip: %.1f allocs/op, want 0", avg)
+	}
+
+	data := make([]byte, 4096)
+	resp := &Response{ID: 3, Op: OpPread, Data: data}
+	dst := make([]byte, 0, len(data))
+	var rpayload []byte
+	rwarm := func() {
+		rpayload, err = responseCodecRound(rpayload, resp, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rwarm()
+	if avg := testing.AllocsPerRun(200, rwarm); avg != 0 {
+		t.Errorf("response codec round trip: %.1f allocs/op, want 0", avg)
+	}
+
+	e := &Entry{Seq: 9, Sess: 42, Kind: EntryOp,
+		Req: Request{ID: 5, Op: OpPwrite, FD: 3, Off: 4096, Data: make([]byte, 512)}}
+	var epayload []byte
+	var ents []Entry
+	ewarm := func() {
+		epayload, ents, err = entryCodecRound(epayload, ents, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ewarm()
+	if avg := testing.AllocsPerRun(200, ewarm); avg != 0 {
+		t.Errorf("entry codec round trip: %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestDecodeBatchIntoAliases verifies the documented alias contract: batch
+// decoding in alias mode points paths and data at the frame buffer instead
+// of copying, and mutating the frame is visible through the requests.
+func TestDecodeBatchIntoAliases(t *testing.T) {
+	src := []Request{{ID: 1, Op: OpWrite, FD: 2, Data: []byte("alias me")}}
+	payload := AppendRequest(nil, &src[0])
+	reqs, err := DecodeBatchInto(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1 || string(reqs[0].Data) != "alias me" {
+		t.Fatalf("decoded %+v", reqs)
+	}
+	copy(reqs[0].Data, "ALIAS")
+	if string(payload[len(payload)-8:]) != "ALIAS me" {
+		t.Fatalf("Data does not alias the payload: %q", payload[len(payload)-8:])
+	}
+}
+
+// TestGetPutBufClasses verifies the pool invariant: GetBuf(n) returns a
+// buffer with len n, and PutBuf classes by capacity so a grown buffer still
+// pools into the largest class it can serve.
+func TestGetPutBufClasses(t *testing.T) {
+	sizes := []int{0, 1, 4 << 10, (4 << 10) + 1, 64 << 10, MaxIO, MaxFrame, MaxFrame + 64}
+	for _, n := range sizes {
+		b := GetBuf(n)
+		if len(b.B) != n {
+			t.Fatalf("GetBuf(%d) len = %d", n, len(b.B))
+		}
+		if cap(b.B) < n {
+			t.Fatalf("GetBuf(%d) cap = %d", n, cap(b.B))
+		}
+		PutBuf(b)
+	}
+	// A recycled buffer must come back with at least the requested room.
+	big := GetBuf(MaxIO)
+	PutBuf(big)
+	again := GetBuf(MaxIO + 1024)
+	if cap(again.B) < MaxIO+1024 {
+		t.Fatalf("recycled cap = %d, want >= %d", cap(again.B), MaxIO+1024)
+	}
+	PutBuf(again)
+	PutBuf(nil) // must be a no-op
+}
