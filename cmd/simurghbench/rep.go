@@ -23,11 +23,12 @@ import (
 )
 
 // runRep measures and exercises primary–backup replication. Without -addr
-// it runs the overhead comparison: the same in-process workload against a
-// standalone server and against a quorum=1 primary+backup pair, reporting
-// the replication tax on both the read-mostly net point (stat, which never
-// leaves the primary) and a pure-mutation point (pwrite, which pays a
-// quorum ack per reply flush). With -addr it drives acknowledged writes
+// it runs the overhead grid: the same in-process workload against a
+// standalone server and against every (lockstep|pipelined) × (quorum 1|2)
+// combination with quorum backups attached, reporting the replication tax
+// on a read-mostly point (stat, which never leaves the primary) and a
+// pure-mutation point (pwrite, which pays a quorum ack per reply flush),
+// plus the shipped wire bytes per entry. With -addr it drives acknowledged writes
 // against a live group and verifies, after the run (and any failover the
 // operator caused mid-run), that every acknowledged write is readable —
 // the zero-acked-write-loss check the CI smoke job kills a primary under.
@@ -47,9 +48,11 @@ func runRep(args []string) error {
 	return repOverhead(*conns, *batch, *dur, *files, *jsonOut)
 }
 
-// repVolume formats one in-process volume.
+// repVolume formats one in-process volume. 64 MiB is plenty for the
+// overhead workloads and keeps the per-backup snapshot transfer (paid once
+// per grid cell per backup) from dominating setup.
 func repVolume() (*pmem.Device, *core.FS, error) {
-	dev := pmem.New(256 << 20)
+	dev := pmem.New(64 << 20)
 	vol, err := core.Format(dev, fsapi.Root, core.Options{})
 	return dev, vol, err
 }
@@ -68,27 +71,32 @@ func repServe(cfg server.Config) (*server.Server, string, error) {
 	return srv, ln.Addr().String(), nil
 }
 
-func repOverhead(conns, batch int, dur time.Duration, files int, jsonOut string) error {
-	fmt.Printf("## Replication overhead (quorum=1, in-process pair vs standalone)\n")
+// repPointJSON is one cell of the overhead grid: a shipping mode × quorum
+// combination measured against the shared standalone baseline.
+type repPointJSON struct {
+	Mode              string       `json:"mode"` // "lockstep" | "pipelined"
+	Quorum            int          `json:"quorum"`
+	Backups           int          `json:"backups"`
+	Stat              netPointJSON `json:"stat"`
+	Pwrite            netPointJSON `json:"pwrite"`
+	StatOverheadPct   float64      `json:"stat_overhead_pct"`
+	PwriteOverheadPct float64      `json:"pwrite_overhead_pct"`
+	ShipBytesPerOp    float64      `json:"ship_bytes_per_op"`
+}
 
-	measure := func(target string) (stat, write netPointJSON, err error) {
-		remote, err := client.Dial(target, client.Options{})
+func repOverhead(conns, batch int, dur time.Duration, files int, jsonOut string) error {
+	fmt.Printf("## Replication overhead grid (mode x quorum vs standalone)\n")
+	quiet := func(string, ...any) {}
+	restore := func(img []byte) (fsapi.FileSystem, error) {
+		d, err := pmem.ReadImage(bytes.NewReader(img))
 		if err != nil {
-			return stat, write, err
+			return nil, err
 		}
-		defer remote.Close()
-		paths, err := netPopulate(remote, files)
-		if err != nil {
-			return stat, write, err
-		}
-		if stat, err = netPoint(remote, paths, conns, batch, dur); err != nil {
-			return stat, write, err
-		}
-		write, err = repWritePoint(remote, conns, batch, dur)
-		return stat, write, err
+		fs, _, err := core.Mount(d, core.Options{})
+		return fs, err
 	}
 
-	// Standalone baseline.
+	// Standalone baseline, shared by every grid cell.
 	_, vol, err := repVolume()
 	if err != nil {
 		return err
@@ -97,52 +105,23 @@ func repOverhead(conns, batch int, dur time.Duration, files int, jsonOut string)
 	if err != nil {
 		return err
 	}
-	baseStat, baseWrite, err := measure(target)
-	srv.Shutdown()
-	if err != nil {
-		return err
-	}
-
-	// Quorum=1 pair: a primary shipping to one in-process backup.
-	pdev, pvol, err := repVolume()
-	if err != nil {
-		return err
-	}
-	quiet := func(string, ...any) {}
-	pnode := replica.NewPrimary(pvol, replica.Config{
-		Quorum: 1,
-		Logf:   quiet,
-		Snapshot: func(w io.Writer) error {
-			_, err := pdev.WriteTo(w)
-			return err
-		},
-	})
-	psrv, ptarget, err := repServe(server.Config{FS: pvol, Replica: pnode})
-	if err != nil {
-		return err
-	}
-	bnode := replica.NewBackup(replica.Config{
-		PrimaryAddr: ptarget,
-		Logf:        quiet,
-		Restore: func(img []byte) (fsapi.FileSystem, error) {
-			d, err := pmem.ReadImage(bytes.NewReader(img))
-			if err != nil {
-				return nil, err
-			}
-			fs, _, err := core.Mount(d, core.Options{})
-			return fs, err
-		},
-	})
-	defer bnode.Close()
-	for deadline := time.Now().Add(10 * time.Second); pnode.Backups() == 0; {
-		if time.Now().After(deadline) {
-			return fmt.Errorf("rep: backup never joined")
+	baseStat, baseWrite, err := func() (s, w netPointJSON, err error) {
+		remote, err := client.Dial(target, client.Options{})
+		if err != nil {
+			return s, w, err
 		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	repStat, repWrite, err := measure(ptarget)
-	psrv.Shutdown()
-	pnode.Close()
+		defer remote.Close()
+		paths, err := netPopulate(remote, files)
+		if err != nil {
+			return s, w, err
+		}
+		if s, err = netPoint(remote, paths, conns, batch, dur); err != nil {
+			return s, w, err
+		}
+		w, err = repWritePoint(remote, conns, batch, dur)
+		return s, w, err
+	}()
+	srv.Shutdown()
 	if err != nil {
 		return err
 	}
@@ -153,13 +132,109 @@ func repOverhead(conns, batch int, dur time.Duration, files int, jsonOut string)
 		}
 		return (1 - rep/base) * 100
 	}
-	fmt.Printf("%-22s %12s %12s %10s\n", "point", "standalone", "replicated", "overhead")
-	fmt.Printf("%-22s %12.0f %12.0f %9.1f%%\n",
-		fmt.Sprintf("stat conns=%d batch=%d", conns, batch),
-		baseStat.OpsPerSec, repStat.OpsPerSec, tax(baseStat.OpsPerSec, repStat.OpsPerSec))
-	fmt.Printf("%-22s %12.0f %12.0f %9.1f%%\n",
-		fmt.Sprintf("pwrite conns=%d batch=%d", conns, batch),
-		baseWrite.OpsPerSec, repWrite.OpsPerSec, tax(baseWrite.OpsPerSec, repWrite.OpsPerSec))
+
+	// cell measures one mode × quorum combination: a fresh primary shipping
+	// to quorum in-process backups, so every acked pwrite pays a real
+	// round trip. Ship bytes/op comes from the primary's shipped-bytes
+	// counter delta across the pwrite point (per entry, so the unrecorded
+	// warmup writes don't skew it).
+	cell := func(mode string, quorum int) (repPointJSON, error) {
+		pt := repPointJSON{Mode: mode, Quorum: quorum, Backups: quorum}
+		pdev, pvol, err := repVolume()
+		if err != nil {
+			return pt, err
+		}
+		pnode := replica.NewPrimary(pvol, replica.Config{
+			Quorum:   quorum,
+			Lockstep: mode == "lockstep",
+			Logf:     quiet,
+			Snapshot: func(w io.Writer) error {
+				_, err := pdev.WriteTo(w)
+				return err
+			},
+		})
+		psrv, ptarget, err := repServe(server.Config{FS: pvol, Replica: pnode})
+		if err != nil {
+			pnode.Close()
+			return pt, err
+		}
+		defer psrv.Shutdown()
+		defer pnode.Close()
+		backups := make([]*replica.Node, quorum)
+		for i := range backups {
+			backups[i] = replica.NewBackup(replica.Config{
+				PrimaryAddr: ptarget,
+				Lockstep:    mode == "lockstep",
+				Logf:        quiet,
+				Restore:     restore,
+			})
+			defer backups[i].Close()
+		}
+		// Wait for completed joins, not just registered links: a backup's
+		// epoch leaves zero only once its snapshot is restored. Gating on
+		// Backups() alone would race the snapshot transfer and stall the
+		// first attach's quorum wait past the client handshake deadline.
+		joined := func() bool {
+			if pnode.Backups() < quorum {
+				return false
+			}
+			for _, b := range backups {
+				if b.Epoch() != pnode.Epoch() {
+					return false
+				}
+			}
+			return true
+		}
+		for deadline := time.Now().Add(30 * time.Second); !joined(); {
+			if time.Now().After(deadline) {
+				return pt, fmt.Errorf("rep: only %d/%d backups joined", pnode.Backups(), quorum)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+
+		remote, err := client.Dial(ptarget, client.Options{})
+		if err != nil {
+			return pt, err
+		}
+		defer remote.Close()
+		paths, err := netPopulate(remote, files)
+		if err != nil {
+			return pt, err
+		}
+		if pt.Stat, err = netPoint(remote, paths, conns, batch, dur); err != nil {
+			return pt, err
+		}
+		e0, b0 := pnode.ShipStats()
+		if pt.Pwrite, err = repWritePoint(remote, conns, batch, dur); err != nil {
+			return pt, err
+		}
+		e1, b1 := pnode.ShipStats()
+		if e1 > e0 {
+			// Per-link totals: normalize to per-entry wire cost.
+			pt.ShipBytesPerOp = float64(b1-b0) / float64(e1-e0)
+		}
+		pt.StatOverheadPct = tax(baseStat.OpsPerSec, pt.Stat.OpsPerSec)
+		pt.PwriteOverheadPct = tax(baseWrite.OpsPerSec, pt.Pwrite.OpsPerSec)
+		return pt, nil
+	}
+
+	fmt.Printf("%-10s %6s %12s %12s %10s %10s %9s\n",
+		"mode", "quorum", "stat op/s", "pwrite op/s", "stat ovh", "pwrite ovh", "bytes/op")
+	fmt.Printf("%-10s %6s %12.0f %12.0f %10s %10s %9s\n",
+		"standalone", "-", baseStat.OpsPerSec, baseWrite.OpsPerSec, "-", "-", "-")
+	var points []repPointJSON
+	for _, mode := range []string{"lockstep", "pipelined"} {
+		for _, quorum := range []int{1, 2} {
+			pt, err := cell(mode, quorum)
+			if err != nil {
+				return err
+			}
+			points = append(points, pt)
+			fmt.Printf("%-10s %6d %12.0f %12.0f %9.1f%% %9.1f%% %9.1f\n",
+				pt.Mode, pt.Quorum, pt.Stat.OpsPerSec, pt.Pwrite.OpsPerSec,
+				pt.StatOverheadPct, pt.PwriteOverheadPct, pt.ShipBytesPerOp)
+		}
+	}
 
 	if jsonOut != "" {
 		f, err := os.Create(jsonOut)
@@ -169,21 +244,15 @@ func repOverhead(conns, batch int, dur time.Duration, files int, jsonOut string)
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		err = enc.Encode(struct {
-			Suite             string       `json:"suite"`
-			Quorum            int          `json:"quorum"`
-			DurationMs        int64        `json:"duration_ms"`
-			StandaloneStat    netPointJSON `json:"standalone_stat"`
-			ReplicatedStat    netPointJSON `json:"replicated_stat"`
-			StatOverheadPct   float64      `json:"stat_overhead_pct"`
-			StandalonePwrite  netPointJSON `json:"standalone_pwrite"`
-			ReplicatedPwrite  netPointJSON `json:"replicated_pwrite"`
-			PwriteOverheadPct float64      `json:"pwrite_overhead_pct"`
+			Suite            string         `json:"suite"`
+			DurationMs       int64          `json:"duration_ms"`
+			StandaloneStat   netPointJSON   `json:"standalone_stat"`
+			StandalonePwrite netPointJSON   `json:"standalone_pwrite"`
+			Points           []repPointJSON `json:"points"`
 		}{
-			Suite: "rep", Quorum: 1, DurationMs: dur.Milliseconds(),
-			StandaloneStat: baseStat, ReplicatedStat: repStat,
-			StatOverheadPct:  tax(baseStat.OpsPerSec, repStat.OpsPerSec),
-			StandalonePwrite: baseWrite, ReplicatedPwrite: repWrite,
-			PwriteOverheadPct: tax(baseWrite.OpsPerSec, repWrite.OpsPerSec),
+			Suite: "rep", DurationMs: dur.Milliseconds(),
+			StandaloneStat: baseStat, StandalonePwrite: baseWrite,
+			Points: points,
 		})
 		if cerr := f.Close(); err == nil {
 			err = cerr

@@ -3,6 +3,7 @@ package replica
 import (
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"simurgh/internal/wire"
@@ -143,13 +144,36 @@ func (n *Node) followPrimary(lastContact *time.Time) error {
 	n.cfg.Logf("replica: joined %s at epoch %d, seq %d (%d MiB snapshot, %d sessions)",
 		addr, jo.Epoch, jo.SnapSeq, len(img)>>20, len(jo.Sessions))
 
-	// ents and ackBuf are reused across frames: the entries alias each
-	// frame's buffer and every entry is applied before the next fr.Next()
-	// invalidates it, so the steady-state apply loop allocates nothing.
+	// ents is reused across frames: the entries alias each frame's buffer
+	// and every entry is applied before the next fr.Next() invalidates it,
+	// so the steady-state apply loop allocates nothing. Acks are cumulative
+	// (highest applied seq); in the pipelined default a dedicated acker
+	// goroutine sends them, coalescing every frame applied while a previous
+	// ack write was in flight into one RepAck — the apply loop never blocks
+	// on the socket. wmu serializes its writes with heartbeat echoes.
 	var ents []wire.Entry
 	var ackBuf []byte
+	var wmu sync.Mutex
+	var ackKick chan struct{}
+	ackerDone := make(chan struct{})
+	if n.cfg.Lockstep {
+		close(ackerDone)
+	} else {
+		ackKick = make(chan struct{}, 1)
+		go n.runAcker(conn, &wmu, ackKick, ackerDone)
+		defer func() {
+			conn.Close() // unblock an in-flight ack write
+			close(ackKick)
+			<-ackerDone
+		}()
+	}
+	// Liveness is enforced on reads alone: the per-frame grace deadline
+	// below must not bound writes, or the async acker (which writes at
+	// arbitrary points, unlike the old inline ack that always followed a
+	// fresh deadline) trips a stale write deadline and tears the link down.
+	conn.SetWriteDeadline(time.Time{})
 	for {
-		conn.SetDeadline(time.Now().Add(n.cfg.FailoverGrace))
+		conn.SetReadDeadline(time.Now().Add(n.cfg.FailoverGrace))
 		kind, payload, err := fr.Next()
 		if err != nil {
 			return err
@@ -164,10 +188,17 @@ func (n *Node) followPrimary(lastContact *time.Time) error {
 			if err := n.applyEntries(ents); err != nil {
 				return err
 			}
-			a := wire.RepAck{Epoch: n.Epoch(), Seq: n.Seq()}
-			ackBuf = wire.AppendRepAck(ackBuf[:0], &a)
-			if err := wire.WriteFrame(conn, wire.KindRepAck, ackBuf); err != nil {
-				return err
+			if n.cfg.Lockstep {
+				a := wire.RepAck{Epoch: n.Epoch(), Seq: n.Seq()}
+				ackBuf = wire.AppendRepAck(ackBuf[:0], &a)
+				if err := wire.WriteFrame(conn, wire.KindRepAck, ackBuf); err != nil {
+					return err
+				}
+				continue
+			}
+			select {
+			case ackKick <- struct{}{}:
+			default: // the acker is already due to run; it reads the latest seq
 			}
 		case wire.KindHeartbeat:
 			h, err := wire.ParseHeartbeat(payload)
@@ -176,7 +207,10 @@ func (n *Node) followPrimary(lastContact *time.Time) error {
 			}
 			n.m.primarySeq.Store(h.Seq)
 			// Echo verbatim so the primary can measure the round trip.
-			if err := wire.WriteFrame(conn, wire.KindHeartbeat, payload); err != nil {
+			wmu.Lock()
+			err = wire.WriteFrame(conn, wire.KindHeartbeat, payload)
+			wmu.Unlock()
+			if err != nil {
 				return err
 			}
 		case wire.KindErr:
@@ -187,7 +221,44 @@ func (n *Node) followPrimary(lastContact *time.Time) error {
 	}
 }
 
-// applyEntries replays a shipped batch under the log lock.
+// runAcker streams cumulative applied-seq acknowledgments to the primary.
+// Each kick means "the applied seq advanced"; the acker reads the latest
+// value, so any number of frames applied during one ack write collapse
+// into the next ack. Exits when the kick channel closes or a write fails.
+func (n *Node) runAcker(conn net.Conn, wmu *sync.Mutex, kick <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	var buf []byte
+	var lastSent uint64
+	for range kick {
+		seq := n.Seq()
+		if seq <= lastSent {
+			continue
+		}
+		a := wire.RepAck{Epoch: n.Epoch(), Seq: seq}
+		buf = wire.AppendRepAck(buf[:0], &a)
+		wmu.Lock()
+		err := wire.WriteFrame(conn, wire.KindRepAck, buf)
+		wmu.Unlock()
+		if err != nil {
+			return
+		}
+		lastSent = seq
+	}
+}
+
+// minParallelRun is the smallest run of compact pwrite entries worth
+// fanning out to the apply workers; below it the dispatch overhead beats
+// the parallelism.
+const minParallelRun = 16
+
+// applyEntries replays a shipped batch under the log lock. Runs of
+// compact pwrite entries — the hot shape of a write-heavy log — apply in
+// parallel, partitioned by target inode so same-file writes keep log
+// order while independent files proceed concurrently; everything
+// ordering-sensitive (attach, open/create/close, namespace mutations,
+// detach) applies single-threaded in sequence, acting as a barrier
+// between runs. The log lock is held across the whole frame, so
+// promotion and metrics never observe a half-applied batch.
 func (n *Node) applyEntries(ents []wire.Entry) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -195,20 +266,85 @@ func (n *Node) applyEntries(ents []wire.Entry) error {
 		return nil
 	}
 	for i := range ents {
-		e := &ents[i]
-		if e.Seq != n.seq+1 {
-			return fmt.Errorf("%w: log gap: entry %d after %d", wire.ErrBadMessage, e.Seq, n.seq)
+		if ents[i].Seq != n.seq+uint64(i)+1 {
+			return fmt.Errorf("%w: log gap: entry %d after %d", wire.ErrBadMessage,
+				ents[i].Seq, n.seq+uint64(i))
 		}
-		n.applyEntryLocked(e)
-		n.seq = e.Seq
-		n.m.entriesApplied.Add(1)
+	}
+	parallel := !n.cfg.Lockstep && n.cfg.ApplyWorkers > 1
+	i := 0
+	for i < len(ents) {
+		if parallel && ents[i].Kind == wire.EntryPwrite {
+			j := i + 1
+			for j < len(ents) && ents[j].Kind == wire.EntryPwrite {
+				j++
+			}
+			n.applyRunLocked(ents[i:j])
+			n.seq = ents[j-1].Seq
+			i = j
+			continue
+		}
+		n.applyEntry(&ents[i])
+		n.seq = ents[i].Seq
+		i++
 	}
 	return nil
 }
 
-// applyEntryLocked replays one entry against its session's shadow. Caller
-// holds the log lock.
-func (n *Node) applyEntryLocked(e *wire.Entry) {
+// applyRunLocked applies one run of compact pwrite entries, fanning out
+// to short-lived workers keyed by inode. Caller holds the log lock; the
+// workers touch only inode-disjoint file data, per-session descriptor
+// tables (RWMutex), and dedup caches (dmu), none of which need it.
+func (n *Node) applyRunLocked(run []wire.Entry) {
+	w := n.cfg.ApplyWorkers
+	if len(run) < minParallelRun || w <= 1 {
+		for i := range run {
+			n.applyEntry(&run[i])
+		}
+		return
+	}
+	if n.applyParts == nil {
+		n.applyParts = make([][]*wire.Entry, w)
+	}
+	parts := n.applyParts
+	for i := range parts {
+		parts[i] = parts[i][:0]
+	}
+	for i := range run {
+		e := &run[i]
+		var key uint64
+		if sess := n.sessions[e.Sess]; sess != nil {
+			_, key, _ = sess.lookupVFDIno(e.Req.FD)
+		}
+		b := (key * 0x9e3779b97f4a7c15) >> 32 % uint64(w)
+		parts[b] = append(parts[b], e)
+	}
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(p []*wire.Entry) {
+			defer wg.Done()
+			for _, e := range p {
+				n.applyEntry(e)
+			}
+		}(p)
+	}
+	wg.Wait()
+	n.m.applyParallel.Add(uint64(len(run)))
+}
+
+// applyEntry replays one entry against its session's shadow. The caller
+// holds the log lock, either directly or as the dispatcher of a parallel
+// run (whose workers only ever receive EntryPwrite — the branches that
+// mutate n.sessions or the descriptor table are unreachable for them).
+func (n *Node) applyEntry(e *wire.Entry) {
+	if hook := n.cfg.ApplyHook; hook != nil {
+		hook(e)
+	}
+	defer n.m.entriesApplied.Add(1)
 	switch e.Kind {
 	case wire.EntryAttach:
 		client, err := n.fs.Attach(e.Cred)
@@ -218,7 +354,7 @@ func (n *Node) applyEntryLocked(e *wire.Entry) {
 			return
 		}
 		n.sessions[e.Sess] = newSession(e.Sess, e.Cred, client)
-	case wire.EntryOp:
+	case wire.EntryOp, wire.EntryPwrite:
 		sess := n.sessions[e.Sess]
 		if sess == nil {
 			n.m.replaySkipped.Add(1)
@@ -239,7 +375,7 @@ func (n *Node) applyEntryLocked(e *wire.Entry) {
 		resp := wire.Execute(sess.client, &req)
 		switch {
 		case (req.Op == wire.OpCreate || req.Op == wire.OpOpen) && resp.Code == wire.CodeOK:
-			sess.mapVFD(e.ResFD, resp.FD)
+			sess.mapVFD(e.ResFD, resp.FD, inoOf(sess.client, resp.FD))
 			resp.FD = e.ResFD // cache the client-visible (virtual) descriptor
 		case req.Op == wire.OpClose && resp.Code == wire.CodeOK:
 			sess.unmapVFD(vfd)
@@ -253,7 +389,9 @@ func (n *Node) applyEntryLocked(e *wire.Entry) {
 			n.m.replayErrors.Add(1)
 			n.cfg.Logf("replica: replay of seq %d (%v) failed: %s", e.Seq, req.Op, resp.Msg)
 		}
+		sess.dmu.Lock()
 		sess.cacheResp(req.ID, resp, e.Seq)
+		sess.dmu.Unlock()
 	}
 }
 

@@ -13,7 +13,9 @@ type counters struct {
 	dedupHits      atomic.Uint64
 	entriesShipped atomic.Uint64
 	bytesShipped   atomic.Uint64
+	framesShipped  atomic.Uint64
 	entriesApplied atomic.Uint64
+	applyParallel  atomic.Uint64
 	replaySkipped  atomic.Uint64
 	replayErrors   atomic.Uint64
 	snapshotBytes  atomic.Uint64
@@ -21,6 +23,13 @@ type counters struct {
 	promotions     atomic.Uint64
 	heartbeatRTT   atomic.Uint64 // last measured, ns
 	primarySeq     atomic.Uint64 // last heartbeat's seq (backup role)
+}
+
+// ShipStats reports the cumulative entries and encoded bytes shipped to
+// backups — the wire cost of replication (simurghbench rep derives its
+// bytes/op figure from the deltas).
+func (n *Node) ShipStats() (entries, bytes uint64) {
+	return n.m.entriesShipped.Load(), n.m.bytesShipped.Load()
 }
 
 // WriteMetrics appends the simurgh_replica_* series to a /metrics scrape.
@@ -34,6 +43,10 @@ func (n *Node) WriteMetrics(w io.Writer) {
 	// the slowest live backup's ack (plus unshipped buffer bytes); on a
 	// backup, distance behind the primary's last advertised head.
 	var lagOps, lagBytes uint64
+	// Ack window: entries assigned but not yet quorum-covered (the span of
+	// the sliding window). Ship lag: entries buffered or in flight toward
+	// the slowest link's socket, before it has even received them.
+	var ackWindow, shipLag uint64
 	if role == RolePrimary {
 		for l := range n.links {
 			if d := seq - l.ackedSeq; d > lagOps {
@@ -42,6 +55,12 @@ func (n *Node) WriteMetrics(w io.Writer) {
 			if uint64(len(l.out)) > lagBytes {
 				lagBytes = uint64(len(l.out))
 			}
+			if p := uint64(len(l.ends) + l.inflight); p > shipLag {
+				shipLag = p
+			}
+		}
+		if len(n.links) > 0 && seq > n.quorumSeq {
+			ackWindow = seq - n.quorumSeq
 		}
 	} else if ps := n.m.primarySeq.Load(); ps > seq {
 		lagOps = ps - seq
@@ -67,12 +86,16 @@ func (n *Node) WriteMetrics(w io.Writer) {
 	g("simurgh_replica_seq", "Last log sequence assigned (primary) or applied (backup).", seq)
 	g("simurgh_replica_lag_ops", "Log entries the slowest live backup is behind (or this backup is behind its primary).", lagOps)
 	g("simurgh_replica_lag_bytes", "Encoded entry bytes buffered for the slowest live backup.", lagBytes)
+	g("simurgh_replica_ack_window", "Entries inside the sliding ack window (assigned but not yet quorum-covered).", ackWindow)
+	g("simurgh_replica_ship_lag_entries", "Entries buffered or in flight toward the slowest link's socket.", shipLag)
 	g("simurgh_replica_backups", "Live backup links.", uint64(backups))
 	g("simurgh_replica_sessions", "Replicated sessions carried by this node.", uint64(sessions))
 	g("simurgh_replica_heartbeat_rtt_ns", "Last heartbeat round trip to a backup.", n.m.heartbeatRTT.Load())
 	c("simurgh_replica_entries_shipped_total", "Log entries shipped to backups.", n.m.entriesShipped.Load())
 	c("simurgh_replica_bytes_shipped_total", "Encoded log bytes shipped to backups.", n.m.bytesShipped.Load())
+	c("simurgh_replica_frames_shipped_total", "Replicate frames written to backups (entries_shipped/frames_shipped is the achieved group-commit size).", n.m.framesShipped.Load())
 	c("simurgh_replica_entries_applied_total", "Log entries applied by this backup.", n.m.entriesApplied.Load())
+	c("simurgh_replica_apply_parallel_total", "Log entries applied through the parallel (inode-partitioned) apply path.", n.m.applyParallel.Load())
 	c("simurgh_replica_replay_skipped_total", "Replayed operations skipped (pre-join descriptors or sessions).", n.m.replaySkipped.Load())
 	c("simurgh_replica_replay_errors_total", "Replayed operations that failed (replica divergence).", n.m.replayErrors.Load())
 	c("simurgh_replica_dedup_hits_total", "Client retransmissions answered from the replay cache.", n.m.dedupHits.Load())

@@ -73,53 +73,108 @@ func (n *Node) AttachClient(cred fsapi.Cred, clientID uint64) (fsapi.Client, uin
 	return &mappedClient{inner: client, s: sess}, id, "", nil
 }
 
-// Apply executes one replicated operation under the log lock, ships its
-// entry, and returns the response plus the sequence WaitQuorum must cover
-// before the client may see it (server.Replica). A request ID already in
-// the session's replay cache — a client retransmission after failover —
-// is answered from the cache without re-executing.
+// Apply executes one replicated operation, ships its entry, and returns
+// the response plus the sequence WaitQuorum must cover before the client
+// may see it (server.Replica). A request ID already in the session's
+// replay cache — a client retransmission after failover — is answered
+// from the cache without re-executing.
+//
+// Pipelined execution (the default): data operations on open descriptors
+// run under opGate's read side plus a per-inode stripe, so independent
+// files execute concurrently; the log lock is held only for the sequence
+// assignment and the entry append, and log order equals execution order
+// per inode (the stripe spans exec and seq) and against every exclusive
+// operation (opGate spans both). Namespace and descriptor operations take
+// opGate exclusively. With Config.Lockstep every operation takes the
+// exclusive path, restoring the serialized pre-pipelining behavior.
 func (n *Node) Apply(sessID uint64, req *wire.Request, exec func() wire.Response) (wire.Response, uint64) {
 	n.mu.Lock()
 	sess := n.sessions[sessID]
+	n.mu.Unlock()
 	if sess == nil {
-		n.mu.Unlock()
 		code := wire.CodeOf(fsapi.ErrBadFD)
 		return wire.Response{ID: req.ID, Op: req.Op, Code: code,
 			Msg: wire.MsgFor(code, fsapi.ErrBadFD)}, 0
 	}
+	sess.dmu.Lock()
 	if c, ok := sess.dedup[req.ID]; ok {
+		sess.dmu.Unlock()
 		n.m.dedupHits.Add(1)
-		n.mu.Unlock()
 		resp := c.resp
 		resp.ID = req.ID
 		return resp, c.seq
 	}
-	resp := exec()
+	sess.dmu.Unlock()
+
+	var resp wire.Response
 	var seq uint64
-	if resp.Code == wire.CodeOK {
-		// Failed operations mutate nothing; only successes enter the log.
-		n.seq++
-		seq = n.seq
-		e := wire.Entry{Seq: seq, Sess: sessID, Kind: wire.EntryOp, Req: *req}
-		if req.Op == wire.OpCreate || req.Op == wire.OpOpen {
-			e.ResFD = resp.FD // virtual: mappedClient already translated
+	if !n.cfg.Lockstep && dataOp(req.Op) {
+		_, ino, _ := sess.lookupVFDIno(req.FD)
+		st := n.stripe(ino)
+		n.opGate.RLock()
+		st.Lock()
+		resp = exec()
+		if resp.Code == wire.CodeOK {
+			// Failed operations mutate nothing; only successes enter the log.
+			n.mu.Lock()
+			n.seq++
+			seq = n.seq
+			e := wire.Entry{Seq: seq, Sess: sessID, Kind: wire.EntryOp, Req: *req}
+			if req.Op == wire.OpPwrite {
+				e.Kind = wire.EntryPwrite // compact form: id/fd/off/data only
+			}
+			n.shipLocked(&e)
+			n.mu.Unlock()
 		}
-		n.shipLocked(&e)
-		if req.Op == wire.OpDetach {
-			delete(n.sessions, sessID)
+		st.Unlock()
+		n.opGate.RUnlock()
+	} else {
+		n.opGate.Lock()
+		resp = exec()
+		if resp.Code == wire.CodeOK {
+			n.mu.Lock()
+			n.seq++
+			seq = n.seq
+			e := wire.Entry{Seq: seq, Sess: sessID, Kind: wire.EntryOp, Req: *req}
+			if req.Op == wire.OpCreate || req.Op == wire.OpOpen {
+				e.ResFD = resp.FD // virtual: mappedClient already translated
+			}
+			n.shipLocked(&e)
+			if req.Op == wire.OpDetach {
+				delete(n.sessions, sessID)
+			}
+			n.mu.Unlock()
 		}
+		n.opGate.Unlock()
 	}
+	sess.dmu.Lock()
 	sess.cacheResp(req.ID, resp, seq)
-	n.mu.Unlock()
+	sess.dmu.Unlock()
 	return resp, seq
 }
 
 // shipLocked appends one encoded entry to every live link's out-buffer and
-// kicks their writers. The entry is encoded once into the node's reused
-// scratch and its bytes appended to each link's flat buffer — the steady
-// state allocates nothing. Caller holds n.mu.
+// kicks their writers. With a single link — the common group shape — the
+// entry encodes directly into that link's flat buffer; with several it is
+// encoded once into the node's reused scratch and its bytes appended to
+// each link's buffer. The steady state allocates nothing. Caller holds
+// n.mu.
 func (n *Node) shipLocked(e *wire.Entry) {
 	if len(n.links) == 0 {
+		return
+	}
+	if len(n.links) == 1 {
+		for l := range n.links {
+			start := len(l.out)
+			l.out = wire.AppendEntry(l.out, e)
+			l.ends = append(l.ends, len(l.out))
+			n.m.bytesShipped.Add(uint64(len(l.out) - start))
+			select {
+			case l.kick <- struct{}{}:
+			default:
+			}
+		}
+		n.m.entriesShipped.Add(1)
 		return
 	}
 	n.shipBuf = wire.AppendEntry(n.shipBuf[:0], e)
@@ -136,9 +191,12 @@ func (n *Node) shipLocked(e *wire.Entry) {
 	n.m.bytesShipped.Add(uint64(len(enc) * len(n.links)))
 }
 
-// WaitQuorum blocks until the configured quorum of live backups has
-// acknowledged seq (server.Replica). The effective quorum is capped at the
-// live link count: with no backup connected the primary acknowledges alone.
+// WaitQuorum blocks until the sliding ack window — the cumulative
+// applied-seq a quorum of live backups has reached — covers seq
+// (server.Replica). The effective quorum is capped at the live link
+// count: with no backup connected the primary acknowledges alone. Waiters
+// block on the window floor alone; they are woken only when it advances
+// (or membership changes), not on every ack frame.
 func (n *Node) WaitQuorum(seq uint64) {
 	if seq == 0 {
 		return
@@ -150,20 +208,43 @@ func (n *Node) WaitQuorum(seq uint64) {
 		if live := len(n.links); need > live {
 			need = live
 		}
-		if need == 0 || n.closed {
-			return
-		}
-		got := 0
-		for l := range n.links {
-			if l.ackedSeq >= seq {
-				got++
-			}
-		}
-		if got >= need {
+		if need == 0 || n.closed || n.quorumSeq >= seq {
 			return
 		}
 		n.cond.Wait()
 	}
+}
+
+// refreshQuorumLocked recomputes the ack window floor — the k-th highest
+// cumulative ack among live links, k = effective quorum — and reports
+// whether it advanced. The floor is monotonic: a joining backup (which
+// may raise k) never retracts acknowledgments already granted. Caller
+// holds n.mu; on true the caller must cond.Broadcast.
+func (n *Node) refreshQuorumLocked() bool {
+	need := n.cfg.Quorum
+	if live := len(n.links); need > live {
+		need = live
+	}
+	if need == 0 {
+		return false // WaitQuorum returns unconditionally; nothing to track
+	}
+	var floor uint64
+	for l := range n.links {
+		got := 0
+		for o := range n.links {
+			if o.ackedSeq >= l.ackedSeq {
+				got++
+			}
+		}
+		if got >= need && l.ackedSeq > floor {
+			floor = l.ackedSeq
+		}
+	}
+	if floor > n.quorumSeq {
+		n.quorumSeq = floor
+		return true
+	}
+	return false
 }
 
 // ReleaseSession marks a session's connection gone without detaching it,
@@ -219,18 +300,23 @@ func (n *Node) HandleJoin(conn net.Conn, fr *wire.FrameReader, payload []byte) e
 		return errStaleJoin
 	}
 
-	// Capture a consistent cut under the log lock: the snapshot, the log
-	// position it represents, and the session manifest. The link registers
-	// inside the same critical section, so every entry after snapSeq
-	// reaches the backup through the link and none is double-applied.
+	// Capture a consistent cut: opGate held exclusively quiesces the
+	// pipelined data executors (they run outside the log lock), and the
+	// log lock freezes the log position and session manifest. The link
+	// registers inside the same critical section, so every entry after
+	// snapSeq reaches the backup through the link and none is
+	// double-applied.
 	var img bytes.Buffer
+	n.opGate.Lock()
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
+		n.opGate.Unlock()
 		return errors.New("replica: node closed")
 	}
 	if err := n.cfg.Snapshot(&img); err != nil {
 		n.mu.Unlock()
+		n.opGate.Unlock()
 		wire.WriteFrame(conn, wire.KindErr, wire.AppendErrFrame(nil, err))
 		return fmt.Errorf("snapshot: %w", err)
 	}
@@ -243,14 +329,22 @@ func (n *Node) HandleJoin(conn net.Conn, fr *wire.FrameReader, payload []byte) e
 		jo.Sessions = append(jo.Sessions, wire.SessionInfo{Sess: sess.id, Cred: sess.cred})
 	}
 	l := newLink(conn, j.Addr)
+	// The snapshot already carries everything through snapSeq: the link's
+	// cumulative ack starts there, so a joining backup participates in the
+	// quorum window immediately instead of reading as infinitely behind.
+	l.ackedSeq = jo.SnapSeq
 	n.links[l] = struct{}{}
+	n.refreshQuorumLocked()
 	n.mu.Unlock()
+	n.opGate.Unlock()
 	n.m.joins.Add(1)
 	n.cond.Broadcast() // link count changed; quorum math too
 
 	detach := func() {
 		n.mu.Lock()
 		delete(n.links, l)
+		// A slow link leaving can advance the window (k drops with it).
+		n.refreshQuorumLocked()
 		n.mu.Unlock()
 		n.cond.Broadcast()
 	}
@@ -304,8 +398,13 @@ type link struct {
 	spareEnds []int
 	kick      chan struct{}
 
-	// ackedSeq is the backup's highest applied sequence; guarded by the
-	// node's log lock (quorum math reads it there).
+	// inflight counts entries the writer has taken but not yet flushed to
+	// the socket; with len(ends) it is the link's ship lag. Guarded by the
+	// node's log lock.
+	inflight int
+
+	// ackedSeq is the backup's highest cumulatively applied sequence;
+	// guarded by the node's log lock (the quorum window reads it there).
 	ackedSeq uint64
 }
 
@@ -338,6 +437,7 @@ func (l *link) runWriter(n *Node) {
 		// only goroutine that writes them), so they are free to fill.
 		l.out, l.ends = l.spareOut[:0], l.spareEnds[:0]
 		l.spareOut, l.spareEnds = out, ends
+		l.inflight = len(ends)
 		_, member := n.links[l]
 		seq := n.seq
 		n.mu.Unlock()
@@ -345,9 +445,11 @@ func (l *link) runWriter(n *Node) {
 			return
 		}
 		frameStart, prev, count := 0, 0, 0
+		frames := uint64(0)
 		for _, end := range ends {
 			if count > 0 && (count == wire.MaxBatch || end-frameStart > wire.MaxFrame-64) {
 				vw.Stage(wire.KindReplicate, out[frameStart:prev])
+				frames++
 				frameStart = prev
 				count = 0
 			}
@@ -356,6 +458,7 @@ func (l *link) runWriter(n *Node) {
 		}
 		if count > 0 {
 			vw.Stage(wire.KindReplicate, out[frameStart:prev])
+			frames++
 		}
 		if beat {
 			h := wire.Heartbeat{Epoch: n.Epoch(), Seq: seq, SentNs: uint64(time.Now().UnixNano())}
@@ -365,7 +468,12 @@ func (l *link) runWriter(n *Node) {
 		if vw.Count() == 0 {
 			continue
 		}
-		if _, err := vw.Flush(l.conn); err != nil {
+		_, err := vw.Flush(l.conn)
+		n.m.framesShipped.Add(frames)
+		n.mu.Lock()
+		l.inflight = 0
+		n.mu.Unlock()
+		if err != nil {
 			l.conn.Close()
 			return
 		}
@@ -387,11 +495,17 @@ func (l *link) runReader(n *Node, fr *wire.FrameReader) error {
 				return err
 			}
 			n.mu.Lock()
+			advanced := false
 			if a.Seq > l.ackedSeq {
 				l.ackedSeq = a.Seq
+				advanced = n.refreshQuorumLocked()
 			}
 			n.mu.Unlock()
-			n.cond.Broadcast()
+			// Wake waiters only when the window floor actually moved: acks
+			// from below-quorum links are bookkeeping, not progress.
+			if advanced {
+				n.cond.Broadcast()
+			}
 		case wire.KindHeartbeat:
 			h, err := wire.ParseHeartbeat(payload)
 			if err != nil {
@@ -420,7 +534,7 @@ func (m *mappedClient) Create(path string, perm uint32) (fsapi.FD, error) {
 	if err != nil {
 		return -1, err
 	}
-	return m.s.allocVFD(lfd), nil
+	return m.s.allocVFD(lfd, inoOf(m.inner, lfd)), nil
 }
 
 func (m *mappedClient) Open(path string, flags fsapi.OpenFlag, perm uint32) (fsapi.FD, error) {
@@ -428,7 +542,7 @@ func (m *mappedClient) Open(path string, flags fsapi.OpenFlag, perm uint32) (fsa
 	if err != nil {
 		return -1, err
 	}
-	return m.s.allocVFD(lfd), nil
+	return m.s.allocVFD(lfd, inoOf(m.inner, lfd)), nil
 }
 
 func (m *mappedClient) Close(fd fsapi.FD) error {

@@ -23,6 +23,7 @@ package replica
 
 import (
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +60,28 @@ const (
 	minDedupEntries = 128
 )
 
+// inoStripes sizes the per-inode lock table that pipelined data operations
+// serialize on. A collision only over-serializes two files; it never
+// breaks ordering.
+const inoStripes = 64
+
+// stripe maps an inode to its execution lock.
+func (n *Node) stripe(ino uint64) *sync.Mutex {
+	return &n.stripes[(ino*0x9e3779b97f4a7c15)>>58]
+}
+
+// dataOp reports whether a replicated operation acts on an open descriptor
+// without touching the namespace or the descriptor table — the class the
+// pipelined primary executes concurrently under per-inode stripes.
+func dataOp(op wire.Op) bool {
+	switch op {
+	case wire.OpRead, wire.OpWrite, wire.OpPwrite, wire.OpSeek,
+		wire.OpFtruncate, wire.OpFallocate:
+		return true
+	}
+	return false
+}
+
 // cachedResp is one replay-cache slot: the response as the client saw it,
 // plus the log sequence that must be quorum-covered before it is released.
 type cachedResp struct {
@@ -83,10 +106,16 @@ type session struct {
 	// identity; after a failover it usually is not.
 	fdmu  sync.RWMutex
 	fdMap map[fsapi.FD]fsapi.FD
+	// inos caches each open virtual descriptor's inode number (recorded at
+	// open/create time) — the dependency key the pipelined paths use to run
+	// data operations on independent files concurrently.
+	inos  map[fsapi.FD]uint64
 	nextV fsapi.FD
 
 	// dedup answers replayed requests without re-executing them. Guarded by
-	// the node's log lock (all mutation happens under it).
+	// dmu: the pipelined paths mutate the cache from concurrent executors
+	// and parallel apply workers, so it cannot ride the node's log lock.
+	dmu        sync.Mutex
 	dedup      map[uint32]cachedResp
 	dedupFIFO  []uint32
 	dedupBytes int
@@ -101,14 +130,16 @@ func newSession(id uint64, cred fsapi.Cred, client fsapi.Client) *session {
 		cred:   cred,
 		client: client,
 		fdMap:  make(map[fsapi.FD]fsapi.FD),
+		inos:   make(map[fsapi.FD]uint64),
 		dedup:  make(map[uint32]cachedResp),
 	}
 }
 
 // allocVFD assigns a virtual descriptor for a freshly opened local one,
 // preferring the identity so a never-failed-over group behaves exactly
-// like a standalone server.
-func (s *session) allocVFD(lfd fsapi.FD) fsapi.FD {
+// like a standalone server. ino is the opened file's inode (zero when
+// unknown), kept as the dependency key for pipelined data ops.
+func (s *session) allocVFD(lfd fsapi.FD, ino uint64) fsapi.FD {
 	s.fdmu.Lock()
 	defer s.fdmu.Unlock()
 	v := lfd
@@ -122,6 +153,7 @@ func (s *session) allocVFD(lfd fsapi.FD) fsapi.FD {
 		}
 	}
 	s.fdMap[v] = lfd
+	s.inos[v] = ino
 	if v >= s.nextV {
 		s.nextV = v + 1
 	}
@@ -130,9 +162,10 @@ func (s *session) allocVFD(lfd fsapi.FD) fsapi.FD {
 
 // mapVFD installs an explicit virtual→local mapping (backup replay, where
 // the log dictates the virtual descriptor).
-func (s *session) mapVFD(vfd, lfd fsapi.FD) {
+func (s *session) mapVFD(vfd, lfd fsapi.FD, ino uint64) {
 	s.fdmu.Lock()
 	s.fdMap[vfd] = lfd
+	s.inos[vfd] = ino
 	if vfd >= s.nextV {
 		s.nextV = vfd + 1
 	}
@@ -147,15 +180,35 @@ func (s *session) lookupVFD(vfd fsapi.FD) (fsapi.FD, bool) {
 	return lfd, ok
 }
 
+// lookupVFDIno translates a descriptor and reports its cached inode.
+func (s *session) lookupVFDIno(vfd fsapi.FD) (fsapi.FD, uint64, bool) {
+	s.fdmu.RLock()
+	lfd, ok := s.fdMap[vfd]
+	ino := s.inos[vfd]
+	s.fdmu.RUnlock()
+	return lfd, ino, ok
+}
+
 // unmapVFD drops a closed descriptor's mapping.
 func (s *session) unmapVFD(vfd fsapi.FD) {
 	s.fdmu.Lock()
 	delete(s.fdMap, vfd)
+	delete(s.inos, vfd)
 	s.fdmu.Unlock()
 }
 
+// inoOf fetches a file's inode for the dependency key, tolerating failure
+// (zero collapses onto one stripe, which only costs parallelism).
+func inoOf(c fsapi.Client, lfd fsapi.FD) uint64 {
+	st, err := c.Fstat(lfd)
+	if err != nil {
+		return 0
+	}
+	return st.Ino
+}
+
 // cacheResp remembers a request's response for idempotent replay. Caller
-// holds the node's log lock.
+// holds s.dmu.
 func (s *session) cacheResp(id uint32, resp wire.Response, seq uint64) {
 	if old, ok := s.dedup[id]; ok {
 		// An ID reused this fast means the 4G-wide counter wrapped within
@@ -208,6 +261,18 @@ type Config struct {
 	Restore func(img []byte) (fsapi.FileSystem, error)
 	// Logf receives replication diagnostics. Default: discard.
 	Logf func(format string, args ...any)
+	// Lockstep disables the pipelined paths — per-op exclusive execution on
+	// the primary, full-request entry encoding, single-threaded apply and a
+	// synchronous per-frame ack on backups — restoring the pre-pipelining
+	// behavior. It exists for A/B measurement (simurghbench rep reports
+	// both modes); production groups leave it off.
+	Lockstep bool
+	// ApplyWorkers bounds the backup's parallel apply pool. Zero picks
+	// min(GOMAXPROCS, 4); one disables parallel apply.
+	ApplyWorkers int
+	// ApplyHook, when set, is called by a backup before applying each log
+	// entry. Test instrumentation (simulating slow or lagging backups).
+	ApplyHook func(e *wire.Entry)
 }
 
 func (c *Config) fillDefaults() {
@@ -226,6 +291,12 @@ func (c *Config) fillDefaults() {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.ApplyWorkers <= 0 {
+		c.ApplyWorkers = runtime.GOMAXPROCS(0)
+		if c.ApplyWorkers > 4 {
+			c.ApplyWorkers = 4
+		}
+	}
 }
 
 // Node is one member of a replication group. It implements the server's
@@ -237,11 +308,21 @@ type Node struct {
 	role  atomic.Int32
 	epoch atomic.Uint64
 
-	// mu is the log lock: it serializes sequence assignment with execution
-	// (log order is execution order), and guards fs, sessions, links, and
-	// every session's replay cache. cond broadcasts quorum progress.
+	// mu is the log lock: it guards seq assignment and shipping (log order
+	// is ship order), fs, sessions, links, and the quorum window. cond
+	// broadcasts quorum-window advances and membership changes.
 	mu   sync.Mutex
 	cond *sync.Cond
+
+	// opGate orders pipelined execution against everything that must see a
+	// quiescent volume. Data operations on open descriptors (pwrite, write,
+	// read, seek, ftruncate, fallocate) execute under the read side plus a
+	// per-inode stripe — concurrent across files, serialized per file —
+	// while namespace/descriptor operations, snapshot cuts, and lockstep
+	// mode take the write side and exclude them all. Lock order is
+	// opGate → stripe → mu.
+	opGate  sync.RWMutex
+	stripes [inoStripes]sync.Mutex
 
 	fs       fsapi.FileSystem
 	seq      uint64
@@ -250,9 +331,19 @@ type Node struct {
 	anonID   uint64 // synthesized session IDs for clients without one
 	closed   bool
 
+	// quorumSeq is the sliding ack window's floor: the highest sequence a
+	// quorum of live backups has cumulatively applied. WaitQuorum blocks on
+	// it; it advances (under mu, with one broadcast) when an ack or a
+	// membership change moves the k-th-highest cumulative ack forward.
+	quorumSeq uint64
+
 	// shipBuf is the entry-encoding scratch reused by shipLocked; guarded
 	// by mu like everything else on the ship path.
 	shipBuf []byte
+
+	// applyParts is the backup's reused per-worker partition scratch for
+	// parallel apply; guarded by mu (only the apply dispatcher touches it).
+	applyParts [][]*wire.Entry
 
 	// primaryAddr is the last known primary (for redirects from backups).
 	primaryAddr atomic.Value // string

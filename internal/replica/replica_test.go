@@ -39,9 +39,12 @@ func repConfig() replica.Config {
 }
 
 // startPrimary formats a fresh volume and serves it as a founding primary.
+// The device is small on purpose: each join snapshots the whole of it under
+// the log lock, and under -race on one CPU a large cut starves heartbeats
+// long enough to flap every established link.
 func startPrimary(t *testing.T, cfg replica.Config) *member {
 	t.Helper()
-	dev := pmem.New(64 << 20)
+	dev := pmem.New(16 << 20)
 	vol, err := core.Format(dev, fsapi.Root, core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -96,7 +99,9 @@ func startBackup(t *testing.T, cfg replica.Config, primaryAddr string) *member {
 
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
+	// Generous: under -race on one CPU a concurrent pair of snapshot joins
+	// alone can take tens of seconds.
+	deadline := time.Now().Add(60 * time.Second)
 	for !cond() {
 		if time.Now().After(deadline) {
 			t.Fatalf("timed out waiting for %s", what)
@@ -364,6 +369,8 @@ func TestMetricsOutput(t *testing.T) {
 	for _, want := range []string{
 		"simurgh_replica_role", "simurgh_replica_epoch", "simurgh_replica_seq",
 		"simurgh_replica_lag_ops", "simurgh_replica_lag_bytes", "simurgh_replica_backups 1",
+		"simurgh_replica_ack_window", "simurgh_replica_ship_lag_entries",
+		"simurgh_replica_frames_shipped_total", "simurgh_replica_apply_parallel_total",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("primary metrics missing %q", want)

@@ -1,0 +1,161 @@
+package replica
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"simurgh/internal/wire"
+)
+
+// fakeLinks registers n fake backup links on a bare primary node, giving
+// the window tests acks to play with and the ship bench a buffer to fill.
+func fakeLinks(n *Node, count int) []*link {
+	links := make([]*link, count)
+	n.mu.Lock()
+	for i := range links {
+		links[i] = newLink(nil, "fake")
+		n.links[links[i]] = struct{}{}
+	}
+	n.mu.Unlock()
+	return links
+}
+
+// ack simulates the reader goroutine receiving a cumulative ack on l,
+// exactly as runReader does: update, refresh, broadcast only on advance.
+func ack(n *Node, l *link, seq uint64) {
+	n.mu.Lock()
+	advanced := false
+	if seq > l.ackedSeq {
+		l.ackedSeq = seq
+		advanced = n.refreshQuorumLocked()
+	}
+	n.mu.Unlock()
+	if advanced {
+		n.cond.Broadcast()
+	}
+}
+
+// TestQuorumWindowFloor pins the sliding-window arithmetic: the floor is
+// the k-th highest cumulative ack, it never regresses, and below-quorum
+// acks do not move it.
+func TestQuorumWindowFloor(t *testing.T) {
+	n := NewPrimary(nil, Config{Quorum: 2})
+	links := fakeLinks(n, 3)
+	n.mu.Lock()
+	n.seq = 100
+	n.mu.Unlock()
+
+	ack(n, links[0], 50)
+	if got := n.windowFloor(); got != 0 {
+		t.Fatalf("floor after one ack = %d, want 0 (quorum is 2)", got)
+	}
+	ack(n, links[1], 30)
+	if got := n.windowFloor(); got != 30 {
+		t.Fatalf("floor = %d, want 30 (2nd highest of 50,30,0)", got)
+	}
+	ack(n, links[2], 40)
+	if got := n.windowFloor(); got != 40 {
+		t.Fatalf("floor = %d, want 40 (2nd highest of 50,30,40)", got)
+	}
+	// Regressing ack (stale retransmit) must not pull the floor back.
+	ack(n, links[2], 10)
+	if got := n.windowFloor(); got != 40 {
+		t.Fatalf("floor regressed to %d after stale ack", got)
+	}
+	// Slow links detaching drop the effective quorum with them and can
+	// advance the floor, as in HandleJoin's detach path: with only the
+	// 50-ack link left, k caps at 1 and the floor jumps to its ack.
+	n.mu.Lock()
+	delete(n.links, links[1])
+	delete(n.links, links[2])
+	n.refreshQuorumLocked()
+	n.mu.Unlock()
+	if got := n.windowFloor(); got != 50 {
+		t.Fatalf("floor = %d after detaches, want 50 (k capped at 1 live link)", got)
+	}
+}
+
+func (n *Node) windowFloor() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.quorumSeq
+}
+
+// TestWaitQuorumContention floods WaitQuorum with concurrent waiters while
+// acks advance one sequence at a time, the worst case for wakeup delivery.
+// Every waiter must return; a lost wakeup or a floor that skips a waiter
+// deadlocks the test (and the race detector checks the window's locking).
+// This is the regression test for the per-link spin the condvar replaced.
+func TestWaitQuorumContention(t *testing.T) {
+	n := NewPrimary(nil, Config{Quorum: 1})
+	links := fakeLinks(n, 2)
+	const top = 300
+
+	var wg sync.WaitGroup
+	for seq := uint64(1); seq <= top; seq++ {
+		wg.Add(1)
+		go func(seq uint64) {
+			defer wg.Done()
+			n.WaitQuorum(seq)
+		}(seq)
+	}
+	// Two ackers race each other cumulative-ack style; quorum=1 means the
+	// faster one drives the floor.
+	for _, l := range links {
+		wg.Add(1)
+		go func(l *link) {
+			defer wg.Done()
+			for seq := uint64(1); seq <= top; seq++ {
+				ack(n, l, seq)
+			}
+		}(l)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("waiters stuck: quorum window wakeup lost")
+	}
+	if got := n.windowFloor(); got != top {
+		t.Fatalf("floor = %d, want %d", got, top)
+	}
+}
+
+// shipDrain swaps the link's double buffer exactly as runWriter's takeover
+// does, so the bench exercises the real recycle path.
+func shipDrain(n *Node, l *link) {
+	n.mu.Lock()
+	out, ends := l.out, l.ends
+	l.out, l.ends = l.spareOut[:0], l.spareEnds[:0]
+	l.spareOut, l.spareEnds = out, ends
+	n.mu.Unlock()
+}
+
+// BenchmarkShipEntry measures the primary's per-entry ship cost on the
+// single-link fast path — encode straight into the link buffer, kick the
+// writer — with the writer's buffer swap folded in. The steady state must
+// not allocate; CI's bench-smoke gate enforces it.
+func BenchmarkShipEntry(b *testing.B) {
+	n := NewPrimary(nil, Config{Quorum: 1})
+	l := fakeLinks(n, 1)[0]
+	e := &wire.Entry{Sess: 42, Kind: wire.EntryPwrite,
+		Req: wire.Request{ID: 5, Op: wire.OpPwrite, FD: 3, Off: 4096, Data: make([]byte, 512)}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.mu.Lock()
+		n.seq++
+		e.Seq = n.seq
+		n.shipLocked(e)
+		n.mu.Unlock()
+		if i%16 == 15 {
+			shipDrain(n, l)
+			select {
+			case <-l.kick:
+			default:
+			}
+		}
+	}
+}

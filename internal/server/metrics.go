@@ -46,6 +46,7 @@ type metrics struct {
 	requestErrors atomic.Uint64
 	overloads     atomic.Uint64
 	requestNs     latHist
+	quorumWaitNs  latHist
 
 	batches     atomic.Uint64
 	fastBatches atomic.Uint64
@@ -109,6 +110,18 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "simurgh_server_request_ns_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "simurgh_server_request_ns_sum %d\n", m.requestNs.sumNs.Load())
 	fmt.Fprintf(w, "simurgh_server_request_ns_count %d\n", m.requestNs.count.Load())
+
+	fmt.Fprintf(w, "# HELP simurgh_server_quorum_wait_ns Time batches spent blocked in WaitQuorum before their replies flushed.\n")
+	fmt.Fprintf(w, "# TYPE simurgh_server_quorum_wait_ns histogram\n")
+	cum = 0
+	for i := 0; i < obs.NumBuckets-1; i++ {
+		cum += m.quorumWaitNs.buckets[i].Load()
+		fmt.Fprintf(w, "simurgh_server_quorum_wait_ns_bucket{le=\"%d\"} %d\n", obs.BucketUpperNs(i), cum)
+	}
+	cum += m.quorumWaitNs.buckets[obs.NumBuckets-1].Load()
+	fmt.Fprintf(w, "simurgh_server_quorum_wait_ns_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "simurgh_server_quorum_wait_ns_sum %d\n", m.quorumWaitNs.sumNs.Load())
+	fmt.Fprintf(w, "simurgh_server_quorum_wait_ns_count %d\n", m.quorumWaitNs.count.Load())
 
 	counter("simurgh_wire_batches_total", "Batch frames received.", m.batches.Load())
 	counter("simurgh_server_fast_batches_total", "Read-only batches executed inline on the connection goroutine.", m.fastBatches.Load())

@@ -631,7 +631,7 @@ func (s *Server) execBatch(sess *session, reqs []wire.Request, rs *replyScratch,
 			rs.frameStart = len(rs.payload)
 			if rs.vw.StagedBytes() >= maxStagedReply {
 				if rep != nil && pendingSeq > 0 {
-					rep.WaitQuorum(pendingSeq)
+					s.waitQuorum(rep, pendingSeq)
 					pendingSeq = 0
 				}
 				if err := s.flushReplies(sess, rs); err != nil {
@@ -646,12 +646,22 @@ func (s *Server) execBatch(sess *session, reqs []wire.Request, rs *replyScratch,
 	rs.vw.Stage(wire.KindReply, rs.payload[rs.frameStart:])
 	rs.frameStart = len(rs.payload)
 	if rep != nil && pendingSeq > 0 {
-		rep.WaitQuorum(pendingSeq)
+		s.waitQuorum(rep, pendingSeq)
 	}
 	if err := s.flushReplies(sess, rs); err != nil {
 		s.cfg.Logf("server: reply to %s failed: %v", sess.conn.RemoteAddr(), err)
 		sess.conn.Close() // unwedge the reader; the session is dead
 	}
+}
+
+// waitQuorum blocks until the replica layer has quorum coverage for seq,
+// attributing the stall to the quorum-wait histogram. With pipelined
+// shipping this is the only point where replication latency is visible to a
+// client: execution never waits, only the reply flush does.
+func (s *Server) waitQuorum(rep Replica, seq uint64) {
+	start := time.Now()
+	rep.WaitQuorum(seq)
+	s.m.quorumWaitNs.observe(uint64(time.Since(start)))
 }
 
 // flushReplies writes every staged reply frame in one vectored write under

@@ -46,6 +46,12 @@ const (
 	EntryOp EntryKind = 1
 	// EntryAttach creates the session's shadow client with its credentials.
 	EntryAttach EntryKind = 2
+	// EntryPwrite is the compact form of an OpPwrite EntryOp: positional
+	// writes dominate replicated traffic, carry no path and produce no
+	// descriptor, so the entry ships only id/fd/offset/data instead of the
+	// full request framing plus an unused ResFD. Decoding materializes a
+	// normal OpPwrite Request so apply paths stay uniform.
+	EntryPwrite EntryKind = 3
 )
 
 // Entry is one replicated log record.
@@ -78,6 +84,11 @@ func AppendEntry(dst []byte, e *Entry) []byte {
 	case EntryOp:
 		dst = appendU32(dst, uint32(e.ResFD))
 		dst = AppendRequest(dst, &e.Req)
+	case EntryPwrite:
+		dst = appendU32(dst, e.Req.ID)
+		dst = appendU32(dst, uint32(e.Req.FD))
+		dst = appendU64(dst, e.Req.Off)
+		dst = appendBytes(dst, e.Req.Data)
 	}
 	return dst
 }
@@ -119,6 +130,16 @@ func decodeEntry(rd *reader) (Entry, error) {
 			return Entry{}, err
 		}
 		e.Req = req
+		return e, nil
+	case EntryPwrite:
+		e.Req.Op = OpPwrite
+		e.Req.ID = rd.u32()
+		e.Req.FD = fsapi.FD(rd.u32())
+		e.Req.Off = rd.u64()
+		e.Req.Data = rd.bytes(MaxIO)
+		if rd.err != nil {
+			return Entry{}, rd.err
+		}
 		return e, nil
 	default:
 		return Entry{}, fmt.Errorf("%w: bad entry kind %d", ErrBadMessage, e.Kind)

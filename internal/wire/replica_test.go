@@ -39,6 +39,8 @@ func TestEntryRoundTrip(t *testing.T) {
 			Req: Request{ID: 10, Op: OpPwrite, FD: 5, Off: 1 << 33, Data: []byte("payload")}},
 		{Seq: 4, Sess: 43, Kind: EntryOp,
 			Req: Request{ID: 1, Op: OpRename, Path: "/f", Path2: "/g"}},
+		{Seq: 5, Sess: 42, Kind: EntryPwrite,
+			Req: Request{ID: 11, Op: OpPwrite, FD: 5, Off: 1 << 40, Data: []byte("compact")}},
 	}
 	var buf []byte
 	for i := range entries {
@@ -62,6 +64,36 @@ func TestEntryRoundTrip(t *testing.T) {
 			have.Req.Off != want.Req.Off || !bytes.Equal(have.Req.Data, want.Req.Data) {
 			t.Errorf("entry %d request = %+v, want %+v", i, have.Req, want.Req)
 		}
+	}
+}
+
+// TestEntryPwriteCompact pins the point of the compact pwrite form: it
+// must encode strictly smaller than the generic EntryOp form of the same
+// request, decode back to a normal OpPwrite request (so apply paths need no
+// special case), and alias the payload in DecodeEntriesInto mode.
+func TestEntryPwriteCompact(t *testing.T) {
+	req := Request{ID: 7, Op: OpPwrite, FD: 3, Off: 4096, Data: []byte("0123456789abcdef")}
+	compact := AppendEntry(nil, &Entry{Seq: 1, Sess: 9, Kind: EntryPwrite, Req: req})
+	generic := AppendEntry(nil, &Entry{Seq: 1, Sess: 9, Kind: EntryOp, Req: req})
+	if len(compact) >= len(generic) {
+		t.Fatalf("compact form is %d bytes, generic %d: no savings", len(compact), len(generic))
+	}
+
+	ents, err := DecodeEntriesInto(nil, compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("decoded %d entries, want 1", len(ents))
+	}
+	e := ents[0]
+	if e.Kind != EntryPwrite || e.Req.Op != OpPwrite || e.Req.ID != req.ID ||
+		e.Req.FD != req.FD || e.Req.Off != req.Off || !bytes.Equal(e.Req.Data, req.Data) {
+		t.Fatalf("decoded %+v, want pwrite %+v", e, req)
+	}
+	copy(e.Req.Data, "ALIAS")
+	if !bytes.Contains(compact, []byte("ALIAS56789abcdef")) {
+		t.Fatalf("Data does not alias the payload")
 	}
 }
 

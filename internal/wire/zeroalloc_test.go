@@ -74,19 +74,26 @@ func BenchmarkResponseCodec(b *testing.B) {
 }
 
 func BenchmarkEntryCodec(b *testing.B) {
-	e := &Entry{Seq: 9, Sess: 42, Kind: EntryOp,
-		Req: Request{ID: 5, Op: OpPwrite, FD: 3, Off: 4096, Data: make([]byte, 512)}}
-	var payload []byte
-	var ents []Entry
-	var err error
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		payload, ents, err = entryCodecRound(payload, ents, e)
-		if err != nil {
-			b.Fatal(err)
-		}
+	for _, bc := range []struct {
+		name string
+		kind EntryKind
+	}{{"op", EntryOp}, {"pwrite", EntryPwrite}} {
+		b.Run(bc.name, func(b *testing.B) {
+			e := &Entry{Seq: 9, Sess: 42, Kind: bc.kind,
+				Req: Request{ID: 5, Op: OpPwrite, FD: 3, Off: 4096, Data: make([]byte, 512)}}
+			var payload []byte
+			var ents []Entry
+			var err error
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				payload, ents, err = entryCodecRound(payload, ents, e)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			_ = ents
+		})
 	}
-	_ = ents
 }
 
 // TestCodecZeroAlloc pins the steady-state codec paths at zero allocations

@@ -9,9 +9,9 @@ cd "$(dirname "$0")/.."
 allow="scripts/alloc_allowlist.txt"
 
 out=$(go test -run '^$' \
-	-bench 'BenchmarkBatchCodec|BenchmarkResponseCodec|BenchmarkEntryCodec|BenchmarkServer' \
+	-bench 'BenchmarkBatchCodec|BenchmarkResponseCodec|BenchmarkEntryCodec|BenchmarkServer|BenchmarkShip' \
 	-benchmem -benchtime 2000x -count=1 \
-	./internal/wire/ ./internal/server/)
+	./internal/wire/ ./internal/server/ ./internal/replica/)
 echo "$out"
 echo
 
