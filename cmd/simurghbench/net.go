@@ -36,6 +36,7 @@ func runNet(args []string) error {
 	jsonOut := fs.String("json", "", "also write results as JSON to this file")
 	profile := fs.String("profile", "", "capture a runtime profile over the whole run: cpu, heap, or allocs")
 	profileOut := fs.String("profile-out", "", "profile output file (default net_<kind>.pprof)")
+	traceSample := fs.Int("trace-sample", 0, "tag 1-in-N requests with a distributed trace context (0 = off); scrape the server's /trace.json afterwards")
 	fs.Parse(args)
 
 	connCounts := parseThreads(*connsFlag)
@@ -70,7 +71,15 @@ func runNet(args []string) error {
 		fmt.Printf("## Wire protocol (remote simurghd on %s)\n", target)
 	}
 
-	remote, err := client.Dial(target, client.Options{})
+	var copts client.Options
+	if *traceSample > 0 {
+		reg := obs.NewRegistry()
+		reg.SetNode("simurghbench")
+		reg.EnableTrace(4096)
+		copts.Obs = reg
+		copts.TraceSample = *traceSample
+	}
+	remote, err := client.Dial(target, copts)
 	if err != nil {
 		return err
 	}

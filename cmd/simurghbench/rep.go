@@ -40,10 +40,11 @@ func runRep(args []string) error {
 	dur := fs.Duration("duration", time.Second, "measurement time per point (in-process) or write-drive time (-addr)")
 	files := fs.Int("files", 64, "files the stat workload cycles over")
 	jsonOut := fs.String("json", "", "also write results as JSON to this file")
+	traceSample := fs.Int("trace-sample", 0, "with -addr: tag 1-in-N writes with a distributed trace context (0 = off); scrape the nodes' /trace.json and merge with `simurghsh trace merge`")
 	fs.Parse(args)
 
 	if *addr != "" {
-		return repLive(*addr, *conns, *dur)
+		return repLive(*addr, *conns, *dur, *traceSample)
 	}
 	return repOverhead(*conns, *batch, *dur, *files, *jsonOut)
 }
@@ -348,8 +349,18 @@ func repWritePoint(remote *client.Remote, conns, batch int, dur time.Duration) (
 // and fails unless each acknowledged write is present. Each worker owns
 // one file and appends monotonically numbered 8-byte records with Pwrite;
 // a record counts only once its response arrives.
-func repLive(addr string, workers int, dur time.Duration) error {
-	remote, err := client.Dial(addr, client.Options{FailoverTimeout: 30 * time.Second})
+func repLive(addr string, workers int, dur time.Duration, traceSample int) error {
+	copts := client.Options{FailoverTimeout: 30 * time.Second}
+	if traceSample > 0 {
+		// Originate distributed trace contexts: the servers record their
+		// spans against the IDs this client stamps on sampled writes.
+		reg := obs.NewRegistry()
+		reg.SetNode("simurghbench")
+		reg.EnableTrace(4096)
+		copts.Obs = reg
+		copts.TraceSample = traceSample
+	}
+	remote, err := client.Dial(addr, copts)
 	if err != nil {
 		return err
 	}

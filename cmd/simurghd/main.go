@@ -63,6 +63,8 @@ func main() {
 	failover := flag.Duration("failover", 2*time.Second, "backup promotes itself after this long without primary contact")
 	noAutoPromote := flag.Bool("no-auto-promote", false, "backups wait for an explicit promote instead of self-promoting")
 	noReplication := flag.Bool("no-replication", false, "serve standalone: no replication layer, no joins accepted")
+	traceCap := flag.Int("trace", 0, "enable the flight recorder with this many span slots (0 = off); dump at /trace.json")
+	slowThresh := flag.Duration("slow-threshold", 0, "log operations slower than this to the /slow.json ring (0 = off)")
 	flag.Parse()
 
 	if *advertise == "" {
@@ -76,6 +78,13 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	reg.SetNode(*advertise)
+	if *traceCap > 0 {
+		reg.EnableTrace(*traceCap)
+	}
+	if *slowThresh > 0 {
+		reg.SetSlowThreshold(*slowThresh, obs.DefaultSlowLogCapacity)
+	}
 
 	// curDev/curFS track the live volume: the formatted/opened one on a
 	// primary, the latest restored snapshot on a backup. The replication
@@ -125,6 +134,7 @@ func main() {
 	}
 
 	repCfg := replica.Config{
+		Obs:               reg,
 		Advertise:         *advertise,
 		Quorum:            *quorum,
 		PrimaryAddr:       *join,
@@ -161,6 +171,7 @@ func main() {
 		RequestTimeout: *deadline,
 		DrainTimeout:   *drain,
 		Logf:           log.Printf,
+		Obs:            reg,
 	}
 	switch {
 	case *noReplication:
@@ -198,10 +209,16 @@ func main() {
 			return "serving"
 		}
 		extras := []export.Extra{srv.WriteMetrics}
+		eopts := export.Options{Pprof: *pprofOn}
 		if node != nil {
 			extras = append(extras, node.WriteMetrics)
+			eopts.Cluster = node.WriteClusterJSON
+			eopts.HealthDetail = func(w io.Writer) {
+				fmt.Fprintf(w, "epoch %d\n", node.Epoch())
+				fmt.Fprintf(w, "commit_floor %d\n", node.CommitFloor())
+			}
 		}
-		msrv, err := export.ServeOpts(*metrics, src, health, reg, export.Options{Pprof: *pprofOn}, extras...)
+		msrv, err := export.ServeOpts(*metrics, src, health, reg, eopts, extras...)
 		if err != nil {
 			fatal(err)
 		}

@@ -6,21 +6,25 @@
 //	simurghsh -metrics host:port   also serve live metrics over HTTP
 //	simurghsh -connect host:port   drive a remote simurghd volume instead
 //	simurghsh -promote host:port   promote a backup simurghd to primary
+//	simurghsh trace merge <out> <in...>   one-shot: merge Chrome trace dumps
 //
 // Commands: ls [path], cat <file>, write <file> <text...>, append <file>
 // <text...>, mkdir <dir>, rm <file>, rmdir <dir>, mv <old> <new>,
 // ln -s <target> <link>, ln <old> <new>, stat <path>, chmod <perm> <path>,
-// tree [path], df, stats [reset], trace <on [n]|off|dump <file>>,
-// crashdemo, su <uid> <gid>, help, exit.
+// tree [path], df, stats [reset], trace <on [n]|off|dump <file>|merge
+// <out> <in...>>, slow <on <dur> [n]|off|show|dump <file>>, crashdemo,
+// su <uid> <gid>, help, exit.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"simurgh/internal/core"
 	"simurgh/internal/export"
@@ -38,6 +42,15 @@ func main() {
 	promote := flag.String("promote", "", "tell the simurghd at this host:port to become the replication primary, then exit")
 	flag.Parse()
 
+	// `simurghsh trace merge <out> <in...>` runs one-shot: it only touches
+	// local dump files, so it needs neither a volume nor a connection.
+	if flag.NArg() >= 2 && flag.Arg(0) == "trace" && flag.Arg(1) == "merge" {
+		if err := traceMerge(flag.Args()[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *promote != "" {
 		epoch, err := client.Promote(*promote, 0)
 		if err != nil {
@@ -51,7 +64,14 @@ func main() {
 		if *image != "" || *metrics != "" {
 			fatal(fmt.Errorf("-connect is exclusive with -image and -metrics (those need a local volume)"))
 		}
-		remote, err := client.Dial(*connect, client.Options{})
+		// The shell is a distributed-tracing participant: its registry
+		// records the client-side spans, and with TraceSample 1 every
+		// interactive operation carries a trace context once `trace on`
+		// arms the recorder (the server ignores it until then — sampling
+		// requires an enabled recorder).
+		reg := obs.NewRegistry()
+		reg.SetNode("simurghsh")
+		remote, err := client.Dial(*connect, client.Options{Obs: reg, TraceSample: 1})
 		if err != nil {
 			fatal(err)
 		}
@@ -61,7 +81,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("connected to %s at %s\n", remote.Name(), *connect)
-		sh := &shell{fsys: remote, c: c, cred: cred}
+		sh := &shell{fsys: remote, c: c, cred: cred, reg: reg}
 		repl(sh)
 		c.Detach()
 		remote.Close()
@@ -113,7 +133,7 @@ func main() {
 
 	cred := fsapi.Root
 	c, _ := fs.Attach(cred)
-	sh := &shell{fsys: fs, fs: fs, dev: dev, c: c, cred: cred, base: fs.Stats()}
+	sh := &shell{fsys: fs, fs: fs, dev: dev, c: c, cred: cred, reg: reg, base: fs.Stats()}
 	repl(sh)
 	fs.Unmount()
 	if *image != "" {
@@ -158,7 +178,8 @@ type shell struct {
 	dev  *pmem.Device
 	c    fsapi.Client
 	cred fsapi.Cred
-	base obs.Snapshot // stats baseline; `stats reset` moves it
+	reg  *obs.Registry // volume registry locally; client-side registry over -connect
+	base obs.Snapshot  // stats baseline; `stats reset` moves it
 }
 
 // errRemote reports commands that need the volume in-process.
@@ -172,7 +193,7 @@ func (s *shell) exec(line string) {
 	var err error
 	switch cmd {
 	case "help":
-		fmt.Println("ls cat write append mkdir rm rmdir mv ln stat chmod tree df stats trace maintain crashdemo su exit")
+		fmt.Println("ls cat write append mkdir rm rmdir mv ln stat chmod tree df stats trace slow maintain crashdemo su exit")
 	case "ls":
 		path := "/"
 		if len(rest) > 0 {
@@ -309,11 +330,17 @@ func (s *shell) exec(line string) {
 		}
 		s.fs.Stats().Sub(s.base).WriteTable(os.Stdout)
 	case "trace":
-		if s.fs == nil {
-			err = errRemote(cmd)
+		// `trace merge` operates on dump files alone. The other verbs
+		// drive this process's registry: the volume's locally, the
+		// client-side recorder over -connect (dump it and merge with the
+		// servers' /trace.json for the cross-node timeline).
+		if len(rest) > 0 && rest[0] == "merge" {
+			err = traceMerge(rest[1:])
 			break
 		}
 		err = s.trace(rest)
+	case "slow":
+		err = s.slow(rest)
 	case "maintain":
 		if s.fs == nil {
 			err = errRemote(cmd)
@@ -365,7 +392,7 @@ func (s *shell) trace(rest []string) error {
 	if len(rest) == 0 {
 		return errUsage("trace <on [spans]|off|dump <file>>")
 	}
-	reg := s.fs.Obs()
+	reg := s.reg
 	switch rest[0] {
 	case "on":
 		capacity := 4096
@@ -398,7 +425,101 @@ func (s *shell) trace(rest []string) error {
 		}
 		fmt.Printf("wrote %s — open it in ui.perfetto.dev or chrome://tracing\n", rest[1])
 	default:
-		return errUsage("trace <on [spans]|off|dump <file>>")
+		return errUsage("trace <on [spans]|off|dump <file>|merge <out> <in...>>")
+	}
+	return nil
+}
+
+// traceMerge combines several nodes' Chrome trace dumps (client, primary,
+// backup) into one timeline file: distributed spans line up side by side
+// in ui.perfetto.dev, linked by the trace ID in each span's args.
+func traceMerge(rest []string) error {
+	if len(rest) < 2 {
+		return errUsage("trace merge <out> <in...>")
+	}
+	dumps := make([][]byte, 0, len(rest)-1)
+	for _, name := range rest[1:] {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		dumps = append(dumps, b)
+	}
+	var buf bytes.Buffer
+	if err := obs.MergeChromeTraces(&buf, dumps...); err != nil {
+		return err
+	}
+	if err := os.WriteFile(rest[0], buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d dumps into %s — open it in ui.perfetto.dev\n", len(dumps), rest[0])
+	return nil
+}
+
+// slow drives the slow-operation log: `slow on <threshold> [n]` arms it,
+// `slow off` disarms it, `slow show` prints the ring, `slow dump <file>`
+// writes it as JSON (the same document /slow.json serves).
+func (s *shell) slow(rest []string) error {
+	usage := "slow <on <threshold> [entries]|off|show|dump <file>>"
+	if len(rest) == 0 {
+		return errUsage(usage)
+	}
+	reg := s.reg
+	switch rest[0] {
+	case "on":
+		if len(rest) < 2 {
+			return errUsage(usage)
+		}
+		d, err := time.ParseDuration(rest[1])
+		if err != nil || d <= 0 {
+			return errUsage("slow on <threshold> [entries]  (e.g. slow on 1ms)")
+		}
+		capacity := obs.DefaultSlowLogCapacity
+		if len(rest) > 2 {
+			n, err := strconv.Atoi(rest[2])
+			if err != nil || n <= 0 {
+				return errUsage(usage)
+			}
+			capacity = n
+		}
+		reg.SetSlowThreshold(d, capacity)
+		fmt.Printf("slow log on: threshold %v, %d entries\n", d, capacity)
+	case "off":
+		reg.SetSlowThreshold(0, 0)
+		fmt.Println("slow log off")
+	case "show":
+		ops := reg.SlowOps()
+		if len(ops) == 0 {
+			fmt.Println("slow log empty")
+			break
+		}
+		fmt.Printf("%-14s %-10s %12s %18s\n", "span", "op", "latency", "trace")
+		for _, op := range ops {
+			trace := "-"
+			if op.Trace != 0 {
+				trace = fmt.Sprintf("%016x", op.Trace)
+			}
+			fmt.Printf("%-14s %-10s %12v %18s\n",
+				op.Name(), op.Op.String(), time.Duration(op.LatNs), trace)
+		}
+	case "dump":
+		if len(rest) < 2 {
+			return errUsage("slow dump <file>")
+		}
+		f, err := os.Create(rest[1])
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteSlowJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", rest[1])
+	default:
+		return errUsage(usage)
 	}
 	return nil
 }

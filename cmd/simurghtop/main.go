@@ -65,6 +65,11 @@ func main() {
 			fmt.Print("\x1b[H\x1b[2J") // home + clear
 		}
 		render(os.Stdout, cur.Sub(base), *interval)
+		// The cluster panel is best-effort: standalone exporters answer
+		// 404 on /cluster.json and the panel simply stays absent.
+		if cl := fetchCluster(url); cl != nil {
+			renderCluster(os.Stdout, cl)
+		}
 		base = cur
 		if *once || (*count > 0 && n+1 >= *count) {
 			return
@@ -90,6 +95,64 @@ func fetch(url string) (export.JSONSnapshot, error) {
 	}
 	err = json.NewDecoder(resp.Body).Decode(&js)
 	return js, err
+}
+
+// clusterDoc mirrors /cluster.json (replica.Node.WriteClusterJSON).
+type clusterDoc struct {
+	Role           string      `json:"role"`
+	Epoch          uint64      `json:"epoch"`
+	Seq            uint64      `json:"seq"`
+	CommitFloor    uint64      `json:"commit_floor"`
+	Quorum         int         `json:"quorum"`
+	AckWindow      uint64      `json:"ack_window"`
+	Sessions       int         `json:"sessions"`
+	HeartbeatRTTNs uint64      `json:"heartbeat_rtt_ns"`
+	PrimarySeq     uint64      `json:"primary_seq"`
+	Backups        []backupRow `json:"backups"`
+}
+
+type backupRow struct {
+	Addr     string `json:"addr"`
+	AckedSeq uint64 `json:"acked_seq"`
+	LagOps   uint64 `json:"lag_ops"`
+	LagBytes uint64 `json:"lag_bytes"`
+	ShipLag  uint64 `json:"ship_lag"`
+}
+
+// fetchCluster pulls the replication health document; nil when the
+// exporter has no cluster plane (404) or the fetch fails.
+func fetchCluster(url string) *clusterDoc {
+	resp, err := http.Get(url + "/cluster.json")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var c clusterDoc
+	if err := json.NewDecoder(resp.Body).Decode(&c); err != nil {
+		return nil
+	}
+	return &c
+}
+
+// renderCluster writes the replication panel: the node's role and log
+// position, then one line per backup link with its ack and ship lag.
+func renderCluster(w io.Writer, c *clusterDoc) {
+	fmt.Fprintf(w, "\nreplication: %s epoch %d  seq %d  floor %d  window %d  quorum %d  sessions %d",
+		c.Role, c.Epoch, c.Seq, c.CommitFloor, c.AckWindow, c.Quorum, c.Sessions)
+	if c.HeartbeatRTTNs > 0 {
+		fmt.Fprintf(w, "  hb-rtt %s", fmtNs(c.HeartbeatRTTNs))
+	}
+	fmt.Fprintln(w)
+	if c.Role != "primary" && c.PrimarySeq > c.Seq {
+		fmt.Fprintf(w, "  behind primary by %d ops\n", c.PrimarySeq-c.Seq)
+	}
+	for _, b := range c.Backups {
+		fmt.Fprintf(w, "  backup %-21s acked %-10d lag %d ops / %d B  ship %d\n",
+			b.Addr, b.AckedSeq, b.LagOps, b.LagBytes, b.ShipLag)
+	}
 }
 
 // render writes one monitor frame for the window delta d over the given
@@ -183,7 +246,22 @@ func startDemo() (*export.Server, func(), error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	srv, err := export.Serve("127.0.0.1:0", vol.Stats, nil, reg)
+	// The demo has no real replication group; a synthetic /cluster.json
+	// exercises the replication panel end to end (CI smokes it).
+	demoCluster := func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, `{
+ "role": "primary", "epoch": 1, "seq": 4096, "commit_floor": 4094,
+ "quorum": 1, "ack_window": 2, "sessions": 2,
+ "heartbeat_rtt_ns": 184000, "primary_seq": 0,
+ "backups": [
+  {"addr": "127.0.0.1:9191", "acked_seq": 4094, "lag_ops": 2, "lag_bytes": 8192, "ship_lag": 1}
+ ]
+}
+`)
+		return err
+	}
+	srv, err := export.ServeOpts("127.0.0.1:0", vol.Stats, nil, reg,
+		export.Options{Cluster: demoCluster})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -298,6 +298,15 @@ type Options struct {
 	// Off by default: the endpoints can pause the process for seconds at a
 	// time, so they are opt-in even on an already-trusted metrics port.
 	Pprof bool
+	// Cluster, when set, serves the replication group's health document on
+	// /cluster.json (typically replica.Node.WriteClusterJSON). nil answers
+	// 404 — standalone daemons have no cluster plane.
+	Cluster func(w io.Writer) error
+	// HealthDetail, when set, appends machine-readable "key value" lines
+	// after the state line on /healthz (epoch, commit_floor), so probes and
+	// smoke tests assert promotion state without parsing logs. The first
+	// line stays the bare state for existing one-line consumers.
+	HealthDetail func(w io.Writer)
 }
 
 // NewHandler builds the exporter's HTTP mux. health (optional; nil reports
@@ -322,6 +331,9 @@ func NewHandlerOpts(src Source, health HealthFunc, reg *obs.Registry, opts Optio
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		fmt.Fprintln(w, state)
+		if opts.HealthDetail != nil {
+			opts.HealthDetail(w)
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -340,6 +352,18 @@ func NewHandlerOpts(src Source, health HealthFunc, reg *obs.Registry, opts Optio
 		w.Header().Set("Content-Type", "application/json")
 		reg.WriteChromeTrace(w)
 	})
+	mux.HandleFunc("/slow.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteSlowJSON(w)
+	})
+	mux.HandleFunc("/cluster.json", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Cluster == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		opts.Cluster(w)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	pprofLine := ""
 	if opts.Pprof {
@@ -356,11 +380,13 @@ func NewHandlerOpts(src Source, health HealthFunc, reg *obs.Registry, opts Optio
 			return
 		}
 		io.WriteString(w, "simurgh metrics exporter\n\n"+
-			"/metrics     Prometheus text exposition\n"+
-			"/stats.json  JSON snapshot (ops, events, lock waits, gauges)\n"+
-			"/trace.json  Chrome trace-event JSON (load in ui.perfetto.dev)\n"+
-			"/healthz     serving state (200 serving, 503 draining/backup)\n"+
-			"/debug/vars  expvar\n"+pprofLine)
+			"/metrics      Prometheus text exposition\n"+
+			"/stats.json   JSON snapshot (ops, events, lock waits, gauges)\n"+
+			"/trace.json   Chrome trace-event JSON (load in ui.perfetto.dev)\n"+
+			"/slow.json    slow-operation log (threshold-gated ring)\n"+
+			"/cluster.json replication group health (primary only)\n"+
+			"/healthz      serving state (200 serving, 503 draining/backup)\n"+
+			"/debug/vars   expvar\n"+pprofLine)
 	})
 	return mux
 }

@@ -81,3 +81,32 @@ func TestPercentileTailBucket(t *testing.T) {
 		t.Fatalf("tail-bucket percentile = %d, want lower bound %d", got, want)
 	}
 }
+
+func TestPercentileP100LandsInLastOccupiedBucket(t *testing.T) {
+	var h Histogram
+	h[2], h[6] = 99, 1 // bucket 6 covers [2048, 4096)
+	got := h.Percentile(1)
+	if got < BucketLowerNs(6) || got >= BucketUpperNs(6) {
+		t.Fatalf("p100 = %d, want inside [%d, %d)", got, BucketLowerNs(6), BucketUpperNs(6))
+	}
+	// The single sample in the crossing bucket estimates its midpoint.
+	if want := uint64(3072); got != want {
+		t.Fatalf("p100 = %d, want midpoint %d", got, want)
+	}
+}
+
+func TestPercentileQuantileClamping(t *testing.T) {
+	var h Histogram
+	h[1] = 4
+	// q beyond 1 clamps to the last sample; a vanishing q clamps to the
+	// first. Neither may walk off the histogram.
+	if lo, hi := h.Percentile(1e-9), h.Percentile(2.5); lo < 64 || hi >= 128 || lo > hi {
+		t.Fatalf("clamped percentiles out of bucket: q->0 -> %d, q>1 -> %d", lo, hi)
+	}
+	if got := h.Quantile(2.5); got != BucketUpperNs(1) {
+		t.Fatalf("Quantile(2.5) = %d, want bucket upper %d", got, BucketUpperNs(1))
+	}
+	if got := h.Quantile(0.99); got != BucketUpperNs(1) {
+		t.Fatalf("single-bucket Quantile = %d, want %d", got, BucketUpperNs(1))
+	}
+}

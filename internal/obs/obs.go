@@ -165,6 +165,8 @@ type Registry struct {
 	hintCtr    atomic.Uint32
 	sampleMask atomic.Uint64
 	trace      traceRing
+	slow       slowLog
+	node       atomic.Value // string; set by SetNode
 	events     [NumEvents]atomic.Uint64
 	lockWait   [NumLockClasses]lockWaitCounters
 }
@@ -297,7 +299,10 @@ func (r *Registry) SampleAt(hint uint32, op Op, start time.Time, latNs uint64, d
 	if d.Fences != 0 {
 		c.fences.Add(d.Fences)
 	}
-	r.trace.record(SpanOp, op, start, latNs, failed)
+	r.trace.record(SpanOp, op, 0, start, latNs, failed)
+	if t := r.slow.thresholdNs.Load(); t != 0 && latNs >= t {
+		r.slow.record(SpanOp, op, 0, start, latNs, failed)
+	}
 }
 
 // ObserveFence implements the pmem-device fence observer: it records one
@@ -308,5 +313,5 @@ func (r *Registry) ObserveFence(start time.Time, dur time.Duration) {
 	if r == nil {
 		return
 	}
-	r.trace.record(SpanPmemFlush, 0, start, uint64(dur.Nanoseconds()), false)
+	r.trace.record(SpanPmemFlush, 0, 0, start, uint64(dur.Nanoseconds()), false)
 }

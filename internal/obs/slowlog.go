@@ -1,0 +1,134 @@
+package obs
+
+// Structured slow-op log: a threshold-gated ring of the most recent
+// operations and spans whose latency crossed an armed threshold. Unlike the
+// flight recorder — which captures everything sampled and wraps fast under
+// load — the slow log keeps only outliers, so a burst of tail latency from
+// minutes ago is still inspectable when an operator gets to the node. It is
+// dumped as JSON via /slow.json and the simurghsh `slow` command.
+//
+// Cost when disarmed is one atomic load on each sampled-window close and
+// each SpanCtx; recording takes a short mutex (outliers are rare by
+// definition).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSlowLogCapacity is the ring capacity SetSlowThreshold installs
+// when none has been set explicitly.
+const DefaultSlowLogCapacity = 256
+
+// SlowOp is one logged slow operation or span.
+type SlowOp struct {
+	Kind  SpanKind
+	Op    Op // meaningful for SpanOp spans
+	Start time.Time
+	LatNs uint64
+	Trace uint64 // distributed trace ID; 0 when the op was untraced
+	Err   bool
+}
+
+// Name returns the display name of the slow entry, mirroring
+// TraceEvent.Name.
+func (s SlowOp) Name() string {
+	if s.Kind == SpanOp {
+		return s.Op.String()
+	}
+	return s.Kind.String()
+}
+
+type slowLog struct {
+	thresholdNs atomic.Uint64 // 0 = disarmed
+	mu          sync.Mutex
+	buf         []SlowOp
+	next        uint64 // total entries recorded; next%len(buf) is the write slot
+}
+
+func (l *slowLog) record(kind SpanKind, op Op, trace uint64, start time.Time, latNs uint64, failed bool) {
+	l.mu.Lock()
+	if len(l.buf) > 0 {
+		l.buf[l.next%uint64(len(l.buf))] = SlowOp{Kind: kind, Op: op, Start: start, LatNs: latNs, Trace: trace, Err: failed}
+		l.next++
+	}
+	l.mu.Unlock()
+}
+
+// SetSlowThreshold arms the slow-op log: operations and spans at or above d
+// are retained in a ring of capacity entries (DefaultSlowLogCapacity if
+// capacity <= 0). d <= 0 disarms the log and drops captured entries.
+func (r *Registry) SetSlowThreshold(d time.Duration, capacity int) {
+	if r == nil {
+		return
+	}
+	l := &r.slow
+	l.mu.Lock()
+	if d <= 0 {
+		l.buf = nil
+		l.next = 0
+		l.thresholdNs.Store(0)
+	} else {
+		if capacity <= 0 {
+			capacity = DefaultSlowLogCapacity
+		}
+		if len(l.buf) != capacity {
+			l.buf = make([]SlowOp, capacity)
+			l.next = 0
+		}
+		l.thresholdNs.Store(uint64(d.Nanoseconds()))
+	}
+	l.mu.Unlock()
+}
+
+// SlowThreshold returns the armed threshold (0 when the log is disarmed).
+func (r *Registry) SlowThreshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Duration(r.slow.thresholdNs.Load())
+}
+
+// SlowOps returns the captured slow entries, oldest first.
+func (r *Registry) SlowOps() []SlowOp {
+	if r == nil {
+		return nil
+	}
+	l := &r.slow
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buf) == 0 || l.next == 0 {
+		return nil
+	}
+	capU := uint64(len(l.buf))
+	count := l.next
+	if count > capU {
+		count = capU
+	}
+	out := make([]SlowOp, 0, count)
+	for i := l.next - count; i < l.next; i++ {
+		out = append(out, l.buf[i%capU])
+	}
+	return out
+}
+
+// WriteSlowJSON dumps the slow-op log as a JSON object:
+// {"threshold_ns":N,"ops":[{...}]}. Entries are oldest first.
+func (r *Registry) WriteSlowJSON(w io.Writer) error {
+	ops := r.SlowOps()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"threshold_ns\":%d,\"ops\":[", uint64(r.SlowThreshold()))
+	for i, s := range ops {
+		if i > 0 {
+			bw.WriteString(",\n ")
+		}
+		fmt.Fprintf(bw, `{"name":%q,"kind":%q,"start_us":%d,"lat_ns":%d,"trace":"%016x","err":%t}`,
+			s.Name(), s.Kind.String(), s.Start.UnixNano()/1e3, s.LatNs, s.Trace, s.Err)
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}

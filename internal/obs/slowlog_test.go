@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThresholdAndRing(t *testing.T) {
+	r := NewRegistry()
+	if r.SlowThreshold() != 0 || r.SlowOps() != nil {
+		t.Fatal("fresh registry should have the slow log disarmed and empty")
+	}
+	// Disarmed: nothing recorded regardless of latency.
+	r.SpanCtx(SpanSrvExec, OpPwrite, 7, time.Now(), 1<<30, false)
+	if got := r.SlowOps(); got != nil {
+		t.Fatalf("disarmed slow log recorded %d ops", len(got))
+	}
+
+	r.SetSlowThreshold(time.Microsecond, 4)
+	if r.SlowThreshold() != time.Microsecond {
+		t.Fatalf("threshold = %v, want 1µs", r.SlowThreshold())
+	}
+	r.SpanCtx(SpanSrvExec, OpPwrite, 1, time.Now(), 999, false) // below: dropped
+	for i := uint64(1); i <= 6; i++ {                           // ring capacity 4: keeps 3..6
+		r.SpanCtx(SpanSrvExec, OpPwrite, i, time.Now(), 1000+i, i == 6)
+	}
+	ops := r.SlowOps()
+	if len(ops) != 4 {
+		t.Fatalf("slow log holds %d ops, want 4", len(ops))
+	}
+	for i, op := range ops {
+		if want := uint64(3 + i); op.Trace != want {
+			t.Fatalf("slow[%d].Trace = %d, want %d (oldest first)", i, op.Trace, want)
+		}
+	}
+	if !ops[3].Err || ops[0].Err {
+		t.Fatalf("err flags not preserved: %+v", ops)
+	}
+	if ops[0].Name() != "srv-exec" {
+		t.Fatalf("slow op name = %q, want srv-exec", ops[0].Name())
+	}
+	r.SpanCtx(SpanOp, OpMkdir, 0, time.Now(), 5000, false)
+	if ops = r.SlowOps(); ops[len(ops)-1].Name() != "mkdir" {
+		t.Fatalf("op-span slow name = %q, want mkdir", ops[len(ops)-1].Name())
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteSlowJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		ThresholdNs uint64 `json:"threshold_ns"`
+		Ops         []struct {
+			Name  string `json:"name"`
+			LatNs uint64 `json:"lat_ns"`
+			Trace string `json:"trace"`
+			Err   bool   `json:"err"`
+		} `json:"ops"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("slow.json invalid: %v\n%s", err, buf.String())
+	}
+	if doc.ThresholdNs != 1000 || len(doc.Ops) != 4 {
+		t.Fatalf("threshold/ops = %d/%d, want 1000/4", doc.ThresholdNs, len(doc.Ops))
+	}
+	if doc.Ops[0].Trace != "0000000000000004" {
+		t.Fatalf("ops[0].trace = %q", doc.Ops[0].Trace)
+	}
+	if doc.Ops[3].Name != "mkdir" || doc.Ops[3].Trace != "0000000000000000" {
+		t.Fatalf("ops[3] = %+v, want untraced mkdir", doc.Ops[3])
+	}
+
+	// Disarming drops the ring.
+	r.SetSlowThreshold(0, 0)
+	if r.SlowThreshold() != 0 || r.SlowOps() != nil {
+		t.Fatal("disarm did not clear the slow log")
+	}
+}
+
+func TestSlowLogNilRegistry(t *testing.T) {
+	var r *Registry
+	r.SetSlowThreshold(time.Millisecond, 8)
+	if r.SlowThreshold() != 0 || r.SlowOps() != nil {
+		t.Fatal("nil registry slow log not inert")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteSlowJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -26,6 +27,34 @@ const (
 	SpanRecovery
 	// SpanPmemFlush is a fence/flush barrier executed by the device.
 	SpanPmemFlush
+	// SpanClientEnqueue is a traced batch waiting in the client send queue
+	// (submit → writer pickup).
+	SpanClientEnqueue
+	// SpanClientSend is the client writer's vectored flush of a traced batch.
+	SpanClientSend
+	// SpanClientAwait is the client-side round trip of a traced request
+	// (submit → reply delivery).
+	SpanClientAwait
+	// SpanSrvQueue is a traced batch waiting in the server job queue.
+	SpanSrvQueue
+	// SpanSrvExec is a traced batch executing on a server worker.
+	SpanSrvExec
+	// SpanSrvExecFast is a traced all-read batch executing inline on the
+	// server read fast path.
+	SpanSrvExecFast
+	// SpanSrvQuorum is the server blocking until replication reaches quorum
+	// for a traced batch's writes.
+	SpanSrvQuorum
+	// SpanRepCommit is a traced entry waiting in the primary's group-commit
+	// buffer (ship enqueue → writer drain).
+	SpanRepCommit
+	// SpanRepShip is the primary shipper's vectored flush of a traced drain.
+	SpanRepShip
+	// SpanRepApply is the backup applying a traced Replicate frame.
+	SpanRepApply
+	// SpanRepAck is the backup acknowledging a traced frame's sequence back
+	// to the primary (apply done → ack written).
+	SpanRepAck
 	// NumSpanKinds bounds the SpanKind enum.
 	NumSpanKinds
 )
@@ -33,6 +62,11 @@ const (
 var spanKindNames = [NumSpanKinds]string{
 	SpanOp: "op", SpanLockWait: "lock-wait", SpanDirProbe: "dir-probe",
 	SpanRecovery: "recovery", SpanPmemFlush: "pmem-flush",
+	SpanClientEnqueue: "cli-enqueue", SpanClientSend: "cli-send",
+	SpanClientAwait: "cli-await", SpanSrvQueue: "srv-queue",
+	SpanSrvExec: "srv-exec", SpanSrvExecFast: "srv-exec-fast",
+	SpanSrvQuorum: "srv-quorum", SpanRepCommit: "rep-commit",
+	SpanRepShip: "rep-ship", SpanRepApply: "rep-apply", SpanRepAck: "rep-ack",
 }
 
 // String returns the span kind name.
@@ -44,11 +78,15 @@ func (k SpanKind) String() string {
 }
 
 // TraceEvent is one phase-tagged span captured by the flight recorder.
+// Trace, when nonzero, is the distributed trace ID the span belongs to:
+// spans with equal trace IDs across node dumps describe one causal chain
+// (one sampled batch crossing client, primary, and backups).
 type TraceEvent struct {
 	Kind  SpanKind
 	Op    Op // the operation class; meaningful for SpanOp spans
 	Start time.Time
 	LatNs uint64
+	Trace uint64
 	Err   bool
 }
 
@@ -74,13 +112,13 @@ type traceRing struct {
 	next uint64 // total events recorded; next%len(buf) is the write slot
 }
 
-func (t *traceRing) record(kind SpanKind, op Op, start time.Time, latNs uint64, failed bool) {
+func (t *traceRing) record(kind SpanKind, op Op, trace uint64, start time.Time, latNs uint64, failed bool) {
 	if !t.on.Load() {
 		return
 	}
 	t.mu.Lock()
 	if len(t.buf) > 0 {
-		t.buf[t.next%uint64(len(t.buf))] = TraceEvent{Kind: kind, Op: op, Start: start, LatNs: latNs, Err: failed}
+		t.buf[t.next%uint64(len(t.buf))] = TraceEvent{Kind: kind, Op: op, Start: start, LatNs: latNs, Trace: trace, Err: failed}
 		t.next++
 	}
 	t.mu.Unlock()
@@ -120,7 +158,59 @@ func (r *Registry) Span(kind SpanKind, op Op, start time.Time, latNs uint64, fai
 	if r == nil {
 		return
 	}
-	r.trace.record(kind, op, start, latNs, failed)
+	r.trace.record(kind, op, 0, start, latNs, failed)
+}
+
+// SpanCtx is Span carrying a distributed trace ID: spans recorded with the
+// same nonzero trace across processes merge into one causal chain in a
+// combined Chrome dump. It also feeds the slow-op log when a threshold is
+// armed. Nil-safe and one atomic load when both tracing and the slow log
+// are off.
+func (r *Registry) SpanCtx(kind SpanKind, op Op, trace uint64, start time.Time, latNs uint64, failed bool) {
+	if r == nil {
+		return
+	}
+	r.trace.record(kind, op, trace, start, latNs, failed)
+	if t := r.slow.thresholdNs.Load(); t != 0 && latNs >= t {
+		r.slow.record(kind, op, trace, start, latNs, failed)
+	}
+}
+
+// SetNode names this registry's process for multi-node trace merging. The
+// name becomes the Chrome-trace process label, and the derived pid keeps
+// each node's spans in a distinct process group when dumps are merged.
+func (r *Registry) SetNode(name string) {
+	if r == nil {
+		return
+	}
+	r.node.Store(name)
+}
+
+// Node returns the node name set by SetNode ("" if unset).
+func (r *Registry) Node() string {
+	if r == nil {
+		return ""
+	}
+	if v, ok := r.node.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// nodePid derives a stable small positive Chrome-trace pid from the node
+// name (FNV-1a folded), so independently-produced dumps land in distinct
+// process groups with high probability. An unnamed node is pid 1.
+func nodePid(name string) int {
+	if name == "" {
+		return 1
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	p := int(h%99990) + 10 // avoid colliding with the unnamed pid 1
+	return p
 }
 
 // Trace returns the captured events, oldest first. At most the ring's
@@ -151,26 +241,61 @@ func (r *Registry) Trace() []TraceEvent {
 // WriteChromeTrace writes the captured spans as a Chrome trace-event JSON
 // array of complete ("X") events with microsecond timestamps, loadable by
 // Perfetto (ui.perfetto.dev) or chrome://tracing. Each span kind renders as
-// its own thread lane; timestamps are relative to the earliest captured
-// span.
+// its own thread lane inside this node's process group. Timestamps are
+// absolute wall-clock microseconds, so dumps taken from different processes
+// share one time axis and can be concatenated by MergeChromeTraces into a
+// single cross-node timeline; spans of one distributed trace carry the same
+// "trace" arg (hex ID) to link the chain.
 func (r *Registry) WriteChromeTrace(w io.Writer) error {
 	events := r.Trace()
+	node := r.Node()
+	pid := nodePid(node)
 	bw := bufio.NewWriter(w)
 	bw.WriteString("[")
-	var epoch time.Time
+	label := node
+	if label == "" {
+		label = "simurgh"
+	}
+	fmt.Fprintf(bw, `{"name":"process_name","ph":"M","pid":%d,"args":{"name":%q}}`, pid, label)
 	for _, e := range events {
-		if epoch.IsZero() || e.Start.Before(epoch) {
-			epoch = e.Start
+		bw.WriteString(",\n ")
+		ts := float64(e.Start.UnixNano()) / 1e3
+		dur := float64(e.LatNs) / 1e3
+		// Untraced spans omit the "trace" arg so a hex-ID search in the
+		// viewer matches only the distributed chain.
+		if e.Trace != 0 {
+			fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"err":%t,"trace":"%016x"}}`,
+				e.Name(), e.Kind.String(), ts, dur, pid, int(e.Kind)+1, e.Err, e.Trace)
+		} else {
+			fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"err":%t}}`,
+				e.Name(), e.Kind.String(), ts, dur, pid, int(e.Kind)+1, e.Err)
 		}
 	}
-	for i, e := range events {
-		if i > 0 {
-			bw.WriteString(",\n ")
+	bw.WriteString("]\n")
+	return bw.Flush()
+}
+
+// MergeChromeTraces merges Chrome-trace dumps produced by WriteChromeTrace
+// on different nodes into one JSON array. Because dumps carry absolute
+// timestamps and node-distinct pids, merging is event concatenation: the
+// result renders each node as its own process group on a shared time axis,
+// with cross-node spans of one trace ID lining up as a single causal chain.
+func MergeChromeTraces(w io.Writer, dumps ...[]byte) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[")
+	first := true
+	for _, d := range dumps {
+		var events []json.RawMessage
+		if err := json.Unmarshal(d, &events); err != nil {
+			return fmt.Errorf("obs: merge: bad trace dump: %w", err)
 		}
-		ts := float64(e.Start.Sub(epoch).Nanoseconds()) / 1e3
-		dur := float64(e.LatNs) / 1e3
-		fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"err":%t}}`,
-			e.Name(), e.Kind.String(), ts, dur, int(e.Kind)+1, e.Err)
+		for _, e := range events {
+			if !first {
+				bw.WriteString(",\n ")
+			}
+			first = false
+			bw.Write(e)
+		}
 	}
 	bw.WriteString("]\n")
 	return bw.Flush()

@@ -66,31 +66,100 @@ func TestWriteChromeTraceIsValidJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
 		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
 	}
-	if len(events) != 3 {
-		t.Fatalf("got %d JSON events, want 3", len(events))
+	// One process_name metadata event leads, then the three spans.
+	if len(events) != 4 {
+		t.Fatalf("got %d JSON events, want 4", len(events))
 	}
-	for i, e := range events {
+	if events[0]["ph"] != "M" || events[0]["name"] != "process_name" {
+		t.Errorf("leading event = %v, want process_name metadata", events[0])
+	}
+	for i, e := range events[1:] {
 		if e["ph"] != "X" {
-			t.Errorf("event %d ph = %v, want X", i, e["ph"])
+			t.Errorf("span %d ph = %v, want X", i, e["ph"])
 		}
 		for _, k := range []string{"name", "cat", "ts", "dur", "pid", "tid"} {
 			if _, ok := e[k]; !ok {
-				t.Errorf("event %d missing field %q", i, k)
+				t.Errorf("span %d missing field %q", i, k)
 			}
 		}
 	}
-	if events[0]["name"] != "create" || events[1]["cat"] != "lock-wait" {
-		t.Errorf("unexpected name/cat: %v / %v", events[0]["name"], events[1]["cat"])
+	if events[1]["name"] != "create" || events[2]["cat"] != "lock-wait" {
+		t.Errorf("unexpected name/cat: %v / %v", events[1]["name"], events[2]["cat"])
 	}
-	// Empty recorder still produces a valid (empty) array.
+	// Empty recorder still produces a valid array (metadata only).
 	var empty bytes.Buffer
 	r2 := NewRegistry()
 	if err := r2.WriteChromeTrace(&empty); err != nil {
 		t.Fatal(err)
 	}
 	var none []map[string]any
-	if err := json.Unmarshal(empty.Bytes(), &none); err != nil || len(none) != 0 {
+	if err := json.Unmarshal(empty.Bytes(), &none); err != nil || len(none) != 1 {
 		t.Fatalf("empty trace invalid: %v %q", err, empty.String())
+	}
+}
+
+// TestTraceRingWrapDuringDump hammers the ring with concurrent span
+// recording — enough to wrap it many times — while dumps are being taken,
+// and checks every dump is internally consistent: valid JSON, at most
+// capacity spans, latencies monotonically increasing (recording order),
+// never a torn or duplicated slot.
+func TestTraceRingWrapDuringDump(t *testing.T) {
+	r := NewRegistry()
+	r.SetNode("wrap")
+	const capacity = 64
+	r.EnableTrace(capacity)
+
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.SpanCtx(SpanRepApply, 0, i, time.Now(), i, false)
+		}
+	}()
+
+	for dumps := 0; dumps < 50; dumps++ {
+		ev := r.Trace()
+		if len(ev) > capacity {
+			t.Fatalf("dump %d returned %d events, capacity %d", dumps, len(ev), capacity)
+		}
+		for i := 1; i < len(ev); i++ {
+			if ev[i].LatNs <= ev[i-1].LatNs {
+				t.Fatalf("dump %d not oldest-first: lat[%d]=%d after lat[%d]=%d",
+					dumps, i, ev[i].LatNs, i-1, ev[i-1].LatNs)
+			}
+			if ev[i].Trace != ev[i].LatNs {
+				t.Fatalf("dump %d torn event: trace %d with lat %d", dumps, ev[i].Trace, ev[i].LatNs)
+			}
+		}
+		var buf bytes.Buffer
+		if err := r.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var events []map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+			t.Fatalf("dump %d invalid JSON under concurrent wrap: %v", dumps, err)
+		}
+	}
+	close(stop)
+	<-writerDone
+
+	// Fill the ring deterministically past capacity: a quiet dump holds
+	// exactly the newest capacity events, oldest first.
+	for i := uint64(1 << 40); i < 1<<40+2*capacity; i++ {
+		r.SpanCtx(SpanRepApply, 0, i, time.Now(), i, false)
+	}
+	ev := r.Trace()
+	if len(ev) != capacity {
+		t.Fatalf("final dump has %d events, want %d", len(ev), capacity)
+	}
+	if want := uint64(1<<40 + 2*capacity - 1); ev[len(ev)-1].LatNs != want {
+		t.Fatalf("final dump newest lat = %d, want %d", ev[len(ev)-1].LatNs, want)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"simurgh/internal/obs"
 	"simurgh/internal/wire"
 )
 
@@ -180,13 +181,31 @@ func (n *Node) followPrimary(lastContact *time.Time) error {
 		}
 		*lastContact = time.Now()
 		switch kind {
-		case wire.KindReplicate:
+		case wire.KindReplicate, wire.KindReplicateTraced:
+			// A traced frame carries the sampled operation's trace ID as a
+			// prefix; the apply and the covering ack become spans in it.
+			var trace uint64
+			if kind == wire.KindReplicateTraced {
+				trace, payload, err = wire.SplitTraceCtx(payload)
+				if err != nil {
+					return err
+				}
+			}
 			ents, err = wire.DecodeEntriesInto(ents[:0], payload)
 			if err != nil {
 				return err
 			}
+			var applyStart time.Time
+			if trace != 0 {
+				applyStart = time.Now()
+			}
 			if err := n.applyEntries(ents); err != nil {
 				return err
+			}
+			if trace != 0 {
+				n.cfg.Obs.SpanCtx(obs.SpanRepApply, 0, trace, applyStart,
+					uint64(time.Since(applyStart)), false)
+				n.noteTracedApply(trace, n.Seq())
 			}
 			if n.cfg.Lockstep {
 				a := wire.RepAck{Epoch: n.Epoch(), Seq: n.Seq()}
@@ -194,6 +213,7 @@ func (n *Node) followPrimary(lastContact *time.Time) error {
 				if err := wire.WriteFrame(conn, wire.KindRepAck, ackBuf); err != nil {
 					return err
 				}
+				n.emitAckSpan(a.Seq)
 				continue
 			}
 			select {
@@ -242,6 +262,7 @@ func (n *Node) runAcker(conn net.Conn, wmu *sync.Mutex, kick <-chan struct{}, do
 		if err != nil {
 			return
 		}
+		n.emitAckSpan(seq)
 		lastSent = seq
 	}
 }

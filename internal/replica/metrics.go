@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -30,6 +31,67 @@ type counters struct {
 // bytes/op figure from the deltas).
 func (n *Node) ShipStats() (entries, bytes uint64) {
 	return n.m.entriesShipped.Load(), n.m.bytesShipped.Load()
+}
+
+// WriteClusterJSON writes the cluster health document served at
+// /cluster.json: the node's role, epoch, log position, durability floor,
+// and — on a primary — one row per live backup link with its ack distance,
+// buffered bytes, and ship lag. One lock hold, one consistent snapshot.
+func (n *Node) WriteClusterJSON(w io.Writer) error {
+	role := n.Role()
+	n.mu.Lock()
+	seq := n.seq
+	quorumSeq := n.quorumSeq
+	sessions := len(n.sessions)
+	type row struct {
+		addr     string
+		acked    uint64
+		lagBytes uint64
+		shipLag  uint64
+	}
+	rows := make([]row, 0, len(n.links))
+	if role == RolePrimary {
+		for l := range n.links {
+			rows = append(rows, row{
+				addr:     l.addr,
+				acked:    l.ackedSeq,
+				lagBytes: uint64(len(l.out)),
+				shipLag:  uint64(len(l.ends) + l.inflight),
+			})
+		}
+	}
+	n.mu.Unlock()
+
+	floor := quorumSeq
+	var ackWindow uint64
+	if role == RolePrimary {
+		if len(rows) > 0 && seq > quorumSeq {
+			ackWindow = seq - quorumSeq
+		}
+	} else {
+		floor = seq
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "{\n  \"role\": %q,\n  \"epoch\": %d,\n  \"seq\": %d,\n  \"commit_floor\": %d,\n  \"quorum\": %d,\n  \"ack_window\": %d,\n  \"sessions\": %d,\n  \"heartbeat_rtt_ns\": %d,\n  \"primary_seq\": %d,\n  \"backups\": [",
+		role.String(), n.Epoch(), seq, floor, n.cfg.Quorum, ackWindow,
+		sessions, n.m.heartbeatRTT.Load(), n.m.primarySeq.Load())
+	for i, r := range rows {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		lagOps := uint64(0)
+		if seq > r.acked {
+			lagOps = seq - r.acked
+		}
+		fmt.Fprintf(&buf, "\n    {\"addr\": %q, \"acked_seq\": %d, \"lag_ops\": %d, \"lag_bytes\": %d, \"ship_lag\": %d}",
+			r.addr, r.acked, lagOps, r.lagBytes, r.shipLag)
+	}
+	if len(rows) > 0 {
+		buf.WriteString("\n  ")
+	}
+	buf.WriteString("]\n}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
 // WriteMetrics appends the simurgh_replica_* series to a /metrics scrape.

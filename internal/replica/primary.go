@@ -7,7 +7,10 @@ import (
 	"net"
 	"time"
 
+	"encoding/binary"
+
 	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
 	"simurgh/internal/wire"
 )
 
@@ -64,7 +67,7 @@ func (n *Node) AttachClient(cred fsapi.Cred, clientID uint64) (fsapi.Client, uin
 	n.sessions[id] = sess
 	n.seq++
 	seq := n.seq
-	n.shipLocked(&wire.Entry{Seq: seq, Sess: id, Kind: wire.EntryAttach, Cred: cred})
+	n.shipLocked(&wire.Entry{Seq: seq, Sess: id, Kind: wire.EntryAttach, Cred: cred}, 0)
 	n.mu.Unlock()
 	// The session must exist on the quorum before the client can use it:
 	// otherwise a failover between AttachOK and the first op would strand
@@ -87,7 +90,7 @@ func (n *Node) AttachClient(cred fsapi.Cred, clientID uint64) (fsapi.Client, uin
 // operation (opGate spans both). Namespace and descriptor operations take
 // opGate exclusively. With Config.Lockstep every operation takes the
 // exclusive path, restoring the serialized pre-pipelining behavior.
-func (n *Node) Apply(sessID uint64, req *wire.Request, exec func() wire.Response) (wire.Response, uint64) {
+func (n *Node) Apply(sessID uint64, req *wire.Request, trace uint64, exec func() wire.Response) (wire.Response, uint64) {
 	n.mu.Lock()
 	sess := n.sessions[sessID]
 	n.mu.Unlock()
@@ -123,7 +126,7 @@ func (n *Node) Apply(sessID uint64, req *wire.Request, exec func() wire.Response
 			if req.Op == wire.OpPwrite {
 				e.Kind = wire.EntryPwrite // compact form: id/fd/off/data only
 			}
-			n.shipLocked(&e)
+			n.shipLocked(&e, trace)
 			n.mu.Unlock()
 		}
 		st.Unlock()
@@ -139,7 +142,7 @@ func (n *Node) Apply(sessID uint64, req *wire.Request, exec func() wire.Response
 			if req.Op == wire.OpCreate || req.Op == wire.OpOpen {
 				e.ResFD = resp.FD // virtual: mappedClient already translated
 			}
-			n.shipLocked(&e)
+			n.shipLocked(&e, trace)
 			if req.Op == wire.OpDetach {
 				delete(n.sessions, sessID)
 			}
@@ -157,9 +160,11 @@ func (n *Node) Apply(sessID uint64, req *wire.Request, exec func() wire.Response
 // kicks their writers. With a single link — the common group shape — the
 // entry encodes directly into that link's flat buffer; with several it is
 // encoded once into the node's reused scratch and its bytes appended to
-// each link's buffer. The steady state allocates nothing. Caller holds
+// each link's buffer. The steady state allocates nothing. A nonzero trace
+// marks the link's pending drain as traced: the writer tags the frames it
+// ships with the trace ID and emits the group-commit span. Caller holds
 // n.mu.
-func (n *Node) shipLocked(e *wire.Entry) {
+func (n *Node) shipLocked(e *wire.Entry, trace uint64) {
 	if len(n.links) == 0 {
 		return
 	}
@@ -168,6 +173,10 @@ func (n *Node) shipLocked(e *wire.Entry) {
 			start := len(l.out)
 			l.out = wire.AppendEntry(l.out, e)
 			l.ends = append(l.ends, len(l.out))
+			if trace != 0 {
+				l.pendTrace = trace
+				l.pendTraceTime = time.Now()
+			}
 			n.m.bytesShipped.Add(uint64(len(l.out) - start))
 			select {
 			case l.kick <- struct{}{}:
@@ -182,6 +191,10 @@ func (n *Node) shipLocked(e *wire.Entry) {
 	for l := range n.links {
 		l.out = append(l.out, enc...)
 		l.ends = append(l.ends, len(l.out))
+		if trace != 0 {
+			l.pendTrace = trace
+			l.pendTraceTime = time.Now()
+		}
 		select {
 		case l.kick <- struct{}{}:
 		default:
@@ -403,6 +416,15 @@ type link struct {
 	// node's log lock.
 	inflight int
 
+	// pendTrace marks the buffered (not yet drained) entries as carrying a
+	// sampled operation; the writer tags the drain's frames with it and
+	// emits the group-commit and ship spans. pendTraceTime is when the
+	// traced entry was appended. Both guarded by the node's log lock;
+	// traceHdr is the writer-private encoding scratch for the frame prefix.
+	pendTrace     uint64
+	pendTraceTime time.Time
+	traceHdr      [wire.TraceCtxSize]byte
+
 	// ackedSeq is the backup's highest cumulatively applied sequence;
 	// guarded by the node's log lock (the quorum window reads it there).
 	ackedSeq uint64
@@ -438,17 +460,34 @@ func (l *link) runWriter(n *Node) {
 		l.out, l.ends = l.spareOut[:0], l.spareEnds[:0]
 		l.spareOut, l.spareEnds = out, ends
 		l.inflight = len(ends)
+		trace, traceAt := l.pendTrace, l.pendTraceTime
+		l.pendTrace = 0
 		_, member := n.links[l]
 		seq := n.seq
 		n.mu.Unlock()
 		if !member {
 			return
 		}
+		// A traced drain ships as KindReplicateTraced frames, each prefixed
+		// with the trace ID; the group-commit granularity is the whole drain,
+		// so every frame it splits into carries the context.
+		kind := wire.KindReplicate
+		if trace != 0 {
+			kind = wire.KindReplicateTraced
+			binary.LittleEndian.PutUint64(l.traceHdr[:], trace)
+		}
+		stage := func(p []byte) {
+			if trace != 0 {
+				vw.StagePrefixed(kind, l.traceHdr[:], p)
+			} else {
+				vw.Stage(kind, p)
+			}
+		}
 		frameStart, prev, count := 0, 0, 0
 		frames := uint64(0)
 		for _, end := range ends {
 			if count > 0 && (count == wire.MaxBatch || end-frameStart > wire.MaxFrame-64) {
-				vw.Stage(wire.KindReplicate, out[frameStart:prev])
+				stage(out[frameStart:prev])
 				frames++
 				frameStart = prev
 				count = 0
@@ -457,7 +496,7 @@ func (l *link) runWriter(n *Node) {
 			count++
 		}
 		if count > 0 {
-			vw.Stage(wire.KindReplicate, out[frameStart:prev])
+			stage(out[frameStart:prev])
 			frames++
 		}
 		if beat {
@@ -468,7 +507,15 @@ func (l *link) runWriter(n *Node) {
 		if vw.Count() == 0 {
 			continue
 		}
+		var shipStart time.Time
+		if trace != 0 {
+			shipStart = time.Now()
+			n.cfg.Obs.SpanCtx(obs.SpanRepCommit, 0, trace, traceAt, uint64(shipStart.Sub(traceAt)), false)
+		}
 		_, err := vw.Flush(l.conn)
+		if trace != 0 {
+			n.cfg.Obs.SpanCtx(obs.SpanRepShip, 0, trace, shipStart, uint64(time.Since(shipStart)), err != nil)
+		}
 		n.m.framesShipped.Add(frames)
 		n.mu.Lock()
 		l.inflight = 0

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
 	"simurgh/internal/wire"
 )
 
@@ -273,6 +274,10 @@ type Config struct {
 	// ApplyHook, when set, is called by a backup before applying each log
 	// entry. Test instrumentation (simulating slow or lagging backups).
 	ApplyHook func(e *wire.Entry)
+	// Obs receives replication spans (group commit, ship, apply, ack) for
+	// sampled operations. nil disables tracing on this node: every Registry
+	// method is nil-safe, so the hot paths need no guard beyond the trace ID.
+	Obs *obs.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -352,6 +357,15 @@ type Node struct {
 	// Promote/Close to unblock the join loop.
 	joinConn atomic.Value // net.Conn
 
+	// traceAck* carry a backup's pending rep-ack span: a traced frame's
+	// apply records the trace here, and the acker emits SpanRepAck once a
+	// cumulative ack covering that sequence hits the socket. One slot is
+	// enough — sampled frames are rare, and a collision only drops a span.
+	traceAckMu  sync.Mutex
+	traceAckID  uint64
+	traceAckSeq uint64
+	traceAckAt  time.Time
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 
@@ -405,6 +419,44 @@ func (n *Node) Seq() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.seq
+}
+
+// CommitFloor reports the durability floor: on a primary the sliding ack
+// window's floor (the highest sequence a quorum of backups has applied);
+// on a backup the highest sequence it has applied itself.
+func (n *Node) CommitFloor() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if Role(n.role.Load()) == RolePrimary {
+		return n.quorumSeq
+	}
+	return n.seq
+}
+
+// noteTracedApply records that a traced frame's entries were applied
+// through seq; the acker turns this into a SpanRepAck when a cumulative
+// ack covering seq is written.
+func (n *Node) noteTracedApply(trace, seq uint64) {
+	n.traceAckMu.Lock()
+	n.traceAckID = trace
+	n.traceAckSeq = seq
+	n.traceAckAt = time.Now()
+	n.traceAckMu.Unlock()
+}
+
+// emitAckSpan closes a pending rep-ack span if ackedSeq covers it.
+func (n *Node) emitAckSpan(ackedSeq uint64) {
+	n.traceAckMu.Lock()
+	trace, seq, at := n.traceAckID, n.traceAckSeq, n.traceAckAt
+	if trace != 0 && ackedSeq >= seq {
+		n.traceAckID = 0
+	} else {
+		trace = 0
+	}
+	n.traceAckMu.Unlock()
+	if trace != 0 {
+		n.cfg.Obs.SpanCtx(obs.SpanRepAck, 0, trace, at, uint64(time.Since(at)), false)
+	}
 }
 
 // Backups reports the number of live backup links (primary role).

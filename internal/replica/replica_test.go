@@ -295,14 +295,14 @@ func TestApplyDedup(t *testing.T) {
 		execs++
 		return wire.Execute(c, &req)
 	}
-	resp1, seq1 := n.Apply(sessID, &req, exec)
+	resp1, seq1 := n.Apply(sessID, &req, 0, exec)
 	if resp1.Code != 0 {
 		t.Fatalf("mkdir failed: %v", resp1.Code)
 	}
 	if seq1 == 0 {
 		t.Fatal("successful mutation got no sequence")
 	}
-	resp2, seq2 := n.Apply(sessID, &req, exec)
+	resp2, seq2 := n.Apply(sessID, &req, 0, exec)
 	if execs != 1 {
 		t.Fatalf("duplicate request executed %d times", execs)
 	}
@@ -317,12 +317,12 @@ func TestApplyDedup(t *testing.T) {
 		execs++
 		return wire.Execute(c, &failReq)
 	}
-	resp3, seq3 := n.Apply(sessID, &failReq, failExec)
+	resp3, seq3 := n.Apply(sessID, &failReq, 0, failExec)
 	if resp3.Code == 0 || seq3 != 0 {
 		t.Fatalf("second mkdir = (%v, %d), want error with no sequence", resp3.Code, seq3)
 	}
 	before := execs
-	resp4, _ := n.Apply(sessID, &failReq, failExec)
+	resp4, _ := n.Apply(sessID, &failReq, 0, failExec)
 	if execs != before || resp4.Code != resp3.Code {
 		t.Fatalf("failed-op replay re-executed (execs %d→%d, code %v)", before, execs, resp4.Code)
 	}

@@ -148,7 +148,7 @@ func BenchmarkShipEntry(b *testing.B) {
 		n.mu.Lock()
 		n.seq++
 		e.Seq = n.seq
-		n.shipLocked(e)
+		n.shipLocked(e, 0)
 		n.mu.Unlock()
 		if i%16 == 15 {
 			shipDrain(n, l)

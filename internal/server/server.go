@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
 	"simurgh/internal/wire"
 )
 
@@ -66,8 +67,10 @@ type Replica interface {
 	// lock, the entry ships to the backups, and the returned sequence is
 	// what WaitQuorum gates on. Duplicate request IDs (a client replaying
 	// after failover) are answered from the session's replay cache without
-	// re-executing.
-	Apply(sessID uint64, req *wire.Request, exec func() wire.Response) (wire.Response, uint64)
+	// re-executing. trace (0 = untraced) is the distributed trace ID of the
+	// batch; the replication layer tags the shipped entry's frame with it so
+	// backup-side spans link into the same trace.
+	Apply(sessID uint64, req *wire.Request, trace uint64, exec func() wire.Response) (wire.Response, uint64)
 	// WaitQuorum blocks until the configured quorum of live backups has
 	// acknowledged seq (immediately when no backup is connected).
 	WaitQuorum(seq uint64)
@@ -108,6 +111,10 @@ type Config struct {
 	// DrainTimeout bounds Shutdown's wait for in-flight connections before
 	// force-closing them. Default 5s.
 	DrainTimeout time.Duration
+	// Obs, when set, receives server-side spans (queue wait, execute,
+	// quorum wait) for traced batches — frames of kind KindBatchTraced.
+	// Untraced batches never touch it. Optional; nil records nothing.
+	Obs *obs.Registry
 	// Logf receives connection-level diagnostics. Default: discard.
 	Logf func(format string, args ...any)
 }
@@ -160,6 +167,7 @@ type job struct {
 	reqs  []wire.Request
 	owner *wire.Buf
 	enq   time.Time
+	trace uint64 // distributed trace ID of the batch; 0 = untraced
 }
 
 var jobPool = sync.Pool{New: func() any { return new(job) }}
@@ -170,6 +178,7 @@ func putJob(j *job) {
 	wire.PutBuf(j.owner)
 	j.owner = nil
 	j.sess = nil
+	j.trace = 0
 	clear(j.reqs) // drop aliases into the released buffer
 	j.reqs = j.reqs[:0]
 	jobPool.Put(j)
@@ -485,7 +494,15 @@ func (s *Server) readLoop(fr *wire.FrameReader, sess *session) error {
 			return err
 		}
 		s.m.framesRead.Add(1)
-		if kind != wire.KindBatch {
+		var trace uint64
+		switch kind {
+		case wire.KindBatch:
+		case wire.KindBatchTraced:
+			trace, payload, err = wire.SplitTraceCtx(payload)
+			if err != nil {
+				return err
+			}
+		default:
 			return fmt.Errorf("%w: expected batch, got kind %d", wire.ErrBadMessage, kind)
 		}
 		cs.reqs, err = wire.DecodeBatchInto(cs.reqs[:0], payload)
@@ -498,11 +515,11 @@ func (s *Server) readLoop(fr *wire.FrameReader, sess *session) error {
 		s.m.observeBatch(len(cs.reqs))
 		if fastBatch(cs.reqs) {
 			s.m.fastBatches.Add(1)
-			s.execBatch(sess, cs.reqs, &cs.rs, time.Now())
+			s.execBatch(sess, cs.reqs, &cs.rs, time.Now(), trace, true)
 			cs.rs.shrink()
 			continue
 		}
-		if err := s.submit(sess, fr, cs.reqs); err != nil {
+		if err := s.submit(sess, fr, cs.reqs, trace); err != nil {
 			return err
 		}
 	}
@@ -512,10 +529,11 @@ func (s *Server) readLoop(fr *wire.FrameReader, sess *session) error {
 // (or CodeShutdown while draining) if no queue slot frees up within
 // RequestTimeout. The frame buffer's ownership moves into the job; the
 // requests in reqs alias it, so they are shallow-copied and stay valid.
-func (s *Server) submit(sess *session, fr *wire.FrameReader, reqs []wire.Request) error {
+func (s *Server) submit(sess *session, fr *wire.FrameReader, reqs []wire.Request, trace uint64) error {
 	j := getJob()
 	j.sess = sess
 	j.enq = time.Now()
+	j.trace = trace
 	j.reqs = append(j.reqs[:0], reqs...)
 	j.owner = fr.Detach()
 	sess.inflight.Add(1)
@@ -566,7 +584,7 @@ func (s *Server) worker() {
 	defer s.workerWG.Done()
 	var rs replyScratch
 	for j := range s.work {
-		s.execBatch(j.sess, j.reqs, &rs, j.enq)
+		s.execBatch(j.sess, j.reqs, &rs, j.enq, j.trace, false)
 		j.sess.inflight.Done()
 		putJob(j)
 		rs.shrink()
@@ -583,9 +601,19 @@ func (s *Server) worker() {
 // acks pipeline across a batch instead of stalling per op. Replicated ops
 // keep allocation semantics (wire.Execute) because the replica's dedup
 // cache retains their responses; everything else reads into scratch.
-func (s *Server) execBatch(sess *session, reqs []wire.Request, rs *replyScratch, enq time.Time) {
+func (s *Server) execBatch(sess *session, reqs []wire.Request, rs *replyScratch, enq time.Time, trace uint64, fast bool) {
 	rep := s.cfg.Replica
 	var pendingSeq uint64
+	var execStart time.Time
+	if trace != 0 {
+		// The batch arrived in a traced frame: time the execute window and
+		// attribute the queue wait (worker path only — the fast path never
+		// queued). The untraced path takes none of these clock reads.
+		execStart = time.Now()
+		if !fast {
+			s.cfg.Obs.SpanCtx(obs.SpanSrvQueue, batchOp(reqs), trace, enq, uint64(execStart.Sub(enq)), false)
+		}
+	}
 	rs.payload = rs.payload[:0]
 	rs.frameStart = 0
 	if rs.rbuf == nil {
@@ -599,7 +627,7 @@ func (s *Server) execBatch(sess *session, reqs []wire.Request, rs *replyScratch,
 		var resp wire.Response
 		if rep != nil && req.Op.Replicated() {
 			var seq uint64
-			resp, seq = rep.Apply(sess.sessID, req, func() wire.Response {
+			resp, seq = rep.Apply(sess.sessID, req, trace, func() wire.Response {
 				return wire.Execute(sess.client, req)
 			})
 			if seq > pendingSeq {
@@ -631,7 +659,7 @@ func (s *Server) execBatch(sess *session, reqs []wire.Request, rs *replyScratch,
 			rs.frameStart = len(rs.payload)
 			if rs.vw.StagedBytes() >= maxStagedReply {
 				if rep != nil && pendingSeq > 0 {
-					s.waitQuorum(rep, pendingSeq)
+					s.waitQuorum(rep, pendingSeq, trace, batchOp(reqs))
 					pendingSeq = 0
 				}
 				if err := s.flushReplies(sess, rs); err != nil {
@@ -646,22 +674,43 @@ func (s *Server) execBatch(sess *session, reqs []wire.Request, rs *replyScratch,
 	rs.vw.Stage(wire.KindReply, rs.payload[rs.frameStart:])
 	rs.frameStart = len(rs.payload)
 	if rep != nil && pendingSeq > 0 {
-		s.waitQuorum(rep, pendingSeq)
+		s.waitQuorum(rep, pendingSeq, trace, batchOp(reqs))
 	}
 	if err := s.flushReplies(sess, rs); err != nil {
 		s.cfg.Logf("server: reply to %s failed: %v", sess.conn.RemoteAddr(), err)
 		sess.conn.Close() // unwedge the reader; the session is dead
+		return
 	}
+	if trace != 0 {
+		kind := obs.SpanSrvExec
+		if fast {
+			kind = obs.SpanSrvExecFast
+		}
+		s.cfg.Obs.SpanCtx(kind, batchOp(reqs), trace, execStart, uint64(time.Since(execStart)), false)
+	}
+}
+
+// batchOp maps a batch to the obs operation class of its first request, for
+// span display (wire ops are obs ops shifted by the invalid sentinel).
+func batchOp(reqs []wire.Request) obs.Op {
+	if len(reqs) == 0 {
+		return 0
+	}
+	return obs.Op(reqs[0].Op - 1)
 }
 
 // waitQuorum blocks until the replica layer has quorum coverage for seq,
 // attributing the stall to the quorum-wait histogram. With pipelined
 // shipping this is the only point where replication latency is visible to a
 // client: execution never waits, only the reply flush does.
-func (s *Server) waitQuorum(rep Replica, seq uint64) {
+func (s *Server) waitQuorum(rep Replica, seq uint64, trace uint64, op obs.Op) {
 	start := time.Now()
 	rep.WaitQuorum(seq)
-	s.m.quorumWaitNs.observe(uint64(time.Since(start)))
+	wait := uint64(time.Since(start))
+	s.m.quorumWaitNs.observe(wait)
+	if trace != 0 {
+		s.cfg.Obs.SpanCtx(obs.SpanSrvQuorum, op, trace, start, wait, false)
+	}
 }
 
 // flushReplies writes every staged reply frame in one vectored write under

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
 	"simurgh/internal/wire"
 )
 
@@ -112,7 +113,7 @@ func runSteady(s *Server, sess *session, cs *connState, payload []byte, enq time
 	if err != nil {
 		return err
 	}
-	s.execBatch(sess, cs.reqs, &cs.rs, enq)
+	s.execBatch(sess, cs.reqs, &cs.rs, enq, 0, true)
 	cs.rs.shrink()
 	return nil
 }
@@ -130,8 +131,49 @@ func benchSteady(b *testing.B, reqs []wire.Request) {
 	}
 }
 
+func pwriteBatch(n, size int) []wire.Request {
+	data := make([]byte, size)
+	reqs := make([]wire.Request, n)
+	for i := range reqs {
+		reqs[i] = wire.Request{ID: uint32(i + 1), Op: wire.OpPwrite, FD: 3,
+			Off: uint64(i * size), Data: data}
+	}
+	return reqs
+}
+
+// tracedRegistry arms the flight recorder (and slow log) the way a traced
+// production node runs, so the benchmarks below measure the instrumented —
+// but unsampled — request path.
+func tracedRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.SetNode("bench")
+	r.EnableTrace(1024)
+	return r
+}
+
 func BenchmarkServerStatBatch32(b *testing.B)   { benchSteady(b, statBatch(32)) }
 func BenchmarkServerPread4KBatch8(b *testing.B) { benchSteady(b, preadBatch(8, 4096)) }
+
+// BenchmarkServerPwriteTracedUnsampled pins the tracing tax on untraced
+// traffic: the registry has its flight recorder enabled, but the batch
+// carries no trace context (trace 0), which is what all but 1/TraceSample
+// of requests look like on a node running with -trace. bench-smoke gates
+// this at 0 allocs/op like every other BenchmarkServer* steady-state path.
+func BenchmarkServerPwriteTracedUnsampled(b *testing.B) {
+	reqs := pwriteBatch(8, 4096)
+	s, sess, payload := steadyState(b, reqs)
+	s.cfg.Obs = tracedRegistry()
+	var cs connState
+	enq := time.Now()
+	b.SetBytes(int64(8 * 4096))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runSteady(s, sess, &cs, payload, enq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkServerPreadLarge exercises the large-IO reply path — MaxIO reads
 // whose responses split across several staged frames — pinning the
@@ -162,12 +204,15 @@ func TestServerSteadyStateZeroAlloc(t *testing.T) {
 	for _, tc := range []struct {
 		name string
 		reqs []wire.Request
+		obs  *obs.Registry
 	}{
-		{"stat32", statBatch(32)},
-		{"pread4k8", preadBatch(8, 4096)},
+		{"stat32", statBatch(32), nil},
+		{"pread4k8", preadBatch(8, 4096), nil},
+		{"pwrite4k8-traced-unsampled", pwriteBatch(8, 4096), tracedRegistry()},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			s, sess, payload := steadyState(t, tc.reqs)
+			s.cfg.Obs = tc.obs
 			var cs connState
 			enq := time.Now()
 			round := func() {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
 	"simurgh/internal/wire"
 )
 
@@ -73,6 +74,16 @@ type Options struct {
 	// OverloadBudget caps the total delay overload retries may add to one
 	// call. Default 1s.
 	OverloadBudget time.Duration
+	// Obs, when set, makes sessions participants in distributed tracing:
+	// 1-in-TraceSample submissions are tagged with a trace ID, sent in
+	// KindBatchTraced frames, and produce client-side spans (enqueue wait,
+	// vectored send, round trip) in this registry when its flight recorder
+	// is enabled. Nil disables tracing entirely.
+	Obs *obs.Registry
+	// TraceSample is the trace sampling period (rounded up to a power of
+	// two): one submission in TraceSample carries a trace context. Default
+	// 1024.
+	TraceSample int
 }
 
 func (o *Options) fillDefaults(multiAddr bool) {
@@ -93,6 +104,9 @@ func (o *Options) fillDefaults(multiAddr bool) {
 	}
 	if o.OverloadBudget <= 0 {
 		o.OverloadBudget = time.Second
+	}
+	if o.TraceSample <= 0 {
+		o.TraceSample = 1024
 	}
 }
 
@@ -370,6 +384,21 @@ func (r *Remote) Attach(cred fsapi.Cred) (fsapi.Client, error) {
 		pend:     make(map[uint32]*pendingCall),
 		sendq:    make(chan sendItem, 256),
 		dead:     make(chan struct{}),
+	}
+	if r.opts.Obs != nil {
+		s.tr = r.opts.Obs
+		// Trace IDs are node-namespaced: the high 16 bits come from this
+		// session's random client identity, the low 48 from a submission
+		// counter, so concurrently-sampling clients stay distinguishable.
+		s.traceBase = clientID &^ (uint64(1)<<48 - 1)
+		if s.traceBase == 0 {
+			s.traceBase = 1 << 48
+		}
+		p := 1
+		for p < r.opts.TraceSample {
+			p <<= 1
+		}
+		s.traceMask = uint64(p) - 1
 	}
 	s.resetTransport(conn, fr)
 	return s, nil

@@ -11,16 +11,22 @@ import (
 	"time"
 
 	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
 	"simurgh/internal/wire"
 )
 
 // sendItem is one encoded request group queued for the writer. payload
 // aliases rb's pooled buffer; the writer holds one of rb's references and
-// releases it once the bytes are on the wire.
+// releases it once the bytes are on the wire. trace (0 = untraced) marks a
+// sampled group: the writer tags the whole coalesced frame with it and
+// records the enqueue/send spans; start is the submission time the enqueue
+// span begins at.
 type sendItem struct {
 	rb      *refBuf
 	payload []byte
 	n       int // requests in payload
+	trace   uint64
+	start   time.Time
 }
 
 // refBuf is a reference-counted pooled request buffer. One buffer backs a
@@ -77,6 +83,8 @@ type pendingCall struct {
 	seqNo uint64
 	dst   []byte
 	rb    *refBuf
+	trace uint64    // distributed trace ID of the submission; 0 = untraced
+	start time.Time // submission time; the round-trip span's begin
 }
 
 var pcPool = sync.Pool{New: func() any {
@@ -92,6 +100,7 @@ func putPC(pc *pendingCall) {
 	}
 	pc.seg, pc.dst, pc.rb = nil, nil, nil
 	pc.seqNo = 0
+	pc.trace = 0
 	pcPool.Put(pc)
 }
 
@@ -116,6 +125,15 @@ type Session struct {
 	subNo uint64 // submission counter, orders failover replays
 	pend  map[uint32]*pendingCall
 	t     *transport
+
+	// Distributed-trace sampling state (from Options.Obs/TraceSample). The
+	// untraced steady state costs one atomic load per submission; only the
+	// 1-in-TraceSample sampled submissions take clock reads and span
+	// recording.
+	tr        *obs.Registry
+	traceBase uint64 // node-namespace bits (high 16) of generated trace IDs
+	traceMask uint64 // sampling period - 1 (power of two)
+	traceCtr  atomic.Uint64
 
 	sendq chan sendItem
 
@@ -278,7 +296,9 @@ func (s *Session) resume(conn net.Conn, fr *wire.FrameReader) {
 // a dying write is re-sent by the failover replay (its pend entry is still
 // unanswered).
 func (s *Session) writeLoop(t *transport) {
-	var hdr [5]byte
+	// hdr has room for the frame header plus a trace context; untraced
+	// frames use only its first 5 bytes.
+	var hdr [5 + wire.TraceCtxSize]byte
 	acc := make([][]byte, 0, 16)
 	items := make([]sendItem, 0, 16)
 	var held *sendItem
@@ -295,10 +315,11 @@ func (s *Session) writeLoop(t *transport) {
 				return
 			}
 		}
-		acc = append(acc[:0], hdr[:], first.payload)
+		acc = append(acc[:0], hdr[:5], first.payload)
 		items = append(items[:0], first)
 		total := len(first.payload)
 		count := first.n
+		trace, traceStart := first.trace, first.start
 	coalesce:
 		for count < wire.MaxBatch {
 			select {
@@ -311,14 +332,33 @@ func (s *Session) writeLoop(t *transport) {
 				items = append(items, it)
 				total += len(it.payload)
 				count += it.n
+				if trace == 0 && it.trace != 0 {
+					// A traced item merged into an untraced group: the whole
+					// frame is sampled under its ID (traces are batch-
+					// granular by design).
+					trace, traceStart = it.trace, it.start
+				}
 			default:
 				break coalesce
 			}
 		}
-		binary.LittleEndian.PutUint32(hdr[:4], uint32(total+1))
-		hdr[4] = byte(wire.KindBatch)
+		var writeStart time.Time
+		if trace != 0 {
+			binary.LittleEndian.PutUint32(hdr[:4], uint32(total+1+wire.TraceCtxSize))
+			hdr[4] = byte(wire.KindBatchTraced)
+			binary.LittleEndian.PutUint64(hdr[5:], trace)
+			acc[0] = hdr[:]
+			writeStart = time.Now()
+			s.tr.SpanCtx(obs.SpanClientEnqueue, 0, trace, traceStart, uint64(writeStart.Sub(traceStart)), false)
+		} else {
+			binary.LittleEndian.PutUint32(hdr[:4], uint32(total+1))
+			hdr[4] = byte(wire.KindBatch)
+		}
 		vec := net.Buffers(acc)
 		_, err := vec.WriteTo(t.conn)
+		if trace != 0 {
+			s.tr.SpanCtx(obs.SpanClientSend, 0, trace, writeStart, uint64(time.Since(writeStart)), err != nil)
+		}
 		for i := range items {
 			if items[i].rb != nil {
 				items[i].rb.release()
@@ -377,6 +417,10 @@ func (s *Session) readLoop(t *transport) {
 				}
 				payload = rest
 				if pc != nil {
+					if pc.trace != 0 {
+						s.tr.SpanCtx(obs.SpanClientAwait, obs.Op(resp.Op-1), pc.trace,
+							pc.start, uint64(time.Since(pc.start)), resp.Code != wire.CodeOK)
+					}
 					pc.ch <- resp // buffered; never blocks
 				}
 			}
@@ -440,6 +484,17 @@ func (s *Session) submitInto(reqs []wire.Request, out []wire.Response, dst []byt
 		pcs[i] = getPC()
 	}
 	pcs[0].dst = dst
+	// Trace sampling: one atomic load when the recorder is off, one more
+	// counter increment when it is on; only the sampled 1-in-N submission
+	// reads the clock and carries a trace context to the server.
+	var trace uint64
+	var traceStart time.Time
+	if s.tr.TraceEnabled() {
+		if n := s.traceCtr.Add(1); n&s.traceMask == 0 {
+			trace = s.traceBase | (n & (1<<48 - 1))
+			traceStart = time.Now()
+		}
+	}
 	rb := getRefBuf(est)
 	payload := rb.buf.B
 	s.mu.Lock()
@@ -462,6 +517,10 @@ func (s *Session) submitInto(reqs []wire.Request, out []wire.Response, dst []byt
 		pc.seg = payload[start:len(payload):len(payload)]
 		pc.seqNo = s.subNo
 		pc.rb = rb
+		if trace != 0 {
+			pc.trace = trace
+			pc.start = traceStart
+		}
 		s.pend[id] = pc
 	}
 	rb.buf.B = payload
@@ -474,7 +533,7 @@ func (s *Session) submitInto(reqs []wire.Request, out []wire.Response, dst []byt
 		return wire.ErrFrameTooLarge
 	}
 	select {
-	case s.sendq <- sendItem{rb: rb, payload: payload, n: len(reqs)}:
+	case s.sendq <- sendItem{rb: rb, payload: payload, n: len(reqs), trace: trace, start: traceStart}:
 	case <-s.dead:
 		s.unregisterPCs(reqs, pcs)
 		rb.release()

@@ -87,7 +87,37 @@ const (
 	KindRedirect  Kind = 12
 	KindPromote   Kind = 13
 	KindPromoteOK Kind = 14
+
+	// Traced variants carry a distributed trace context (TraceCtxSize bytes)
+	// before the regular payload. KindBatchTraced is KindBatch for a sampled
+	// client batch; KindReplicateTraced is KindReplicate for a shipper drain
+	// containing at least one traced entry. Making "sampled" a frame kind
+	// instead of a header field keeps the unsampled wire format byte-
+	// identical to the untraced protocol, so the common path pays nothing.
+	KindBatchTraced     Kind = 15
+	KindReplicateTraced Kind = 16
 )
+
+// TraceCtxSize is the length of the trace context prefix carried by traced
+// frame kinds: one u64 LE trace ID. The ID is node-namespaced (high 16 bits
+// drawn randomly per client session, low 48 a session counter), so
+// independently-sampled batches collide only with ~2^-16 probability per
+// counter value; the sampled flag is implicit in the frame kind.
+const TraceCtxSize = 8
+
+// AppendTraceCtx encodes a trace context onto dst.
+func AppendTraceCtx(dst []byte, trace uint64) []byte {
+	return appendU64(dst, trace)
+}
+
+// SplitTraceCtx splits a traced frame's payload into its trace ID and the
+// regular payload that follows.
+func SplitTraceCtx(payload []byte) (uint64, []byte, error) {
+	if len(payload) < TraceCtxSize {
+		return 0, nil, fmt.Errorf("%w: traced frame shorter than trace context", ErrTruncated)
+	}
+	return binary.LittleEndian.Uint64(payload), payload[TraceCtxSize:], nil
+}
 
 // Op identifies one fsapi.Client operation on the wire. Zero is invalid so
 // that an all-zero buffer never decodes as a request.
@@ -859,6 +889,11 @@ func (fr *FrameReader) Release() {
 type VecWriter struct {
 	kinds    []Kind
 	payloads [][]byte
+	// prefixes, when non-empty, runs parallel to payloads: prefixes[i] is an
+	// extra borrowed chunk written between frame i's header and payload (the
+	// trace context of a traced frame). Kept empty until the first
+	// StagePrefixed so plain Stage/Flush never touch it.
+	prefixes [][]byte
 	bytes    int
 	hdrs     []byte
 	bufs     net.Buffers
@@ -876,7 +911,29 @@ func (v *VecWriter) Stage(kind Kind, payload []byte) error {
 	}
 	v.kinds = append(v.kinds, kind)
 	v.payloads = append(v.payloads, payload)
+	if len(v.prefixes) > 0 {
+		v.prefixes = append(v.prefixes, nil)
+	}
 	v.bytes += len(payload) + 5
+	return nil
+}
+
+// StagePrefixed queues one frame whose wire payload is prefix ++ payload,
+// without concatenating them: the frame header's length covers both and the
+// vectored flush emits header, prefix, payload back to back. Neither slice
+// is copied. Traced frames use this to prepend the trace context to a
+// pooled payload buffer in place.
+func (v *VecWriter) StagePrefixed(kind Kind, prefix, payload []byte) error {
+	if len(prefix)+len(payload)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	for len(v.prefixes) < len(v.kinds) {
+		v.prefixes = append(v.prefixes, nil)
+	}
+	v.kinds = append(v.kinds, kind)
+	v.payloads = append(v.payloads, payload)
+	v.prefixes = append(v.prefixes, prefix)
+	v.bytes += len(prefix) + len(payload) + 5
 	return nil
 }
 
@@ -901,13 +958,19 @@ func (v *VecWriter) Flush(w io.Writer) (int64, error) {
 	v.hdrs = v.hdrs[:nf*5]
 	v.bufs = v.bufs[:0]
 	for i, p := range v.payloads {
+		var pre []byte
+		if i < len(v.prefixes) {
+			pre = v.prefixes[i]
+		}
 		h := v.hdrs[i*5 : i*5+5]
-		binary.LittleEndian.PutUint32(h, uint32(len(p)+1))
+		binary.LittleEndian.PutUint32(h, uint32(len(pre)+len(p)+1))
 		h[4] = byte(v.kinds[i])
-		if len(p) == 0 {
-			v.bufs = append(v.bufs, h)
-		} else {
-			v.bufs = append(v.bufs, h, p)
+		v.bufs = append(v.bufs, h)
+		if len(pre) > 0 {
+			v.bufs = append(v.bufs, pre)
+		}
+		if len(p) > 0 {
+			v.bufs = append(v.bufs, p)
 		}
 	}
 	// WriteTo consumes the Buffers it is invoked on (advancing the slice
@@ -922,6 +985,10 @@ func (v *VecWriter) Flush(w io.Writer) (int64, error) {
 		v.payloads[i] = nil
 	}
 	v.payloads = v.payloads[:0]
+	for i := range v.prefixes {
+		v.prefixes[i] = nil
+	}
+	v.prefixes = v.prefixes[:0]
 	v.bufs = v.bufs[:0]
 	v.bytes = 0
 	return n, err

@@ -3,6 +3,11 @@
 # with -benchmem and fail if any benchmark reports nonzero allocs/op,
 # unless it is listed in scripts/alloc_allowlist.txt. This pins the PR's
 # zero-allocation hot-path guarantee in CI.
+#
+# The BenchmarkServer* pattern also covers the traced-but-unsampled path
+# (BenchmarkServerPwriteTracedUnsampled): a node running with -trace must
+# stay at 0 allocs/op for the ~1023/1024 of requests that carry no trace
+# context.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
