@@ -12,6 +12,9 @@
 //	simurghbench recovery [flags]     full-crash recovery time (§5.5)
 //	simurghbench serve [flags]        run a live workload and export metrics
 //	simurghbench net [flags]          wire-protocol throughput/latency grid
+//	simurghbench net -shards 1,2      sharded write scaling through the router
+//	simurghbench rep [flags]          replication overhead grid / live-group drive
+//	simurghbench rep -addr S -route   zero-loss write drive through the shard router
 //	simurghbench all                  everything at default scale
 //
 // Results are throughput series/tables in the paper's shape; absolute

@@ -37,10 +37,28 @@ func runNet(args []string) error {
 	profile := fs.String("profile", "", "capture a runtime profile over the whole run: cpu, heap, or allocs")
 	profileOut := fs.String("profile-out", "", "profile output file (default net_<kind>.pprof)")
 	traceSample := fs.Int("trace-sample", 0, "tag 1-in-N requests with a distributed trace context (0 = off); scrape the server's /trace.json afterwards")
+	shardsFlag := fs.String("shards", "", "comma-separated replica-group counts: measure sharded pwrite scaling through the router instead of the flat grid")
+	quorum := fs.Int("quorum", 1, "with -shards: backups per group that must ack each write")
 	fs.Parse(args)
 
 	connCounts := parseThreads(*connsFlag)
 	batchSizes := parseThreads(*batchFlag)
+
+	if *shardsFlag != "" {
+		// Sharded scaling mode: one conns × batch working point (the flag
+		// lists default to a grid meant for the flat suite; pin the rep
+		// suite's 8×32 point unless the caller overrode them).
+		conns, batch := 8, 32
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "conns":
+				conns = connCounts[0]
+			case "batch":
+				batch = batchSizes[0]
+			}
+		})
+		return runNetShards(parseThreads(*shardsFlag), *quorum, conns, batch, *dur, *jsonOut)
+	}
 
 	stopProfile, err := startProfile(*profile, *profileOut)
 	if err != nil {

@@ -41,10 +41,11 @@ func runRep(args []string) error {
 	files := fs.Int("files", 64, "files the stat workload cycles over")
 	jsonOut := fs.String("json", "", "also write results as JSON to this file")
 	traceSample := fs.Int("trace-sample", 0, "with -addr: tag 1-in-N writes with a distributed trace context (0 = off); scrape the nodes' /trace.json and merge with `simurghsh trace merge`")
+	route := fs.Bool("route", false, "with -addr: treat the address list as shard-map seeds and drive writes through the client router (sharded groups, live migration under load)")
 	fs.Parse(args)
 
 	if *addr != "" {
-		return repLive(*addr, *conns, *dur, *traceSample)
+		return repLive(*addr, *conns, *dur, *traceSample, *route)
 	}
 	return repOverhead(*conns, *batch, *dur, *files, *jsonOut)
 }
@@ -348,8 +349,11 @@ func repWritePoint(remote *client.Remote, conns, batch int, dur time.Duration) (
 // operator (or CI) kills the primary mid-run — then re-reads every file
 // and fails unless each acknowledged write is present. Each worker owns
 // one file and appends monotonically numbered 8-byte records with Pwrite;
-// a record counts only once its response arrives.
-func repLive(addr string, workers int, dur time.Duration, traceSample int) error {
+// a record counts only once its response arrives. With routed, addr is a
+// shard-map seed list and every write goes through the client router, so
+// the same zero-loss ledger also covers live shard migration (the files
+// spread across shards by hash, and Moved answers retry transparently).
+func repLive(addr string, workers int, dur time.Duration, traceSample int, routed bool) error {
 	copts := client.Options{FailoverTimeout: 30 * time.Second}
 	if traceSample > 0 {
 		// Originate distributed trace contexts: the servers record their
@@ -360,20 +364,55 @@ func repLive(addr string, workers int, dur time.Duration, traceSample int) error
 		copts.Obs = reg
 		copts.TraceSample = traceSample
 	}
-	remote, err := client.Dial(addr, copts)
-	if err != nil {
-		return err
+	var remote interface {
+		Attach(fsapi.Cred) (fsapi.Client, error)
+		Close() error
+	}
+	var tail func() string
+	if routed {
+		rt, err := client.DialRouter(addr, client.RouterOptions{Options: copts})
+		if err != nil {
+			return err
+		}
+		remote = rt
+		tail = func() string {
+			st := rt.Stats()
+			return fmt.Sprintf("epoch=%d moves=%d map_refreshes=%d",
+				st.Epoch, st.Moves, st.MapRefreshes)
+		}
+	} else {
+		r, err := client.Dial(addr, copts)
+		if err != nil {
+			return err
+		}
+		remote = r
+		tail = func() string {
+			st := r.Stats()
+			return fmt.Sprintf("failovers=%d replays=%d redirects=%d",
+				st.Failovers, st.Replays, st.Redirects)
+		}
 	}
 	defer remote.Close()
 
-	setup, err := remote.Attach(fsapi.Root)
-	if err != nil {
-		return err
+	// Sharding hashes on the first path component, so a shared /replive
+	// directory would pin every worker file to one shard; routed runs put
+	// the files at the root instead, where each name hashes independently.
+	pathFor := func(wi int) string {
+		if routed {
+			return fmt.Sprintf("/replive-w%03d", wi)
+		}
+		return fmt.Sprintf("/replive/w%03d", wi)
 	}
-	if err := setup.Mkdir("/replive", 0o755); err != nil && err != fsapi.ErrExist {
-		return err
+	if !routed {
+		setup, err := remote.Attach(fsapi.Root)
+		if err != nil {
+			return err
+		}
+		if err := setup.Mkdir("/replive", 0o755); err != nil && err != fsapi.ErrExist {
+			return err
+		}
+		setup.Detach()
 	}
-	setup.Detach()
 
 	type result struct {
 		acked uint64
@@ -393,7 +432,7 @@ func repLive(addr string, workers int, dur time.Duration, traceSample int) error
 				return
 			}
 			defer c.Detach()
-			fd, err := c.Open(fmt.Sprintf("/replive/w%03d", wi), fsapi.OCreate|fsapi.ORdwr, 0o644)
+			fd, err := c.Open(pathFor(wi), fsapi.OCreate|fsapi.ORdwr, 0o644)
 			if err != nil {
 				res.err = err
 				return
@@ -422,7 +461,7 @@ func repLive(addr string, workers int, dur time.Duration, traceSample int) error
 			return fmt.Errorf("worker %d: %w", wi, results[wi].err)
 		}
 		totalAcked += results[wi].acked
-		fd, err := verify.Open(fmt.Sprintf("/replive/w%03d", wi), fsapi.ORdonly, 0)
+		fd, err := verify.Open(pathFor(wi), fsapi.ORdonly, 0)
 		if err != nil {
 			return fmt.Errorf("verify open w%03d: %w", wi, err)
 		}
@@ -440,9 +479,7 @@ func repLive(addr string, workers int, dur time.Duration, traceSample int) error
 		verify.Close(fd)
 	}
 
-	st := remote.Stats()
-	fmt.Printf("acked=%d lost=%d failovers=%d replays=%d redirects=%d\n",
-		totalAcked, totalLost, st.Failovers, st.Replays, st.Redirects)
+	fmt.Printf("acked=%d lost=%d %s\n", totalAcked, totalLost, tail())
 	if totalLost > 0 {
 		return fmt.Errorf("rep: %d acknowledged writes lost", totalLost)
 	}

@@ -1,0 +1,337 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"simurgh/internal/core"
+	"simurgh/internal/fsapi"
+	"simurgh/internal/obs"
+	"simurgh/internal/pmem"
+	"simurgh/internal/replica"
+	"simurgh/internal/server"
+	"simurgh/internal/shard"
+	"simurgh/internal/wire"
+	"simurgh/internal/wire/client"
+)
+
+// shardGroup is one in-process replica group serving one hash shard.
+type shardGroup struct {
+	srv     *server.Server
+	primary *replica.Node
+	backups []*replica.Node
+	addr    string
+}
+
+func (g *shardGroup) close() {
+	g.srv.Shutdown()
+	for _, b := range g.backups {
+		b.Close()
+	}
+	g.primary.Close()
+}
+
+// startShardGroups spins n independent replica groups (each a primary with
+// quorum in-process backups and its own volume) plus the shard map naming
+// them, and installs a shard authority on every server so the router's
+// claims and Moved fencing run exactly as in a real deployment.
+func startShardGroups(n, quorum int) ([]*shardGroup, *shard.Map, error) {
+	quiet := func(string, ...any) {}
+	restore := func(img []byte) (fsapi.FileSystem, error) {
+		d, err := pmem.ReadImage(bytes.NewReader(img))
+		if err != nil {
+			return nil, err
+		}
+		fs, _, err := core.Mount(d, core.Options{})
+		return fs, err
+	}
+
+	// Listeners first: the map needs every group's address before any
+	// authority can be built.
+	lns := make([]net.Listener, n)
+	m := &shard.Map{Epoch: 1}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		lns[i] = ln
+		sh := shard.Shard{ID: uint32(i), Addrs: []string{ln.Addr().String()}}
+		if n == 1 {
+			sh.Prefix = "/"
+		}
+		m.Shards = append(m.Shards, sh)
+	}
+
+	groups := make([]*shardGroup, 0, n)
+	fail := func(err error) ([]*shardGroup, *shard.Map, error) {
+		for _, g := range groups {
+			g.close()
+		}
+		return nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		addr := lns[i].Addr().String()
+		dev, vol, err := repVolume()
+		if err != nil {
+			return fail(err)
+		}
+		pnode := replica.NewPrimary(vol, replica.Config{
+			Quorum: quorum,
+			Logf:   quiet,
+			Snapshot: func(w io.Writer) error {
+				_, err := dev.WriteTo(w)
+				return err
+			},
+		})
+		auth, err := shard.NewAuthority(m, addr, nil)
+		if err != nil {
+			pnode.Close()
+			return fail(err)
+		}
+		srv, err := server.New(server.Config{FS: vol, Replica: pnode, Sharding: auth})
+		if err != nil {
+			pnode.Close()
+			return fail(err)
+		}
+		go srv.Serve(lns[i])
+		g := &shardGroup{srv: srv, primary: pnode, addr: addr}
+		for b := 0; b < quorum; b++ {
+			g.backups = append(g.backups, replica.NewBackup(replica.Config{
+				PrimaryAddr: addr,
+				Logf:        quiet,
+				Restore:     restore,
+			}))
+		}
+		groups = append(groups, g)
+	}
+	for _, g := range groups {
+		joined := func() bool {
+			if g.primary.Backups() < quorum {
+				return false
+			}
+			for _, b := range g.backups {
+				if b.Epoch() != g.primary.Epoch() {
+					return false
+				}
+			}
+			return true
+		}
+		for deadline := time.Now().Add(30 * time.Second); !joined(); {
+			if time.Now().After(deadline) {
+				for _, g := range groups {
+					g.close()
+				}
+				return nil, nil, fmt.Errorf("shards: only %d/%d backups joined %s", g.primary.Backups(), quorum, g.addr)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return groups, m, nil
+}
+
+// shardPointJSON is one sharded measurement: the aggregate pwrite point
+// through the router plus its per-shard split.
+type shardPointJSON struct {
+	Shards   int            `json:"shards"`
+	Quorum   int            `json:"quorum"`
+	Pwrite   netPointJSON   `json:"pwrite"`
+	PerShard []shardOpsJSON `json:"per_shard"`
+}
+
+type shardOpsJSON struct {
+	Shard     uint32  `json:"shard"`
+	Ops       uint64  `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// runNetShards measures sharded aggregate write throughput: for each group
+// count in ns, it spins that many independent replica groups, routes conns
+// writers through the client router (each writer pinned to a file whose
+// path hashes to writer%groups, so load spreads evenly), and reports the
+// aggregate acked-pwrite throughput and its per-shard split. The point of
+// the suite is the scaling ratio: aggregate throughput across 2 groups vs 1
+// at equal quorum.
+func runNetShards(ns []int, quorum, conns, batch int, dur time.Duration, jsonOut string) error {
+	fmt.Printf("## Sharded write scaling (groups x quorum %d, %d conns, batch %d)\n", quorum, conns, batch)
+	fmt.Printf("%7s %12s %10s %10s %10s  %s\n", "shards", "pwrite/s", "p50", "p95", "p99", "per-shard ops/s")
+	var points []shardPointJSON
+	var base float64
+	for _, n := range ns {
+		pt, err := shardPoint(n, quorum, conns, batch, dur)
+		if err != nil {
+			return err
+		}
+		points = append(points, pt)
+		per := ""
+		for _, s := range pt.PerShard {
+			per += fmt.Sprintf(" %d:%.0f", s.Shard, s.OpsPerSec)
+		}
+		scale := ""
+		if n == ns[0] {
+			base = pt.Pwrite.OpsPerSec
+		} else if base > 0 {
+			scale = fmt.Sprintf("  %.2fx vs %d-group", pt.Pwrite.OpsPerSec/base, ns[0])
+		}
+		fmt.Printf("%7d %12.0f %10s %10s %10s %s%s\n",
+			n, pt.Pwrite.OpsPerSec,
+			fmtNs(pt.Pwrite.P50Ns), fmtNs(pt.Pwrite.P95Ns), fmtNs(pt.Pwrite.P99Ns), per, scale)
+	}
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(struct {
+			Suite      string           `json:"suite"`
+			DurationMs int64            `json:"duration_ms"`
+			Quorum     int              `json:"quorum"`
+			Conns      int              `json:"conns"`
+			Batch      int              `json:"batch"`
+			GoMaxProcs int              `json:"gomaxprocs"`
+			Points     []shardPointJSON `json:"points"`
+		}{Suite: "shards", DurationMs: dur.Milliseconds(), Quorum: quorum,
+			Conns: conns, Batch: batch, GoMaxProcs: runtime.GOMAXPROCS(0),
+			Points: points})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonOut)
+	}
+	return nil
+}
+
+// shardFile picks a path for a worker that routes to the wanted shard, by
+// probing candidate names against the map (hash placement is opaque; the
+// probe pins even load instead of trusting FNV to balance a handful of
+// workers).
+func shardFile(m *shard.Map, worker int, want uint32) string {
+	for probe := 0; ; probe++ {
+		p := fmt.Sprintf("/wr%03d-%d", worker, probe)
+		if m.Route(p).ID == want {
+			return p
+		}
+	}
+}
+
+// shardPoint measures one group count: aggregate pwrite through the router.
+func shardPoint(n, quorum, conns, batch int, dur time.Duration) (shardPointJSON, error) {
+	pt := shardPointJSON{Shards: n, Quorum: quorum}
+	groups, m, err := startShardGroups(n, quorum)
+	if err != nil {
+		return pt, err
+	}
+	defer func() {
+		for _, g := range groups {
+			g.close()
+		}
+	}()
+
+	rt, err := client.DialRouter(groups[0].addr, client.RouterOptions{})
+	if err != nil {
+		return pt, err
+	}
+	defer rt.Close()
+
+	type worker struct {
+		sess  fsapi.Client
+		fd    fsapi.FD
+		shard uint32
+		ops   uint64
+		hist  obs.Histogram
+		err   error
+	}
+	workers := make([]*worker, conns)
+	for i := range workers {
+		c, err := rt.Attach(fsapi.Root)
+		if err != nil {
+			return pt, err
+		}
+		w := &worker{sess: c, shard: uint32(i % n)}
+		defer c.Detach()
+		fd, err := c.Create(shardFile(m, i, w.shard), 0o644)
+		if err != nil {
+			return pt, err
+		}
+		w.fd = fd
+		workers[i] = w
+	}
+
+	run := func(stopAt time.Time, record bool) {
+		var wg sync.WaitGroup
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				sess := w.sess.(*client.RoutedSession)
+				reqs := make([]wire.Request, batch)
+				payload := []byte("0123456789abcdef")
+				var off uint64
+				for time.Now().Before(stopAt) {
+					for j := range reqs {
+						reqs[j] = wire.Request{Op: wire.OpPwrite, FD: w.fd, Data: payload,
+							Off: (off % 4096) * uint64(len(payload))}
+						off++
+					}
+					t0 := time.Now()
+					resps, err := sess.Submit(reqs)
+					if err != nil {
+						w.err = err
+						return
+					}
+					for i := range resps {
+						if resps[i].Code != wire.CodeOK {
+							w.err = fmt.Errorf("pwrite: %w", resps[i].Err())
+							return
+						}
+					}
+					if record {
+						w.hist.Observe(uint64(time.Since(t0)))
+						w.ops += uint64(len(resps))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	run(time.Now().Add(dur/10), false)
+	start := time.Now()
+	run(start.Add(dur), true)
+	elapsed := time.Since(start)
+
+	pt.Pwrite = netPointJSON{Conns: conns, Batch: batch, ElapsedNs: elapsed.Nanoseconds()}
+	var hist obs.Histogram
+	perShard := make(map[uint32]uint64)
+	for _, w := range workers {
+		if w.err != nil {
+			return pt, w.err
+		}
+		pt.Pwrite.Ops += w.ops
+		perShard[w.shard] += w.ops
+		hist = hist.Add(w.hist)
+	}
+	pt.Pwrite.OpsPerSec = float64(pt.Pwrite.Ops) / elapsed.Seconds()
+	pt.Pwrite.P50Ns = hist.Percentile(0.50)
+	pt.Pwrite.P95Ns = hist.Percentile(0.95)
+	pt.Pwrite.P99Ns = hist.Percentile(0.99)
+	for i := 0; i < n; i++ {
+		pt.PerShard = append(pt.PerShard, shardOpsJSON{
+			Shard:     uint32(i),
+			Ops:       perShard[uint32(i)],
+			OpsPerSec: float64(perShard[uint32(i)]) / elapsed.Seconds(),
+		})
+	}
+	return pt, nil
+}

@@ -16,6 +16,16 @@
 //	simurghd -addr :9190                            the primary
 //	simurghd -addr :9191 -join 127.0.0.1:9190       a backup
 //
+// Sharded serving: with -shards or -shard-map the daemon installs a shard
+// map and fences operations for shards it does not serve (CodeMoved), so
+// sharded clients (client.DialRouter) can spread the namespace across
+// several replica groups. Migrations arrive as map pushes (simurghsh
+// migrate); a node losing a shard drains its log to the new owners before
+// acknowledging the push.
+//
+//	simurghd -shards 4                              single node, 4 hash shards
+//	simurghd -shard-map cluster.json                one group of a multi-group map
+//
 // SIGINT/SIGTERM drain gracefully: in-flight batches reply, then the
 // process exits (saving the image if one was given).
 package main
@@ -43,6 +53,7 @@ import (
 	"simurgh/internal/pmem"
 	"simurgh/internal/replica"
 	"simurgh/internal/server"
+	"simurgh/internal/shard"
 )
 
 func main() {
@@ -63,6 +74,8 @@ func main() {
 	failover := flag.Duration("failover", 2*time.Second, "backup promotes itself after this long without primary contact")
 	noAutoPromote := flag.Bool("no-auto-promote", false, "backups wait for an explicit promote instead of self-promoting")
 	noReplication := flag.Bool("no-replication", false, "serve standalone: no replication layer, no joins accepted")
+	shards := flag.Int("shards", 0, `serve a single-node shard map with this many hash shards (1 = one "/" shard)`)
+	shardMap := flag.String("shard-map", "", "serve this shard map file (JSON, see internal/shard; overrides -shards)")
 	traceCap := flag.Int("trace", 0, "enable the flight recorder with this many span slots (0 = off); dump at /trace.json")
 	slowThresh := flag.Duration("slow-threshold", 0, "log operations slower than this to the /slow.json ring (0 = off)")
 	flag.Parse()
@@ -187,6 +200,52 @@ func main() {
 		scfg.Replica = node
 	}
 
+	var auth *shard.Authority
+	if *shardMap != "" || *shards > 0 {
+		var smap *shard.Map
+		if *shardMap != "" {
+			b, err := os.ReadFile(*shardMap)
+			if err != nil {
+				fatal(err)
+			}
+			if smap, err = shard.ParseJSON(b); err != nil {
+				fatal(err)
+			}
+		} else {
+			smap = shard.SingleNode(*advertise, *shards)
+		}
+		var onRetire func([]uint32, *shard.Map) error
+		if node != nil {
+			n := node
+			onRetire = func(lost []uint32, next *shard.Map) error {
+				seen := make(map[string]bool)
+				var addrs []string
+				for _, id := range lost {
+					if sh := next.ByID(id); sh != nil {
+						for _, a := range sh.Addrs {
+							if !seen[a] {
+								seen[a] = true
+								addrs = append(addrs, a)
+							}
+						}
+					}
+				}
+				log.Printf("shard map: retiring shards %v, draining log to %v", lost, addrs)
+				return n.MigrationDrain(addrs, 30*time.Second)
+			}
+		}
+		a, err := shard.NewAuthority(smap, *advertise, onRetire)
+		if err != nil {
+			fatal(err)
+		}
+		auth = a
+		scfg.Sharding = auth
+		if node != nil {
+			node.SetClusterExtra(auth.WriteClusterRows)
+		}
+		log.Printf("sharded: %d shards at epoch %d (self %s)", len(smap.Shards), smap.Epoch, *advertise)
+	}
+
 	srv, err := server.New(scfg)
 	if err != nil {
 		fatal(err)
@@ -209,6 +268,9 @@ func main() {
 			return "serving"
 		}
 		extras := []export.Extra{srv.WriteMetrics}
+		if auth != nil {
+			extras = append(extras, auth.WriteMetrics)
+		}
 		eopts := export.Options{Pprof: *pprofOn}
 		if node != nil {
 			extras = append(extras, node.WriteMetrics)

@@ -5,8 +5,11 @@
 //	simurghsh -image vol.img       open (and on exit save) an image file
 //	simurghsh -metrics host:port   also serve live metrics over HTTP
 //	simurghsh -connect host:port   drive a remote simurghd volume instead
+//	simurghsh -route host:port     drive a sharded cluster through the router
 //	simurghsh -promote host:port   promote a backup simurghd to primary
 //	simurghsh trace merge <out> <in...>   one-shot: merge Chrome trace dumps
+//	simurghsh shards <addr>               one-shot: print the live shard map
+//	simurghsh migrate <seed> <id> <tgt,...>  one-shot: live-migrate a shard
 //
 // Commands: ls [path], cat <file>, write <file> <text...>, append <file>
 // <text...>, mkdir <dir>, rm <file>, rmdir <dir>, mv <old> <new>,
@@ -31,6 +34,7 @@ import (
 	"simurgh/internal/fsapi"
 	"simurgh/internal/obs"
 	"simurgh/internal/pmem"
+	"simurgh/internal/shard"
 	"simurgh/internal/wire/client"
 )
 
@@ -39,6 +43,7 @@ func main() {
 	size := flag.Uint64("size", 256<<20, "volume size for fresh volumes")
 	metrics := flag.String("metrics", "", "serve live metrics on this host:port (e.g. 127.0.0.1:9180)")
 	connect := flag.String("connect", "", "drive a remote simurghd at this host:port instead of a local volume")
+	route := flag.String("route", "", "drive a sharded cluster through the client router, seeded at this host:port")
 	promote := flag.String("promote", "", "tell the simurghd at this host:port to become the replication primary, then exit")
 	flag.Parse()
 
@@ -51,12 +56,48 @@ func main() {
 		return
 	}
 
+	// `simurghsh shards <addr>` and `simurghsh migrate <seed> <id> <tgt,...>`
+	// are one-shot cluster control commands.
+	if flag.NArg() >= 1 && flag.Arg(0) == "shards" {
+		if err := printShards(flag.Args()[1:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if flag.NArg() >= 1 && flag.Arg(0) == "migrate" {
+		if err := migrateShard(flag.Args()[1:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *promote != "" {
 		epoch, err := client.Promote(*promote, 0)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%s promoted: epoch %d\n", *promote, epoch)
+		return
+	}
+
+	if *route != "" {
+		if *image != "" || *metrics != "" || *connect != "" {
+			fatal(fmt.Errorf("-route is exclusive with -image, -metrics and -connect"))
+		}
+		rt, err := client.DialRouter(*route, client.RouterOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		cred := fsapi.Root
+		c, err := rt.Attach(cred)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("routing %s via %s\n", rt.Name(), *route)
+		sh := &shell{fsys: rt, c: c, cred: cred, reg: obs.NewRegistry()}
+		repl(sh)
+		c.Detach()
+		rt.Close()
 		return
 	}
 
@@ -552,3 +593,43 @@ func (s *shell) tree(path string, depth int) {
 }
 
 func errUsage(u string) error { return fmt.Errorf("usage: %s", u) }
+
+// printShards fetches and pretty-prints the live shard map from a node.
+func printShards(rest []string) error {
+	if len(rest) < 1 {
+		return errUsage("shards <addr>")
+	}
+	m, err := shard.FetchMapAny(strings.Split(rest[0], ","), 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard map epoch %d (%d shards)\n", m.Epoch, len(m.Shards))
+	fmt.Printf("%-5s %-12s %-10s %s\n", "ID", "PREFIX", "STATE", "ADDRS")
+	for i := range m.Shards {
+		sh := &m.Shards[i]
+		prefix := sh.Prefix
+		if prefix == "" {
+			prefix = "(hash)"
+		}
+		fmt.Printf("%-5d %-12s %-10s %s\n", sh.ID, prefix, sh.State, strings.Join(sh.Addrs, ","))
+	}
+	return nil
+}
+
+// migrateShard live-migrates one shard to a new owner group.
+func migrateShard(rest []string) error {
+	if len(rest) < 3 {
+		return errUsage("migrate <seed> <shard-id> <target-addr,...>")
+	}
+	id, err := strconv.ParseUint(rest[1], 10, 32)
+	if err != nil {
+		return errUsage("migrate <seed> <shard-id> <target-addr,...>")
+	}
+	m, err := shard.Migrate(strings.Split(rest[0], ","), uint32(id), strings.Split(rest[2], ","),
+		shard.MigrateOptions{Logf: func(f string, a ...any) { fmt.Printf(f+"\n", a...) }})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard %s now at %s (map epoch %d)\n", rest[1], rest[2], m.Epoch)
+	return nil
+}

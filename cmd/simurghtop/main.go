@@ -109,6 +109,8 @@ type clusterDoc struct {
 	HeartbeatRTTNs uint64      `json:"heartbeat_rtt_ns"`
 	PrimarySeq     uint64      `json:"primary_seq"`
 	Backups        []backupRow `json:"backups"`
+	ShardEpoch     uint64      `json:"shard_epoch"`
+	Shards         []shardRow  `json:"shards"`
 }
 
 type backupRow struct {
@@ -117,6 +119,17 @@ type backupRow struct {
 	LagOps   uint64 `json:"lag_ops"`
 	LagBytes uint64 `json:"lag_bytes"`
 	ShipLag  uint64 `json:"ship_lag"`
+}
+
+// shardRow mirrors one entry of the shard table a sharded node injects into
+// /cluster.json (shard.Authority.WriteClusterRows).
+type shardRow struct {
+	ID     uint32   `json:"id"`
+	Prefix string   `json:"prefix"`
+	State  string   `json:"state"`
+	Served bool     `json:"served"`
+	Ops    uint64   `json:"ops"`
+	Addrs  []string `json:"addrs"`
 }
 
 // fetchCluster pulls the replication health document; nil when the
@@ -152,6 +165,21 @@ func renderCluster(w io.Writer, c *clusterDoc) {
 	for _, b := range c.Backups {
 		fmt.Fprintf(w, "  backup %-21s acked %-10d lag %d ops / %d B  ship %d\n",
 			b.Addr, b.AckedSeq, b.LagOps, b.LagBytes, b.ShipLag)
+	}
+	if len(c.Shards) > 0 {
+		fmt.Fprintf(w, "\nshards: map epoch %d\n", c.ShardEpoch)
+		for _, s := range c.Shards {
+			prefix := s.Prefix
+			if prefix == "" {
+				prefix = "(hash)"
+			}
+			mark := " "
+			if s.Served {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "  %s shard %-4d %-12s %-10s ops %-10d %s\n",
+				mark, s.ID, prefix, s.State, s.Ops, strings.Join(s.Addrs, ","))
+		}
 	}
 }
 
@@ -255,6 +283,11 @@ func startDemo() (*export.Server, func(), error) {
  "heartbeat_rtt_ns": 184000, "primary_seq": 0,
  "backups": [
   {"addr": "127.0.0.1:9191", "acked_seq": 4094, "lag_ops": 2, "lag_bytes": 8192, "ship_lag": 1}
+ ],
+ "shard_epoch": 3,
+ "shards": [
+  {"id": 0, "prefix": "/", "state": "serving", "served": true, "ops": 18231, "addrs": ["127.0.0.1:9190", "127.0.0.1:9191"]},
+  {"id": 1, "prefix": "/warm", "state": "migrating", "served": false, "ops": 0, "addrs": ["127.0.0.1:9192"]}
  ]
 }
 `)

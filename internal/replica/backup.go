@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"simurgh/internal/fsapi"
 	"simurgh/internal/obs"
 	"simurgh/internal/wire"
 )
@@ -383,11 +384,22 @@ func (n *Node) applyEntry(e *wire.Entry) {
 		}
 		req := e.Req
 		vfd := req.FD
+		if req.Op == wire.OpCreate || req.Op == wire.OpOpen {
+			if _, ok := sess.lookupVFD(e.ResFD); ok {
+				// The descriptor is already live here: this is a migration-time
+				// re-export of an open this backup replayed normally (the
+				// primary never reuses live virtual descriptors, so a genuine
+				// new open cannot collide). Nothing to do.
+				return
+			}
+		}
 		if opUsesFD(req.Op) {
 			lfd, ok := sess.lookupVFD(vfd)
 			if !ok {
 				// A descriptor opened before this backup joined: its state
 				// never transferred, so the operation cannot replay here.
+				// (Migrations close this gap by re-exporting the descriptor
+				// table into the log before the handoff drain.)
 				n.m.replaySkipped.Add(1)
 				return
 			}
@@ -396,7 +408,11 @@ func (n *Node) applyEntry(e *wire.Entry) {
 		resp := wire.Execute(sess.client, &req)
 		switch {
 		case (req.Op == wire.OpCreate || req.Op == wire.OpOpen) && resp.Code == wire.CodeOK:
-			sess.mapVFD(e.ResFD, resp.FD, inoOf(sess.client, resp.FD))
+			oi := openInfo{path: req.Path, flags: fsapi.ORdwr, perm: req.Perm}
+			if req.Op == wire.OpOpen {
+				oi.flags = sanitizeOpenFlags(fsapi.OpenFlag(req.Flags))
+			}
+			sess.mapVFD(e.ResFD, resp.FD, inoOf(sess.client, resp.FD), oi)
 			resp.FD = e.ResFD // cache the client-visible (virtual) descriptor
 		case req.Op == wire.OpClose && resp.Code == wire.CodeOK:
 			sess.unmapVFD(vfd)

@@ -22,6 +22,7 @@ type counters struct {
 	snapshotBytes  atomic.Uint64
 	joins          atomic.Uint64
 	promotions     atomic.Uint64
+	fdReexports    atomic.Uint64
 	heartbeatRTT   atomic.Uint64 // last measured, ns
 	primarySeq     atomic.Uint64 // last heartbeat's seq (backup role)
 }
@@ -89,9 +90,21 @@ func (n *Node) WriteClusterJSON(w io.Writer) error {
 	if len(rows) > 0 {
 		buf.WriteString("\n  ")
 	}
-	buf.WriteString("]\n}\n")
+	buf.WriteString("]")
+	if f, ok := n.clusterX.Load().(func(io.Writer)); ok && f != nil {
+		f(&buf)
+	}
+	buf.WriteString("\n}\n")
 	_, err := w.Write(buf.Bytes())
 	return err
+}
+
+// SetClusterExtra registers a hook that appends extra members to the
+// /cluster.json document (the shard authority injects its shard table
+// here). The hook is called after the document's last regular member and
+// must write a leading comma.
+func (n *Node) SetClusterExtra(f func(io.Writer)) {
+	n.clusterX.Store(f)
 }
 
 // WriteMetrics appends the simurgh_replica_* series to a /metrics scrape.
@@ -165,4 +178,5 @@ func (n *Node) WriteMetrics(w io.Writer) {
 	c("simurgh_replica_snapshot_bytes_total", "Snapshot bytes streamed to joining backups.", n.m.snapshotBytes.Load())
 	c("simurgh_replica_joins_total", "Backups that completed a join.", n.m.joins.Load())
 	c("simurgh_replica_promotions_total", "Times this node promoted itself to primary.", n.m.promotions.Load())
+	c("simurgh_replica_fd_reexports_total", "Open descriptors re-exported into the log for a migration handoff.", n.m.fdReexports.Load())
 }

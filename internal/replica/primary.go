@@ -581,7 +581,8 @@ func (m *mappedClient) Create(path string, perm uint32) (fsapi.FD, error) {
 	if err != nil {
 		return -1, err
 	}
-	return m.s.allocVFD(lfd, inoOf(m.inner, lfd)), nil
+	return m.s.allocVFD(lfd, inoOf(m.inner, lfd),
+		openInfo{path: path, flags: fsapi.ORdwr, perm: perm}), nil
 }
 
 func (m *mappedClient) Open(path string, flags fsapi.OpenFlag, perm uint32) (fsapi.FD, error) {
@@ -589,7 +590,8 @@ func (m *mappedClient) Open(path string, flags fsapi.OpenFlag, perm uint32) (fsa
 	if err != nil {
 		return -1, err
 	}
-	return m.s.allocVFD(lfd, inoOf(m.inner, lfd)), nil
+	return m.s.allocVFD(lfd, inoOf(m.inner, lfd),
+		openInfo{path: path, flags: sanitizeOpenFlags(flags), perm: perm}), nil
 }
 
 func (m *mappedClient) Close(fd fsapi.FD) error {

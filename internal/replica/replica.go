@@ -90,6 +90,22 @@ type cachedResp struct {
 	seq  uint64
 }
 
+// openInfo remembers how a live descriptor was opened, so a migration can
+// re-export it into the log for backups that joined too late to replay the
+// original open (see Node.MigrationDrain). Flags are sanitized at record
+// time: OCreate/OExcl/OTrunc are one-shot open semantics that must not
+// re-run on a reopen.
+type openInfo struct {
+	path  string
+	flags fsapi.OpenFlag
+	perm  uint32
+}
+
+// sanitizeOpenFlags strips the one-shot open semantics from recorded flags.
+func sanitizeOpenFlags(flags fsapi.OpenFlag) fsapi.OpenFlag {
+	return flags &^ (fsapi.OCreate | fsapi.OExcl | fsapi.OTrunc)
+}
+
 // session is one client's server-side state, replicated across the group:
 // credentials, the virtual-descriptor table, and the replay cache. On the
 // node where the client is attached, client is the live fsapi session; on
@@ -110,7 +126,11 @@ type session struct {
 	// inos caches each open virtual descriptor's inode number (recorded at
 	// open/create time) — the dependency key the pipelined paths use to run
 	// data operations on independent files concurrently.
-	inos  map[fsapi.FD]uint64
+	inos map[fsapi.FD]uint64
+	// opens remembers each open virtual descriptor's origin (path, flags,
+	// perm) so MigrationDrain can re-export the descriptor table to backups
+	// that joined after the opens replicated. Guarded by fdmu.
+	opens map[fsapi.FD]openInfo
 	nextV fsapi.FD
 
 	// dedup answers replayed requests without re-executing them. Guarded by
@@ -132,6 +152,7 @@ func newSession(id uint64, cred fsapi.Cred, client fsapi.Client) *session {
 		client: client,
 		fdMap:  make(map[fsapi.FD]fsapi.FD),
 		inos:   make(map[fsapi.FD]uint64),
+		opens:  make(map[fsapi.FD]openInfo),
 		dedup:  make(map[uint32]cachedResp),
 	}
 }
@@ -139,8 +160,9 @@ func newSession(id uint64, cred fsapi.Cred, client fsapi.Client) *session {
 // allocVFD assigns a virtual descriptor for a freshly opened local one,
 // preferring the identity so a never-failed-over group behaves exactly
 // like a standalone server. ino is the opened file's inode (zero when
-// unknown), kept as the dependency key for pipelined data ops.
-func (s *session) allocVFD(lfd fsapi.FD, ino uint64) fsapi.FD {
+// unknown), kept as the dependency key for pipelined data ops; oi records
+// the open's origin for migration-time re-export.
+func (s *session) allocVFD(lfd fsapi.FD, ino uint64, oi openInfo) fsapi.FD {
 	s.fdmu.Lock()
 	defer s.fdmu.Unlock()
 	v := lfd
@@ -155,6 +177,7 @@ func (s *session) allocVFD(lfd fsapi.FD, ino uint64) fsapi.FD {
 	}
 	s.fdMap[v] = lfd
 	s.inos[v] = ino
+	s.opens[v] = oi
 	if v >= s.nextV {
 		s.nextV = v + 1
 	}
@@ -163,10 +186,11 @@ func (s *session) allocVFD(lfd fsapi.FD, ino uint64) fsapi.FD {
 
 // mapVFD installs an explicit virtual→local mapping (backup replay, where
 // the log dictates the virtual descriptor).
-func (s *session) mapVFD(vfd, lfd fsapi.FD, ino uint64) {
+func (s *session) mapVFD(vfd, lfd fsapi.FD, ino uint64, oi openInfo) {
 	s.fdmu.Lock()
 	s.fdMap[vfd] = lfd
 	s.inos[vfd] = ino
+	s.opens[vfd] = oi
 	if vfd >= s.nextV {
 		s.nextV = vfd + 1
 	}
@@ -195,6 +219,7 @@ func (s *session) unmapVFD(vfd fsapi.FD) {
 	s.fdmu.Lock()
 	delete(s.fdMap, vfd)
 	delete(s.inos, vfd)
+	delete(s.opens, vfd)
 	s.fdmu.Unlock()
 }
 
@@ -356,6 +381,10 @@ type Node struct {
 	// joinConn is the backup's live replication connection, closed by
 	// Promote/Close to unblock the join loop.
 	joinConn atomic.Value // net.Conn
+
+	// clusterX is an optional /cluster.json extension hook (func(io.Writer));
+	// see SetClusterExtra.
+	clusterX atomic.Value
 
 	// traceAck* carry a backup's pending rep-ack span: a traced frame's
 	// apply records the trace here, and the acker emits SpanRepAck once a

@@ -45,6 +45,7 @@ type metrics struct {
 	requests      atomic.Uint64
 	requestErrors atomic.Uint64
 	overloads     atomic.Uint64
+	shardMoved    atomic.Uint64
 	requestNs     latHist
 	quorumWaitNs  latHist
 
@@ -91,6 +92,7 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	counter("simurgh_server_requests_total", "Operations executed.", m.requests.Load())
 	counter("simurgh_server_request_errors_total", "Operations that returned an error.", m.requestErrors.Load())
 	counter("simurgh_server_overload_total", "Operations rejected by queue backpressure or drain.", m.overloads.Load())
+	counter("simurgh_server_shard_moved_total", "Operations answered CodeMoved (shard served elsewhere).", m.shardMoved.Load())
 	drain := int64(0)
 	if s.draining.Load() {
 		drain = 1

@@ -86,6 +86,32 @@ type Replica interface {
 	Promote() (uint64, error)
 }
 
+// Sharding is the shard authority's hook surface (implemented by
+// internal/shard.Authority). The server stays ignorant of maps, prefixes,
+// and epochs: it serves the encoded map over the control kinds, verifies
+// attach-time shard claims, and asks per operation whether this node still
+// serves the operation's shard — answering CodeMoved (never executing, and
+// never entering the replication log) when it does not.
+type Sharding interface {
+	// MapFor returns the encoded shard map, or nil when the caller's epoch
+	// is already current (KindMapGet).
+	MapFor(haveEpoch uint64) []byte
+	// Install decodes and installs a pushed map, returning the encoded
+	// installed map (KindMapSet). On a node losing shards it returns only
+	// after the handoff drain, making the caller's reply the migration
+	// barrier.
+	Install(payload []byte) ([]byte, error)
+	// CheckAttach verifies an attach-time shard claim: nil to accept, a
+	// Moved naming the current owner to refuse.
+	CheckAttach(claim wire.AttachClaim) *wire.Moved
+	// MovedPath decides a path-carrying operation: nil to serve, a Moved
+	// when the path's shard lives elsewhere.
+	MovedPath(path string) *wire.Moved
+	// MovedShard decides a descriptor operation by the session's attach
+	// claim (claimed=false for plain unclaimed clients).
+	MovedShard(shard uint32, claimed bool) *wire.Moved
+}
+
 // Config parameterizes a Server. The zero value of every field selects a
 // sensible default.
 type Config struct {
@@ -96,6 +122,10 @@ type Config struct {
 	// Replica, when set, routes attaches and state-changing operations
 	// through the replication layer.
 	Replica Replica
+	// Sharding, when set, scopes this node to the shards its authority
+	// serves: stale-routed operations answer CodeMoved and the map control
+	// kinds (MapGet/MapSet) are served.
+	Sharding Sharding
 	// MaxConns bounds concurrently open connections; further accepts are
 	// refused with a KindErr frame. Default 256.
 	MaxConns int
@@ -246,6 +276,12 @@ type session struct {
 	conn   net.Conn
 	client fsapi.Client
 	sessID uint64 // replication session identity (0 without a Replica)
+
+	// claimShard is the shard this session claimed at attach time; claimed
+	// distinguishes a real claim from a plain (router-less) client, whose
+	// descriptor operations are only fenced when the node serves nothing.
+	claimShard uint32
+	claimed    bool
 
 	wmu  sync.Mutex
 	bufw *bufWriter
@@ -434,12 +470,43 @@ func (s *Server) handshake(fr *wire.FrameReader, sess *session) (done bool, err 
 		}
 		s.m.framesWritten.Add(1)
 		return true, sess.bufw.Flush()
+	case wire.KindMapGet:
+		if s.cfg.Sharding == nil {
+			return false, fmt.Errorf("%w: map get without sharding", wire.ErrBadMessage)
+		}
+		have, err := wire.ParseMapGet(payload)
+		if err != nil {
+			return false, err
+		}
+		return true, s.writeFrame(sess, wire.KindMapOK, s.cfg.Sharding.MapFor(have))
+	case wire.KindMapSet:
+		if s.cfg.Sharding == nil {
+			return false, fmt.Errorf("%w: map set without sharding", wire.ErrBadMessage)
+		}
+		// An install that retires shards blocks on the handoff drain; its
+		// reply is the migration coordinator's barrier, so no read deadline
+		// may cut it short.
+		sess.conn.SetReadDeadline(time.Time{})
+		installed, err := s.cfg.Sharding.Install(payload)
+		if err != nil {
+			return false, err
+		}
+		return true, s.writeFrame(sess, wire.KindMapOK, installed)
 	default:
 		return false, fmt.Errorf("%w: expected attach, got kind %d", wire.ErrBadMessage, kind)
 	}
-	cred, clientID, err := wire.ParseAttach(payload)
+	cred, clientID, claim, claimed, err := wire.ParseAttachClaim(payload)
 	if err != nil {
 		return false, err
+	}
+	if claimed && s.cfg.Sharding != nil {
+		if mv := s.cfg.Sharding.CheckAttach(claim); mv != nil {
+			// The claimed shard lives elsewhere: answer Moved instead of
+			// attaching, so a stale-mapped router refetches before it ever
+			// holds a session here.
+			return true, s.writeFrame(sess, wire.KindMoved, wire.AppendMoved(nil, mv))
+		}
+		sess.claimShard, sess.claimed = claim.Shard, true
 	}
 	var client fsapi.Client
 	var name string
@@ -622,18 +689,36 @@ func (s *Server) execBatch(sess *session, reqs []wire.Request, rs *replyScratch,
 		// reusable buffer instead.
 		rs.rbuf = make([]byte, 0)
 	}
+	shd := s.cfg.Sharding
 	for i := range reqs {
 		req := &reqs[i]
 		var resp wire.Response
-		if rep != nil && req.Op.Replicated() {
+		var mv *wire.Moved
+		if shd != nil {
+			mv = s.shardMoved(sess, req)
+		}
+		switch {
+		case mv != nil:
+			resp = movedResponse(sess, req, mv)
+		case rep != nil && req.Op.Replicated():
 			var seq uint64
 			resp, seq = rep.Apply(sess.sessID, req, trace, func() wire.Response {
+				// Re-check under the replication op gate: a migration's
+				// authority swap between the loop's check and this exec must
+				// still fence the op. A Moved response never enters the log
+				// (only CodeOK ships), so the client retries it on the new
+				// owner with nothing half-applied here.
+				if shd != nil {
+					if mv := s.shardMoved(sess, req); mv != nil {
+						return movedResponse(sess, req, mv)
+					}
+				}
 				return wire.Execute(sess.client, req)
 			})
 			if seq > pendingSeq {
 				pendingSeq = seq
 			}
-		} else {
+		default:
 			resp, rs.rbuf = wire.ExecuteInto(sess.client, req, rs.rbuf)
 		}
 		need := wire.ResponseSize(&resp)
@@ -729,6 +814,57 @@ func (s *Server) flushReplies(sess *session, rs *replyScratch) error {
 	rs.payload = rs.payload[:0]
 	rs.frameStart = 0
 	return err
+}
+
+// shardMoved decides whether req may execute on this node, returning the
+// Moved destination when its shard has been handed off. Path-carrying
+// operations route by path; descriptor operations by the session's
+// attach-time shard claim. Detach is exempt: a departing client may always
+// clean its session up wherever it is.
+func (s *Server) shardMoved(sess *session, req *wire.Request) *wire.Moved {
+	switch req.Op {
+	case wire.OpDetach:
+		return nil
+	case wire.OpSymlink:
+		// Path carries the link's uninterpreted target string; the link's
+		// own name (Path2) is what places the operation on a shard.
+		return s.cfg.Sharding.MovedPath(req.Path2)
+	case wire.OpRename, wire.OpLink:
+		// Two-path operations are local only when both names are: a stale
+		// router whose map splits the pair must be bounced, not half-served.
+		if mv := s.cfg.Sharding.MovedPath(req.Path); mv != nil {
+			return mv
+		}
+		return s.cfg.Sharding.MovedPath(req.Path2)
+	}
+	if req.Path != "" {
+		return s.cfg.Sharding.MovedPath(req.Path)
+	}
+	return s.cfg.Sharding.MovedShard(sess.claimShard, sess.claimed)
+}
+
+// movedResponse answers one fenced request with CodeMoved. The message
+// names the shard's current owner for humans; routers ignore it and
+// refetch the map.
+func movedResponse(sess *session, req *wire.Request, mv *wire.Moved) wire.Response {
+	sess.srv.m.shardMoved.Add(1)
+	msg := fmt.Sprintf("wire: shard moved (epoch %d)", mv.Epoch)
+	if mv.Addr != "" {
+		msg = fmt.Sprintf("wire: shard moved to %s (epoch %d)", mv.Addr, mv.Epoch)
+	}
+	return wire.Response{ID: req.ID, Op: req.Op, Code: wire.CodeMoved, Msg: msg}
+}
+
+// writeFrame frames and flushes one handshake/control reply under the
+// session's write lock.
+func (s *Server) writeFrame(sess *session, kind wire.Kind, payload []byte) error {
+	sess.wmu.Lock()
+	defer sess.wmu.Unlock()
+	if err := wire.WriteFrame(sess.bufw, kind, payload); err != nil {
+		return err
+	}
+	s.m.framesWritten.Add(1)
+	return sess.bufw.Flush()
 }
 
 // writeReply frames and flushes one KindReply payload under the session's

@@ -1,0 +1,283 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"path"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"simurgh/internal/wire"
+)
+
+// NoShard is the Moved.Shard value for operations that could not be
+// attributed to any shard (descriptor operations on an unclaimed session
+// hitting a fully retired node).
+const NoShard = ^uint32(0)
+
+// Authority is a node's view of the shard map and the arbiter of what the
+// node serves. It implements the server's Sharding hook: the handshake asks
+// it to verify shard claims and serve/install maps, and the batch executor
+// asks it per operation whether the path's shard is still served here.
+//
+// The serving decision is one atomic pointer load on the hot path; installs
+// swap the whole state at once, so the instant a new map is in place every
+// subsequent operation for a lost shard answers Moved — the fence the
+// migration cutover relies on (the server re-checks under the replication
+// op gate, making the fence precise, not just prompt).
+type Authority struct {
+	self string
+	// onRetire is called after an install that removes shards this node was
+	// serving, with the lost IDs and the newly installed map. The daemon
+	// wires it to the replication drain: re-export descriptors, then wait
+	// until the new owners' links have acknowledged the whole log. An error
+	// fails the install RPC (the fence stays in place) so the migration
+	// coordinator knows the handoff is incomplete.
+	onRetire func(lost []uint32, next *Map) error
+
+	mu    sync.Mutex // serializes installs
+	state atomic.Pointer[authState]
+
+	moved         atomic.Uint64
+	installs      atomic.Uint64
+	staleAttaches atomic.Uint64
+}
+
+// authState is one immutable generation of the authority's view.
+type authState struct {
+	m         *Map
+	payload   []byte
+	serves    map[uint32]bool
+	servesAny bool
+	scaffold  map[string]bool           // strict ancestors of served prefixes
+	ops       map[uint32]*atomic.Uint64 // per-shard served-op counters
+}
+
+func (a *Authority) buildState(m *Map, payload []byte) *authState {
+	st := &authState{
+		m:        m,
+		payload:  payload,
+		serves:   make(map[uint32]bool, len(m.Shards)),
+		scaffold: make(map[string]bool),
+		ops:      make(map[uint32]*atomic.Uint64, len(m.Shards)),
+	}
+	prev := a.state.Load()
+	for i := range m.Shards {
+		sh := &m.Shards[i]
+		for _, addr := range sh.Addrs {
+			if addr == a.self {
+				st.serves[sh.ID] = true
+				st.servesAny = true
+				// The scaffolding directories above a served prefix live on
+				// this volume too (the router provisions them); operations on
+				// them must not be fenced even though they route elsewhere.
+				for d := path.Dir(sh.Prefix); len(d) > 1; d = path.Dir(d) {
+					st.scaffold[d] = true
+				}
+				break
+			}
+		}
+		// Counters survive installs so a migration doesn't zero the node's
+		// op accounting mid-scrape.
+		if prev != nil && prev.ops[sh.ID] != nil {
+			st.ops[sh.ID] = prev.ops[sh.ID]
+		} else {
+			st.ops[sh.ID] = new(atomic.Uint64)
+		}
+	}
+	return st
+}
+
+// NewAuthority builds an authority for the node advertised at self, serving
+// whatever shards of m list that address. onRetire may be nil (nodes that
+// never drain, e.g. tests).
+func NewAuthority(m *Map, self string, onRetire func(lost []uint32, next *Map) error) (*Authority, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Authority{self: self, onRetire: onRetire}
+	a.state.Store(a.buildState(m.Clone(), m.Encode()))
+	return a, nil
+}
+
+// Self reports the advertised address this authority identifies as.
+func (a *Authority) Self() string { return a.self }
+
+// Current returns the installed map. Callers must not mutate it.
+func (a *Authority) Current() *Map { return a.state.Load().m }
+
+// MapFor returns the encoded map, or nil when the caller's epoch is
+// already current (the KindMapGet fast path).
+func (a *Authority) MapFor(haveEpoch uint64) []byte {
+	st := a.state.Load()
+	if st.m.Epoch == haveEpoch {
+		return nil
+	}
+	return st.payload
+}
+
+// Install decodes and installs a pushed map (KindMapSet). The new epoch
+// must advance; re-pushing the identical current map is an idempotent
+// no-op so coordinator retries are safe. The state swap happens before the
+// retire hook runs: from the swap on, every operation for a lost shard
+// answers Moved, and only then does the drain wait for the new owners to
+// catch up — the cutover ordering that makes acknowledged writes safe.
+// Returns the encoded installed map.
+func (a *Authority) Install(payload []byte) ([]byte, error) {
+	m, err := Decode(payload)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cur := a.state.Load()
+	if m.Epoch < cur.m.Epoch {
+		return nil, fmt.Errorf("shard: install of epoch %d behind current %d", m.Epoch, cur.m.Epoch)
+	}
+	if m.Epoch == cur.m.Epoch {
+		if bytes.Equal(payload, cur.payload) {
+			return cur.payload, nil
+		}
+		return nil, fmt.Errorf("shard: conflicting install at epoch %d", m.Epoch)
+	}
+	next := a.buildState(m, append([]byte(nil), payload...))
+	a.state.Store(next)
+	a.installs.Add(1)
+	var lost []uint32
+	for id := range cur.serves {
+		if !next.serves[id] {
+			lost = append(lost, id)
+		}
+	}
+	if len(lost) > 0 && a.onRetire != nil {
+		if err := a.onRetire(lost, m); err != nil {
+			return nil, fmt.Errorf("shard: draining retired shards %v: %w", lost, err)
+		}
+	}
+	return next.payload, nil
+}
+
+// CheckAttach verifies an attach-time shard claim: nil when this node
+// serves the claimed shard, a Moved naming the current owner otherwise.
+func (a *Authority) CheckAttach(claim wire.AttachClaim) *wire.Moved {
+	st := a.state.Load()
+	if st.serves[claim.Shard] {
+		return nil
+	}
+	a.staleAttaches.Add(1)
+	return st.movedTo(claim.Shard)
+}
+
+// MovedPath decides a path-carrying operation: nil to serve (counting it
+// against the shard), a Moved when the path's shard lives elsewhere. The
+// root and the scaffolding directories above served prefixes are shared
+// namespace — every serving node answers for them (the router's root
+// listings merge across shards, and subtree ancestors live on the subtree
+// owner's volume), so they are never fenced while the node serves anything.
+func (a *Authority) MovedPath(p string) *wire.Moved {
+	st := a.state.Load()
+	if st.servesAny {
+		if cp := cleanRooted(p); cp == "/" || st.scaffold[cp] {
+			return nil
+		}
+	}
+	sh := st.m.Route(p)
+	if sh == nil {
+		return &wire.Moved{Shard: NoShard, Epoch: st.m.Epoch}
+	}
+	if st.serves[sh.ID] {
+		st.ops[sh.ID].Add(1)
+		return nil
+	}
+	a.moved.Add(1)
+	return &wire.Moved{Shard: sh.ID, Epoch: st.m.Epoch, Addr: sh.Addrs[0]}
+}
+
+// cleanRooted canonicalizes a path to its cleaned, rooted form.
+func cleanRooted(p string) string {
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return path.Clean(p)
+}
+
+// MovedShard decides a descriptor operation, which carries no path: the
+// session's attach-time shard claim stands in for routing. Unclaimed
+// sessions (plain clients on a sharded node) are only fenced once the node
+// serves nothing at all — a fully retired group must not quietly keep
+// serving old descriptors.
+func (a *Authority) MovedShard(shard uint32, claimed bool) *wire.Moved {
+	st := a.state.Load()
+	if !claimed {
+		if st.servesAny {
+			return nil
+		}
+		a.moved.Add(1)
+		return &wire.Moved{Shard: NoShard, Epoch: st.m.Epoch}
+	}
+	if st.serves[shard] {
+		st.ops[shard].Add(1)
+		return nil
+	}
+	a.moved.Add(1)
+	return st.movedTo(shard)
+}
+
+// movedTo builds the Moved answer for a shard under this state.
+func (st *authState) movedTo(id uint32) *wire.Moved {
+	mv := &wire.Moved{Shard: id, Epoch: st.m.Epoch}
+	if sh := st.m.ByID(id); sh != nil {
+		mv.Addr = sh.Addrs[0]
+	}
+	return mv
+}
+
+// WriteMetrics appends the simurgh_shard_* series to a /metrics scrape.
+func (a *Authority) WriteMetrics(w io.Writer) {
+	st := a.state.Load()
+	fmt.Fprintf(w, "# HELP simurgh_shard_epoch Installed shard map epoch.\n# TYPE simurgh_shard_epoch gauge\nsimurgh_shard_epoch %d\n", st.m.Epoch)
+	fmt.Fprintf(w, "# HELP simurgh_shard_serving Shards this node serves.\n# TYPE simurgh_shard_serving gauge\nsimurgh_shard_serving %d\n", len(st.serves))
+	fmt.Fprintf(w, "# HELP simurgh_shard_moved_total Operations answered with Moved (stale-routed clients).\n# TYPE simurgh_shard_moved_total counter\nsimurgh_shard_moved_total %d\n", a.moved.Load())
+	fmt.Fprintf(w, "# HELP simurgh_shard_map_installs_total Shard map installs accepted.\n# TYPE simurgh_shard_map_installs_total counter\nsimurgh_shard_map_installs_total %d\n", a.installs.Load())
+	fmt.Fprintf(w, "# HELP simurgh_shard_stale_attaches_total Attach claims refused for shards not served here.\n# TYPE simurgh_shard_stale_attaches_total counter\nsimurgh_shard_stale_attaches_total %d\n", a.staleAttaches.Load())
+	fmt.Fprintf(w, "# HELP simurgh_shard_ops_total Operations served, by shard.\n# TYPE simurgh_shard_ops_total counter\n")
+	for i := range st.m.Shards {
+		sh := &st.m.Shards[i]
+		if c := st.ops[sh.ID]; c != nil && st.serves[sh.ID] {
+			fmt.Fprintf(w, "simurgh_shard_ops_total{shard=\"%d\"} %d\n", sh.ID, c.Load())
+		}
+	}
+}
+
+// WriteClusterRows injects the shard table into a /cluster.json document:
+// it writes a leading comma and the "shard_epoch"/"shards" members, for a
+// caller positioned just after the document's last regular member.
+func (a *Authority) WriteClusterRows(w io.Writer) {
+	st := a.state.Load()
+	fmt.Fprintf(w, ",\n  \"shard_epoch\": %d,\n  \"shards\": [", st.m.Epoch)
+	for i := range st.m.Shards {
+		sh := &st.m.Shards[i]
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		var ops uint64
+		if c := st.ops[sh.ID]; c != nil {
+			ops = c.Load()
+		}
+		fmt.Fprintf(w, "\n    {\"id\": %d, \"prefix\": %q, \"state\": %q, \"served\": %v, \"ops\": %d, \"addrs\": [",
+			sh.ID, sh.Prefix, sh.State.String(), st.serves[sh.ID], ops)
+		for j, addr := range sh.Addrs {
+			if j > 0 {
+				io.WriteString(w, ", ")
+			}
+			fmt.Fprintf(w, "%q", addr)
+		}
+		io.WriteString(w, "]}")
+	}
+	if len(st.m.Shards) > 0 {
+		io.WriteString(w, "\n  ")
+	}
+	io.WriteString(w, "]")
+}

@@ -1,0 +1,297 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+
+	"simurgh/internal/wire"
+)
+
+// twoHash is a 2-bucket hash map with a distinct owner per shard.
+func twoHash() *Map {
+	return &Map{Epoch: 1, Shards: []Shard{
+		{ID: 0, Addrs: []string{"h0:1"}},
+		{ID: 1, Addrs: []string{"h1:1"}},
+	}}
+}
+
+func TestRoutePrecedence(t *testing.T) {
+	m := &Map{Epoch: 1, Shards: []Shard{
+		{ID: 0, Prefix: "/", Addrs: []string{"root:1"}},
+		{ID: 1, Prefix: "/warm", Addrs: []string{"warm:1"}},
+		{ID: 2, Prefix: "/warm/deep", Addrs: []string{"deep:1"}},
+		{ID: 3, Addrs: []string{"h0:1"}},
+		{ID: 4, Addrs: []string{"h1:1"}},
+	}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		path string
+		want uint32
+	}{
+		{"/warm", 1},          // exact prefix match
+		{"/warm/x", 1},        // subtree of /warm
+		{"/warm/deep", 2},     // longer prefix wins
+		{"/warm/deep/a/b", 2}, // subtree of the longer prefix
+		{"/", 0},              // root goes to the "/" shard when one exists
+	}
+	for _, c := range cases {
+		got := m.Route(c.path)
+		if got == nil || got.ID != c.want {
+			t.Errorf("Route(%q) = %+v, want shard %d", c.path, got, c.want)
+		}
+	}
+	// Paths matching no prefix fall to the hash shards (bucket choice is
+	// the hash's business, not this test's).
+	for _, p := range []string{"/warmer", "/a/b/c", "/etc"} {
+		if got := m.Route(p); got == nil || got.Prefix != "" {
+			t.Errorf("Route(%q) = %+v, want a hash shard", p, got)
+		}
+	}
+	// Same first component must always land in the same bucket; cleaning
+	// and rooting happen before routing.
+	if a, b := m.Route("/docs/a"), m.Route("/docs/b/c"); a.ID != b.ID {
+		t.Errorf("same first component routed to shards %d and %d", a.ID, b.ID)
+	}
+	if a, b := m.Route("/warm/../etc"), m.Route("/etc"); a.ID != b.ID {
+		t.Errorf("uncleaned path routed to %d, cleaned to %d", a.ID, b.ID)
+	}
+	if a, b := m.Route("relative"), m.Route("/relative"); a.ID != b.ID {
+		t.Errorf("unrooted path routed to %d, rooted to %d", a.ID, b.ID)
+	}
+}
+
+func TestRouteRootWithoutRootShard(t *testing.T) {
+	m := twoHash()
+	if got := m.Route("/"); got == nil || got.ID != 0 {
+		t.Errorf("Route(/) = %+v, want the lowest-ID hash shard", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []struct {
+		name string
+		m    *Map
+		want string
+	}{
+		{"empty", &Map{Epoch: 1}, "no shards"},
+		{"dup id", &Map{Epoch: 1, Shards: []Shard{
+			{ID: 0, Prefix: "/", Addrs: []string{"a:1"}},
+			{ID: 0, Prefix: "/warm", Addrs: []string{"b:1"}},
+		}}, "duplicate shard id"},
+		{"dup prefix", &Map{Epoch: 1, Shards: []Shard{
+			{ID: 0, Prefix: "/", Addrs: []string{"a:1"}},
+			{ID: 1, Prefix: "/", Addrs: []string{"b:1"}},
+		}}, "duplicate prefix"},
+		{"no addrs", &Map{Epoch: 1, Shards: []Shard{
+			{ID: 0, Prefix: "/"},
+		}}, "no addresses"},
+		{"unrooted", &Map{Epoch: 1, Shards: []Shard{
+			{ID: 0, Prefix: "warm", Addrs: []string{"a:1"}},
+		}}, "not rooted"},
+		{"unclean", &Map{Epoch: 1, Shards: []Shard{
+			{ID: 0, Prefix: "/warm/", Addrs: []string{"a:1"}},
+			{ID: 1, Addrs: []string{"b:1"}},
+		}}, "not clean"},
+		{"uncovered", &Map{Epoch: 1, Shards: []Shard{
+			{ID: 0, Prefix: "/warm", Addrs: []string{"a:1"}},
+		}}, "covers no root"},
+	}
+	for _, c := range bad {
+		err := c.m.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+	if err := twoHash().Validate(); err != nil {
+		t.Errorf("valid hash map rejected: %v", err)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	m := &Map{Epoch: 42, Shards: []Shard{
+		{ID: 0, Prefix: "/", Addrs: []string{"a:1", "a:2"}, State: StateServing},
+		{ID: 7, Prefix: "/warm", Addrs: []string{"b:1"}, State: StateMigrating},
+		{ID: 9, Addrs: []string{"c:1"}},
+	}}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMapsEqual(t, m, got)
+
+	// Truncations at every length must error, never panic.
+	enc := m.Encode()
+	for i := 0; i < len(enc); i++ {
+		if _, err := Decode(enc[:i]); err == nil {
+			t.Fatalf("Decode of %d/%d bytes succeeded", i, len(enc))
+		}
+	}
+
+	// JSON round trip (the -shard-map file format).
+	got, err = ParseJSON(m.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMapsEqual(t, m, got)
+}
+
+func assertMapsEqual(t *testing.T, want, got *Map) {
+	t.Helper()
+	if got.Epoch != want.Epoch || len(got.Shards) != len(want.Shards) {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+	for i := range want.Shards {
+		w, g := want.Shards[i], got.Shards[i]
+		if g.ID != w.ID || g.Prefix != w.Prefix || g.State != w.State ||
+			len(g.Addrs) != len(w.Addrs) {
+			t.Fatalf("shard %d: got %+v, want %+v", i, g, w)
+		}
+		for j := range w.Addrs {
+			if g.Addrs[j] != w.Addrs[j] {
+				t.Fatalf("shard %d addr %d: got %q, want %q", i, j, g.Addrs[j], w.Addrs[j])
+			}
+		}
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	m := SingleNode("n:1", 0)
+	if len(m.Shards) != 1 || m.Shards[0].Prefix != "/" {
+		t.Fatalf(`SingleNode(0) = %+v, want one "/" shard`, m.Shards)
+	}
+	m = SingleNode("n:1", 4)
+	if len(m.Shards) != 4 {
+		t.Fatalf("SingleNode(4) has %d shards", len(m.Shards))
+	}
+	for _, sh := range m.Shards {
+		if sh.Prefix != "" || len(sh.Addrs) != 1 || sh.Addrs[0] != "n:1" {
+			t.Fatalf("SingleNode(4) shard %+v, want hash shard at n:1", sh)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := twoHash()
+	c := m.Clone()
+	c.Shards[0].Addrs[0] = "mutated:1"
+	c.Shards[1].ID = 99
+	if m.Shards[0].Addrs[0] != "h0:1" || m.Shards[1].ID != 1 {
+		t.Fatalf("Clone shares state with the original: %+v", m.Shards)
+	}
+}
+
+func TestAuthorityServesAndFences(t *testing.T) {
+	m := &Map{Epoch: 3, Shards: []Shard{
+		{ID: 0, Prefix: "/", Addrs: []string{"other:1"}},
+		{ID: 1, Prefix: "/warm/deep", Addrs: []string{"self:1"}},
+		{ID: 2, Addrs: []string{"other:1"}},
+	}}
+	a, err := NewAuthority(m, "self:1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv := a.MovedPath("/warm/deep/f"); mv != nil {
+		t.Errorf("served path fenced: %+v", mv)
+	}
+	// Root and scaffolding ancestors of served prefixes are shared
+	// namespace: never fenced while the node serves anything.
+	for _, p := range []string{"/", "/warm"} {
+		if mv := a.MovedPath(p); mv != nil {
+			t.Errorf("scaffold path %q fenced: %+v", p, mv)
+		}
+	}
+	mv := a.MovedPath("/elsewhere")
+	if mv == nil || mv.Shard != 2 || mv.Epoch != 3 || mv.Addr != "other:1" {
+		t.Errorf("unserved path: Moved = %+v, want shard 2 epoch 3 at other:1", mv)
+	}
+
+	if mv := a.MovedShard(1, true); mv != nil {
+		t.Errorf("claimed served shard fenced: %+v", mv)
+	}
+	if mv := a.MovedShard(0, true); mv == nil || mv.Shard != 0 {
+		t.Errorf("claimed unserved shard: Moved = %+v, want shard 0", mv)
+	}
+	// Unclaimed sessions pass while the node serves anything.
+	if mv := a.MovedShard(0, false); mv != nil {
+		t.Errorf("unclaimed session fenced on a serving node: %+v", mv)
+	}
+
+	if mv := a.CheckAttach(wire.AttachClaim{Shard: 1, Epoch: 3}); mv != nil {
+		t.Errorf("attach claim for served shard refused: %+v", mv)
+	}
+	if mv := a.CheckAttach(wire.AttachClaim{Shard: 0, Epoch: 3}); mv == nil {
+		t.Error("attach claim for unserved shard accepted")
+	}
+}
+
+func TestAuthorityInstall(t *testing.T) {
+	m1 := &Map{Epoch: 1, Shards: []Shard{
+		{ID: 0, Addrs: []string{"self:1"}},
+		{ID: 1, Addrs: []string{"self:1"}},
+	}}
+	var retired []uint32
+	var fencedDuringRetire bool
+	var a *Authority
+	a, err := NewAuthority(m1, "self:1", func(lost []uint32, next *Map) error {
+		retired = append(retired, lost...)
+		// The fence must already be up when the drain starts: an operation
+		// for the lost shard answers Moved even though the drain has not
+		// finished.
+		if mv := a.MovedShard(1, true); mv != nil && mv.Epoch == next.Epoch {
+			fencedDuringRetire = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := &Map{Epoch: 2, Shards: []Shard{
+		{ID: 0, Addrs: []string{"self:1"}},
+		{ID: 1, Addrs: []string{"new:1"}},
+	}}
+	if _, err := a.Install(m2.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if len(retired) != 1 || retired[0] != 1 {
+		t.Fatalf("onRetire got %v, want [1]", retired)
+	}
+	if !fencedDuringRetire {
+		t.Error("shard 1 was not fenced while its retire drain ran")
+	}
+	if a.Current().Epoch != 2 {
+		t.Fatalf("epoch %d after install, want 2", a.Current().Epoch)
+	}
+
+	// Identical re-push: idempotent, no second retire.
+	if _, err := a.Install(m2.Encode()); err != nil {
+		t.Fatalf("idempotent re-push refused: %v", err)
+	}
+	if len(retired) != 1 {
+		t.Fatalf("re-push re-ran onRetire: %v", retired)
+	}
+
+	// A different map at the same epoch is a split brain, not a retry.
+	m2b := m2.Clone()
+	m2b.Shards[1].Addrs = []string{"third:1"}
+	if _, err := a.Install(m2b.Encode()); err == nil {
+		t.Error("conflicting install at the current epoch accepted")
+	}
+	// Stale epochs are refused.
+	if _, err := a.Install(m1.Encode()); err == nil {
+		t.Error("stale-epoch install accepted")
+	}
+
+	// MapFor serves only callers behind the current epoch.
+	if a.MapFor(2) != nil {
+		t.Error("MapFor(current) should be nil")
+	}
+	if a.MapFor(1) == nil {
+		t.Error("MapFor(stale) should return the payload")
+	}
+}

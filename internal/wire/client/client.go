@@ -169,6 +169,47 @@ type Remote struct {
 	primary string // last address that served an attach
 	closed  bool
 	reaper  chan struct{} // closes the reaper goroutine; nil before it starts
+
+	// claim, when claimed, is the shard claim attaches carry (set by the
+	// router): the server refuses the attach with KindMoved when the shard
+	// is served elsewhere, instead of silently handing out a session that
+	// every subsequent operation would fence.
+	claimShard uint32
+	claimEpoch uint64
+	claimed    bool
+}
+
+// SetClaim makes every subsequent attach claim a shard at a map epoch
+// (router use; see internal/shard).
+func (r *Remote) SetClaim(shardID uint32, epoch uint64) {
+	r.mu.Lock()
+	r.claimShard, r.claimEpoch, r.claimed = shardID, epoch, true
+	r.mu.Unlock()
+}
+
+// SetAddrs replaces the dial list — the router points a shard's Remote at
+// the shard's new owner group after a migration. Pooled idle connections
+// to the old group are dropped.
+func (r *Remote) SetAddrs(addrs []string) {
+	if len(addrs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.addrs = append(r.addrs[:0:0], addrs...)
+	r.primary = addrs[0]
+	idle := r.idle
+	r.idle = nil
+	r.mu.Unlock()
+	for _, ic := range idle {
+		ic.c.Close()
+	}
+}
+
+// Addrs snapshots the current dial list.
+func (r *Remote) Addrs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.addrs...)
 }
 
 // Dial prepares a Remote for addr — a host:port, or a comma-separated list
@@ -319,6 +360,17 @@ type redirectErr struct{ addr string }
 
 func (e *redirectErr) Error() string { return "wire client: redirected to " + e.addr }
 
+// movedErr carries a KindMoved answer out of the handshake: the claimed
+// shard is served elsewhere. It unwraps to wire.ErrMoved so routers can
+// match it and refetch the shard map.
+type movedErr struct{ mv wire.Moved }
+
+func (e *movedErr) Error() string {
+	return fmt.Sprintf("wire client: shard %d moved (epoch %d, owner %q)", e.mv.Shard, e.mv.Epoch, e.mv.Addr)
+}
+
+func (e *movedErr) Unwrap() error { return wire.ErrMoved }
+
 // attachConn resolves the current primary and performs one attach
 // handshake there: it tries the last known-good address first, follows
 // redirects, and falls back to the rest of the dial list. On success the
@@ -326,13 +378,21 @@ func (e *redirectErr) Error() string { return "wire client: redirected to " + e.
 func (r *Remote) attachConn(cred fsapi.Cred, clientID uint64) (net.Conn, *wire.FrameReader, error) {
 	r.mu.Lock()
 	first := r.primary
+	addrs := append([]string(nil), r.addrs...)
+	claimShard, claimEpoch, claimed := r.claimShard, r.claimEpoch, r.claimed
 	r.mu.Unlock()
-	candidates := make([]string, 0, len(r.addrs)+1)
+	candidates := make([]string, 0, len(addrs)+1)
 	candidates = append(candidates, first)
-	for _, a := range r.addrs {
+	for _, a := range addrs {
 		if a != first {
 			candidates = append(candidates, a)
 		}
+	}
+	var attach []byte
+	if claimed {
+		attach = wire.AppendAttachClaim(nil, cred, clientID, claimShard, claimEpoch)
+	} else {
+		attach = wire.AppendAttach(nil, cred, clientID)
 	}
 	var lastErr error
 	for _, addr := range candidates {
@@ -343,7 +403,7 @@ func (r *Remote) attachConn(cred fsapi.Cred, clientID uint64) (net.Conn, *wire.F
 				break
 			}
 			fr := wire.NewFrameReader(conn)
-			name, err := handshake(conn, fr, cred, clientID, r.opts.DialTimeout)
+			name, err := handshake(conn, fr, attach, r.opts.DialTimeout)
 			if err == nil {
 				r.mu.Lock()
 				r.name, r.primary = name, addr
@@ -357,6 +417,11 @@ func (r *Remote) attachConn(cred fsapi.Cred, clientID uint64) (net.Conn, *wire.F
 				addr = rdr.addr
 				lastErr = fmt.Errorf("%w (redirect loop?)", wire.ErrNotPrimary)
 				continue
+			}
+			if errors.Is(err, wire.ErrMoved) {
+				// The whole group stopped serving the claimed shard; no other
+				// candidate will differ. Surface it so the router refetches.
+				return nil, nil, err
 			}
 			lastErr = err
 			break
@@ -404,14 +469,15 @@ func (r *Remote) Attach(cred fsapi.Cred) (fsapi.Client, error) {
 	return s, nil
 }
 
-// handshake sends KindAttach and waits for KindAttachOK, returning the
+// handshake sends KindAttach (with the pre-encoded attach payload, which
+// may carry a shard claim) and waits for KindAttachOK, returning the
 // server's file system name. fr must be the reader the session will keep
 // using, so no buffered bytes are lost across the handoff. A KindRedirect
-// answer surfaces as *redirectErr.
-func handshake(conn net.Conn, fr *wire.FrameReader, cred fsapi.Cred, clientID uint64, timeout time.Duration) (string, error) {
+// answer surfaces as *redirectErr, a KindMoved as *movedErr.
+func handshake(conn net.Conn, fr *wire.FrameReader, attach []byte, timeout time.Duration) (string, error) {
 	conn.SetDeadline(time.Now().Add(timeout))
 	defer conn.SetDeadline(time.Time{})
-	werr := wire.WriteFrame(conn, wire.KindAttach, wire.AppendAttach(nil, cred, clientID))
+	werr := wire.WriteFrame(conn, wire.KindAttach, attach)
 	// A write failure usually means the server refused us (conn limit,
 	// draining) and closed after sending an error frame; that frame is
 	// the real answer, so try to read it before surfacing the raw error.
@@ -431,6 +497,12 @@ func handshake(conn net.Conn, fr *wire.FrameReader, cred fsapi.Cred, clientID ui
 			return "", err
 		}
 		return "", &redirectErr{addr: rdr.Addr}
+	case wire.KindMoved:
+		mv, err := wire.ParseMoved(payload)
+		if err != nil {
+			return "", err
+		}
+		return "", &movedErr{mv: mv}
 	case wire.KindErr:
 		return "", wire.ParseErrFrame(payload)
 	default:

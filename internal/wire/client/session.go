@@ -240,6 +240,43 @@ func (s *Session) recover(cause error) {
 	}
 }
 
+// Rehome tears the session's transport down and re-attaches against the
+// Remote's current dial list, resuming the server-side session by client
+// ID and replaying unanswered requests. The router calls it after pointing
+// a shard's Remote at the shard's new owner group (SetAddrs); ordinary
+// failover never needs it — transport loss recovers on its own.
+func (s *Session) Rehome() error {
+	if err := s.err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	t := s.t
+	if t != nil {
+		s.t = nil
+		close(t.down)
+	}
+	s.mu.Unlock()
+	if t != nil {
+		t.conn.Close()
+	}
+	conn, fr, err := s.r.attachConn(s.cred, s.clientID)
+	if err != nil {
+		// The transport is already down; a session with no transport and no
+		// recovery in flight would strand its pending calls. Hand them to the
+		// ordinary failover loop (which keeps retrying the Remote's — possibly
+		// re-pointed — dial list) and report the miss to the router.
+		if !s.closing.Load() && s.r.opts.FailoverTimeout > 0 {
+			go s.recover(err)
+		} else {
+			s.fail(err)
+		}
+		return err
+	}
+	s.resume(conn, fr)
+	s.r.st.failovers.Add(1)
+	return nil
+}
+
 // resume replays the unanswered calls over a fresh connection and brings
 // the new transport live. The reader starts before the replay is written
 // (replies may start flowing immediately); the writer starts after, so

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"errors"
+	"io"
 
 	"simurgh/internal/fsapi"
 )
@@ -19,6 +20,10 @@ var (
 	// backup (or candidate) and cannot serve the request; the redirect
 	// frame or message names the primary to contact instead.
 	ErrNotPrimary = errors.New("wire: not the primary")
+	// ErrMoved reports that the shard owning the request's path is no
+	// longer served by the contacted node; the client must refetch the
+	// shard map and retry against the current owner.
+	ErrMoved = errors.New("wire: shard moved")
 )
 
 // ErrCode is the wire form of an error. Every fsapi sentinel has a code so
@@ -45,6 +50,8 @@ const (
 	CodeOverload
 	CodeShutdown
 	CodeNotPrimary
+	CodeMoved
+	CodeEOF
 	CodeOther
 	// NumErrCodes bounds the ErrCode enum.
 	NumErrCodes
@@ -70,6 +77,8 @@ var sentinels = [NumErrCodes]error{
 	CodeOverload:    ErrOverload,
 	CodeShutdown:    ErrShutdown,
 	CodeNotPrimary:  ErrNotPrimary,
+	CodeMoved:       ErrMoved,
+	CodeEOF:         io.EOF,
 }
 
 // CodeOf maps an error to its wire code (CodeOK for nil).

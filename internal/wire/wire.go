@@ -96,6 +96,20 @@ const (
 	// identical to the untraced protocol, so the common path pays nothing.
 	KindBatchTraced     Kind = 15
 	KindReplicateTraced Kind = 16
+
+	// Sharding kinds (see shard.go). KindMapGet asks any node for the shard
+	// map it serves (payload: the epoch the client already holds); the node
+	// answers KindMapOK with the encoded map, or an empty payload when the
+	// client is already current. KindMapSet pushes a new map to a node (the
+	// migration coordinator's install frame), answered with KindMapOK after
+	// the node has fenced and drained any shards it lost. KindMoved answers
+	// an attach whose shard claim this node does not serve — the shard-map
+	// generalization of KindRedirect, naming a current owner address and the
+	// map epoch that says so.
+	KindMapGet Kind = 17
+	KindMapOK  Kind = 18
+	KindMoved  Kind = 19
+	KindMapSet Kind = 20
 )
 
 // TraceCtxSize is the length of the trace context prefix carried by traced
